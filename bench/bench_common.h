@@ -1,0 +1,52 @@
+#ifndef VODB_BENCH_BENCH_COMMON_H_
+#define VODB_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/params.h"
+#include "sim/vod_simulator.h"
+#include "sim/workload.h"
+
+namespace vod::bench {
+
+/// Shared command-line handling for the figure/table harnesses.
+/// Every harness accepts:
+///   --full    paper-scale sweep (24 h days, 5 seeds, full grids)
+///   --seeds=K override the seed count
+/// Default configurations are scaled to finish in seconds-to-a-minute.
+struct BenchOptions {
+  bool full = false;
+  int seeds = 0;  ///< 0 = per-bench default.
+
+  static BenchOptions Parse(int argc, char** argv);
+};
+
+/// The paper's per-method T_log choices (Sec. 5.1): 40 min for Round-Robin,
+/// 20 min for Sweep*/GSS*.
+Seconds PaperTLog(core::ScheduleMethod method);
+
+/// The paper's per-method worst-average k (fn. 9): 4 for Round-Robin,
+/// 3 for Sweep*/GSS*.
+int PaperK(core::ScheduleMethod method);
+
+/// Runs one single-disk simulated day and returns the finalized metrics.
+struct DayRunConfig {
+  core::ScheduleMethod method = core::ScheduleMethod::kRoundRobin;
+  sim::AllocScheme scheme = sim::AllocScheme::kDynamic;
+  Seconds t_log = Minutes(40);
+  int alpha = 1;
+  double theta = 0.5;
+  Seconds duration = Hours(24);
+  double total_arrivals = 1200;
+  std::uint64_t seed = 1;
+};
+sim::SimMetrics RunDay(const DayRunConfig& cfg);
+
+/// Prints a CSV header + rows helper.
+void PrintCsvHeader(const std::string& columns);
+
+}  // namespace vod::bench
+
+#endif  // VODB_BENCH_BENCH_COMMON_H_

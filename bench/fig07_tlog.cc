@@ -1,0 +1,47 @@
+// Fig. 7 — (a) the average number of estimated additional requests and
+// (b) the successful estimation probability, as functions of T_log (α = 1),
+// for the three scheduling methods.
+//
+// Paper reference points: success probability exceeds 99% from T_log =
+// 40 min (Round-Robin) / 20 min (Sweep*, GSS*); the average estimate grows
+// with T_log.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/units.h"
+
+using namespace vod;         // NOLINT(build/namespaces)
+using namespace vod::bench;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::Parse(argc, argv);
+  const std::vector<double> tlog_minutes =
+      opt.full ? std::vector<double>{5, 10, 20, 30, 40, 50, 60}
+               : std::vector<double>{10, 20, 40, 60};
+  const Seconds duration = opt.full ? Hours(24) : Hours(8);
+  const double arrivals = opt.full ? 1200 : 400;
+
+  std::printf("# Fig. 7: estimation vs T_log (alpha=1)\n");
+  PrintCsvHeader("method,tlog_min,avg_estimated_k,success_probability");
+  for (core::ScheduleMethod method :
+       {core::ScheduleMethod::kRoundRobin, core::ScheduleMethod::kSweep,
+        core::ScheduleMethod::kGss}) {
+    for (double tl : tlog_minutes) {
+      DayRunConfig cfg;
+      cfg.method = method;
+      cfg.scheme = sim::AllocScheme::kDynamic;
+      cfg.t_log = Minutes(tl);
+      cfg.duration = duration;
+      cfg.total_arrivals = arrivals;
+      cfg.theta = 0.0;
+      cfg.seed = 5;
+      const sim::SimMetrics m = RunDay(cfg);
+      std::printf("%s,%.0f,%.3f,%.4f\n",
+                  core::ScheduleMethodName(method).data(), tl,
+                  m.estimated_k.mean(), m.SuccessProbability());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 8 — (a) the average number of estimated additional requests and
+// (b) the successful estimation probability, as functions of α, with the
+// paper's T_log (40 min Round-Robin, 20 min Sweep*/GSS*).
+//
+// Paper reference: α = 1 already achieves > 99% success; larger α only
+// inflates the estimates (and hence memory).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/units.h"
+
+using namespace vod;         // NOLINT(build/namespaces)
+using namespace vod::bench;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::Parse(argc, argv);
+  const std::vector<int> alphas =
+      opt.full ? std::vector<int>{1, 2, 3, 4, 5} : std::vector<int>{1, 2, 4};
+  const Seconds duration = opt.full ? Hours(24) : Hours(8);
+  const double arrivals = opt.full ? 1200 : 400;
+
+  std::printf("# Fig. 8: estimation vs alpha (paper T_log per method)\n");
+  PrintCsvHeader("method,alpha,avg_estimated_k,success_probability");
+  for (core::ScheduleMethod method :
+       {core::ScheduleMethod::kRoundRobin, core::ScheduleMethod::kSweep,
+        core::ScheduleMethod::kGss}) {
+    for (int alpha : alphas) {
+      DayRunConfig cfg;
+      cfg.method = method;
+      cfg.scheme = sim::AllocScheme::kDynamic;
+      cfg.t_log = PaperTLog(method);
+      cfg.alpha = alpha;
+      cfg.duration = duration;
+      cfg.total_arrivals = arrivals;
+      cfg.theta = 0.0;
+      cfg.seed = 5;
+      const sim::SimMetrics m = RunDay(cfg);
+      std::printf("%s,%d,%.3f,%.4f\n",
+                  core::ScheduleMethodName(method).data(), alpha,
+                  m.estimated_k.mean(), m.SuccessProbability());
+    }
+  }
+  return 0;
+}

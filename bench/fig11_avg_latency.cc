@@ -1,0 +1,70 @@
+// Fig. 11 — average initial latency vs the number of requests in service,
+// measured by simulation, static vs dynamic, per scheduling method.
+//
+// Latencies are bucketed by the in-service count at each request's
+// admission and averaged across seeds (paper: 5 seeds). Buckets are coarsed
+// to groups of 8 so every row has samples.
+//
+// Paper reference (Fig. 11 / Table 4): dynamic is below static at every n;
+// the per-n reduction ratio averages ~1/11 (RR), ~1/20 (Sweep*),
+// ~1/28 (GSS*).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+using namespace vod;         // NOLINT(build/namespaces)
+using namespace vod::bench;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::Parse(argc, argv);
+  const int seeds = opt.seeds > 0 ? opt.seeds : (opt.full ? 5 : 2);
+  const Seconds duration = opt.full ? Hours(24) : Hours(8);
+  const double arrivals = opt.full ? 1200 : 400;
+  constexpr int kBucket = 8;
+
+  std::printf("# Fig. 11: average initial latency (s) vs n (simulation, %d "
+              "seeds)\n", seeds);
+  PrintCsvHeader("method,n_bucket,static_s,dynamic_s,samples");
+  for (core::ScheduleMethod method :
+       {core::ScheduleMethod::kRoundRobin, core::ScheduleMethod::kSweep,
+        core::ScheduleMethod::kGss}) {
+    // il[scheme][bucket]
+    std::vector<RunningStats> il[2];
+    il[0].resize(80 / kBucket + 1);
+    il[1].resize(80 / kBucket + 1);
+    for (int scheme = 0; scheme < 2; ++scheme) {
+      for (int seed = 1; seed <= seeds; ++seed) {
+        DayRunConfig cfg;
+        cfg.method = method;
+        cfg.scheme = scheme == 0 ? sim::AllocScheme::kStatic
+                                 : sim::AllocScheme::kDynamic;
+        cfg.t_log = PaperTLog(method);
+        cfg.duration = duration;
+        cfg.total_arrivals = arrivals;
+        cfg.theta = 0.5;
+        cfg.seed = static_cast<std::uint64_t>(seed);
+        const sim::SimMetrics m = RunDay(cfg);
+        for (std::size_t n = 1; n < m.initial_latency_by_n.size(); ++n) {
+          const RunningStats& s = m.initial_latency_by_n[n];
+          if (s.count() > 0) {
+            for (std::size_t c = 0; c < s.count(); ++c) {
+              il[scheme][n / kBucket].Add(s.mean());
+            }
+          }
+        }
+      }
+    }
+    for (std::size_t b = 0; b < il[0].size(); ++b) {
+      if (il[0][b].count() == 0 || il[1][b].count() == 0) continue;
+      std::printf("%s,%zu-%zu,%.4f,%.4f,%zu\n",
+                  core::ScheduleMethodName(method).data(), b * kBucket,
+                  b * kBucket + kBucket - 1, il[0][b].mean(),
+                  il[1][b].mean(), il[0][b].count() + il[1][b].count());
+    }
+  }
+  return 0;
+}

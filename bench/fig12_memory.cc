@@ -1,0 +1,37 @@
+// Fig. 12 — minimum memory requirement vs n (analysis), static vs dynamic,
+// per scheduling method: Theorems 2–4 against the static instantiation.
+//
+// Paper reference: dynamic requirements are far below static at small n and
+// converge at n = N; Sweep* needs roughly twice the memory of GSS*.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/units.h"
+#include "vod/analysis.h"
+
+using namespace vod;         // NOLINT(build/namespaces)
+using namespace vod::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  std::printf("# Fig. 12: minimum memory requirement (MB) vs n, per method\n");
+  PrintCsvHeader("method,n,static_mb,dynamic_mb");
+  for (core::ScheduleMethod method :
+       {core::ScheduleMethod::kRoundRobin, core::ScheduleMethod::kSweep,
+        core::ScheduleMethod::kGss}) {
+    AnalysisConfig cfg;
+    cfg.method = method;
+    cfg.k = PaperK(method);
+    auto curve = MemoryRequirementCurve(cfg);
+    if (!curve.ok()) {
+      std::fprintf(stderr, "%s\n", curve.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& pt : *curve) {
+      std::printf("%s,%d,%.3f,%.3f\n",
+                  core::ScheduleMethodName(method).data(), pt.n,
+                  ToMegabytes(pt.stat), ToMegabytes(pt.dynamic));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Microbenchmark (google-benchmark): the cost of computing BS_k(n) three
+// ways — direct recurrence, Theorem 1 closed form, and the precomputed
+// O(N²) table (Sec. 3.3's recommendation). Demonstrates why the paper
+// precomputes: a table lookup is orders of magnitude cheaper than either
+// on-line evaluation, which matters because the server sizes a buffer on
+// every service.
+
+#include <benchmark/benchmark.h>
+
+#include "common/units.h"
+#include "core/buffer_size_table.h"
+#include "core/closed_form.h"
+#include "core/params.h"
+#include "core/recurrence.h"
+#include "disk/disk_profile.h"
+
+namespace {
+
+vod::core::AllocParams PaperParams() {
+  auto p = vod::core::MakeAllocParams(vod::disk::SeagateBarracuda9LP(),
+                                      vod::Mbps(1.5),
+                                      vod::core::ScheduleMethod::kRoundRobin,
+                                      0, 1);
+  return p.value();
+}
+
+void BM_Recurrence(benchmark::State& state) {
+  const vod::core::AllocParams p = PaperParams();
+  int n = 1;
+  for (auto _ : state) {
+    auto bs = vod::core::BufferSizeByRecurrence(p, n, 3);
+    benchmark::DoNotOptimize(bs);
+    n = n % (p.n_max - 1) + 1;
+  }
+}
+BENCHMARK(BM_Recurrence);
+
+void BM_ClosedForm(benchmark::State& state) {
+  const vod::core::AllocParams p = PaperParams();
+  int n = 1;
+  for (auto _ : state) {
+    auto bs = vod::core::DynamicBufferSize(p, n, 3);
+    benchmark::DoNotOptimize(bs);
+    n = n % (p.n_max - 1) + 1;
+  }
+}
+BENCHMARK(BM_ClosedForm);
+
+void BM_TableLookup(benchmark::State& state) {
+  const vod::core::AllocParams p = PaperParams();
+  auto table = vod::core::BufferSizeTable::Build(p);
+  int n = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->GetUnchecked(n, 3));
+    n = n % (p.n_max - 1) + 1;
+  }
+}
+BENCHMARK(BM_TableLookup);
+
+void BM_TableBuild(benchmark::State& state) {
+  const vod::core::AllocParams p = PaperParams();
+  for (auto _ : state) {
+    auto table = vod::core::BufferSizeTable::Build(p);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_TableBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Capacity planning: you operate a 10-disk VOD server and must decide how
+// much buffer memory to provision. This example uses the library's
+// analytic models (Theorems 2-4 and the capacity search behind Fig. 13) to
+// print, for each allocation scheme, the concurrent-stream capacity at
+// several memory sizes and the memory needed to hit a target.
+//
+//   $ ./build/examples/capacity_planning
+
+#include <cstdio>
+#include <vector>
+
+#include "common/units.h"
+#include "vod/analysis.h"
+
+int main() {
+  using namespace vod;  // NOLINT(build/namespaces)
+
+  AnalysisConfig cfg;
+  cfg.method = core::ScheduleMethod::kGss;
+  cfg.gss_group_size = 8;
+  cfg.k = 3;  // The paper's worst-average estimate for GSS*.
+
+  const int disks = 10;
+  const double disk_theta = 0.271;  // Video-popularity skew (Wolf et al.).
+
+  std::printf("Capacity of a %d-disk GSS* server, disk load Zipf(%.3f)\n\n",
+              disks, disk_theta);
+  std::printf("%12s %16s %16s\n", "memory", "static scheme", "dynamic scheme");
+
+  std::vector<Bits> memories;
+  for (double gb : {0.5, 1.0, 2.0, 4.0, 8.0, 12.0}) {
+    memories.push_back(Gigabytes(gb));
+  }
+  auto curve = CapacityVsMemoryCurve(cfg, disks, disk_theta, memories);
+  if (!curve.ok()) {
+    std::fprintf(stderr, "%s\n", curve.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& pt : *curve) {
+    std::printf("%9.1f GB %13d %16d\n", ToGigabytes(pt.memory), pt.stat,
+                pt.dynamic);
+  }
+
+  // How much memory does each scheme need for 300 concurrent streams?
+  std::printf("\nMemory needed for 300 concurrent streams:\n");
+  for (bool dynamic : {false, true}) {
+    double lo = 0.1, hi = 64.0;
+    for (int iter = 0; iter < 40; ++iter) {
+      const double mid = (lo + hi) / 2;
+      auto c = CapacityVsMemoryCurve(cfg, disks, disk_theta,
+                                     {Gigabytes(mid)});
+      if (!c.ok()) return 1;
+      const int cap = dynamic ? c->front().dynamic : c->front().stat;
+      (cap >= 300 ? hi : lo) = mid;
+    }
+    std::printf("  %-8s ~%.2f GB\n", dynamic ? "dynamic" : "static", hi);
+  }
+  std::printf("\n(The gap is the paper's Table 5 effect: smaller buffers at"
+              " partial load\n leave memory for more streams.)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Latency report: simulate one evening of a single-disk VOD service under
+// both allocation schemes and print a side-by-side initial-latency report —
+// the operational view of the paper's Fig. 11.
+//
+//   $ ./build/examples/latency_report
+
+#include <cstdio>
+
+#include "common/units.h"
+#include "sim/vod_simulator.h"
+#include "sim/workload.h"
+
+int main() {
+  using namespace vod;  // NOLINT(build/namespaces)
+
+  // An evening: arrivals ramp to a prime-time peak after 3 hours.
+  sim::WorkloadConfig workload;
+  workload.duration = Hours(6);
+  workload.theta = 0.3;
+  workload.peak_time = Hours(3);
+  workload.total_expected_arrivals = 120;
+  workload.seed = 2024;
+  auto arrivals = sim::GenerateWorkload(workload);
+  if (!arrivals.ok()) {
+    std::fprintf(stderr, "%s\n", arrivals.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Evening workload: %zu viewer arrivals over 6 h\n\n",
+              arrivals->size());
+
+  std::printf("%-22s %10s %10s %10s %10s %9s\n", "configuration", "admitted",
+              "rejected", "meanIL(s)", "maxIL(s)", "est.succ");
+  for (core::ScheduleMethod method :
+       {core::ScheduleMethod::kRoundRobin, core::ScheduleMethod::kSweep,
+        core::ScheduleMethod::kGss}) {
+    for (sim::AllocScheme scheme :
+         {sim::AllocScheme::kStatic, sim::AllocScheme::kDynamic}) {
+      sim::SimConfig cfg;
+      cfg.method = method;
+      cfg.scheme = scheme;
+      cfg.t_log = method == core::ScheduleMethod::kRoundRobin ? Minutes(40)
+                                                              : Minutes(20);
+      auto simulator = sim::VodSimulator::Create(cfg, nullptr);
+      if (!simulator.ok()) {
+        std::fprintf(stderr, "%s\n", simulator.status().ToString().c_str());
+        return 1;
+      }
+      if (Status st = (*simulator)->AddArrivals(*arrivals); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      (*simulator)->RunToCompletion();
+      (*simulator)->Finalize();
+      const sim::SimMetrics& m = (*simulator)->metrics();
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s/%s",
+                    core::ScheduleMethodName(method).data(),
+                    sim::AllocSchemeName(scheme).data());
+      std::printf("%-22s %10ld %10ld %10.3f %10.2f %8.1f%%\n", name,
+                  m.admitted, m.rejected, m.initial_latency.mean(),
+                  m.initial_latency.max(), 100.0 * m.SuccessProbability());
+    }
+  }
+  std::printf("\nThe dynamic rows show the paper's effect: mean initial"
+              " latency drops sharply\nat partial load for every scheduling"
+              " method (the gap widens as load falls).\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#ifndef VODB_COMMON_CHECK_H_
+#define VODB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant checks. VOD_CHECK is always on (used for conditions
+/// whose violation means memory-unsafe continuation); VOD_DCHECK compiles
+/// out in NDEBUG builds. Public-API argument validation uses Status instead
+/// (see common/status.h) — these macros are for library bugs only.
+
+#define VOD_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "VOD_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define VOD_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define VOD_DCHECK(cond) VOD_CHECK(cond)
+#endif
+
+#endif  // VODB_COMMON_CHECK_H_

@@ -1,0 +1,15 @@
+#ifndef VODB_COMMON_TYPES_H_
+#define VODB_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace vod {
+
+/// Identifies one user request (one viewing session) across the library.
+using RequestId = std::uint64_t;
+
+constexpr RequestId kInvalidRequestId = 0;
+
+}  // namespace vod
+
+#endif  // VODB_COMMON_TYPES_H_

@@ -1,0 +1,50 @@
+#ifndef VODB_COMMON_UNITS_H_
+#define VODB_COMMON_UNITS_H_
+
+namespace vod {
+
+/// The paper's math is rate-based: data sizes in bits, rates in bits/second,
+/// times in seconds. We follow that convention throughout the library and
+/// provide conversion helpers here so call sites stay readable.
+///
+/// All quantities are doubles: buffer sizes are "variable length" (Sec. 2.1
+/// assumes allocation by variable-length unit, not pages), so fractional
+/// bits from the closed forms are kept exact rather than rounded.
+
+using Seconds = double;
+using Bits = double;
+using BitsPerSecond = double;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+
+constexpr Bits Megabits(double mb) { return mb * kMega; }
+constexpr Bits Gigabits(double gb) { return gb * kGiga; }
+constexpr Bits Bytes(double b) { return b * 8.0; }
+constexpr Bits Kilobytes(double kb) { return kb * 8.0 * 1024.0; }
+constexpr Bits Megabytes(double mb) { return mb * 8.0 * 1024.0 * 1024.0; }
+constexpr Bits Gigabytes(double gb) {
+  return gb * 8.0 * 1024.0 * 1024.0 * 1024.0;
+}
+
+constexpr double ToMegabits(Bits b) { return b / kMega; }
+constexpr double ToBytes(Bits b) { return b / 8.0; }
+constexpr double ToMegabytes(Bits b) { return b / (8.0 * 1024.0 * 1024.0); }
+constexpr double ToGigabytes(Bits b) {
+  return b / (8.0 * 1024.0 * 1024.0 * 1024.0);
+}
+
+constexpr BitsPerSecond Mbps(double r) { return r * kMega; }
+
+constexpr Seconds Milliseconds(double ms) { return ms / kKilo; }
+constexpr Seconds Minutes(double m) { return m * 60.0; }
+constexpr Seconds Hours(double h) { return h * 3600.0; }
+
+constexpr double ToMilliseconds(Seconds s) { return s * kKilo; }
+constexpr double ToMinutes(Seconds s) { return s / 60.0; }
+constexpr double ToHours(Seconds s) { return s / 3600.0; }
+
+}  // namespace vod
+
+#endif  // VODB_COMMON_UNITS_H_

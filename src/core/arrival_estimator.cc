@@ -1,0 +1,47 @@
+#include "core/arrival_estimator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vod::core {
+
+ArrivalEstimator::ArrivalEstimator(Seconds t_log) : t_log_(t_log) {
+  VOD_CHECK(t_log > 0);
+}
+
+void ArrivalEstimator::RecordArrival(Seconds now) {
+  VOD_DCHECK(arrivals_.empty() || now >= arrivals_.back());
+  arrivals_.push_back(now);
+  Prune(now);
+}
+
+void ArrivalEstimator::Prune(Seconds now) {
+  const Seconds horizon = now - t_log_;
+  while (!arrivals_.empty() && arrivals_.front() < horizon) {
+    arrivals_.pop_front();
+  }
+}
+
+int ArrivalEstimator::KLog(Seconds now, Seconds service_period) const {
+  if (service_period <= 0) return 0;
+  const Seconds horizon = now - t_log_;
+  while (!arrivals_.empty() && arrivals_.front() < horizon) {
+    arrivals_.pop_front();
+  }
+  // Max count of arrivals in any half-open window [a_i, a_i + sp): windows
+  // anchored at arrivals dominate, so a two-pointer sweep suffices.
+  int best = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    if (j < i) j = i;
+    while (j < arrivals_.size() &&
+           arrivals_[j] < arrivals_[i] + service_period) {
+      ++j;
+    }
+    best = std::max(best, static_cast<int>(j - i));
+  }
+  return best;
+}
+
+}  // namespace vod::core

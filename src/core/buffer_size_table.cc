@@ -1,0 +1,58 @@
+#include "core/buffer_size_table.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "core/closed_form.h"
+
+namespace vod::core {
+
+BufferSizeTable::BufferSizeTable(AllocParams params, std::vector<double> table)
+    : params_(params), table_(std::move(table)) {}
+
+std::size_t BufferSizeTable::Index(int n, int k) const {
+  // Row n-1 (n in [1, N]); column k in [0, N].
+  return static_cast<std::size_t>(n - 1) *
+             static_cast<std::size_t>(params_.n_max + 1) +
+         static_cast<std::size_t>(k);
+}
+
+Result<BufferSizeTable> BufferSizeTable::Build(const AllocParams& params) {
+  return Build(params, [&params](int) { return params.dl; });
+}
+
+Result<BufferSizeTable> BufferSizeTable::Build(const AllocParams& params,
+                                               const DlForN& dl_for_n) {
+  VOD_RETURN_IF_ERROR(params.Validate());
+  const int n_max = params.n_max;
+  std::vector<double> table(static_cast<std::size_t>(n_max) *
+                            static_cast<std::size_t>(n_max + 1));
+  BufferSizeTable t(params, std::move(table));
+  for (int n = 1; n <= n_max; ++n) {
+    AllocParams row = params;
+    row.dl = dl_for_n(n);
+    if (row.dl < 0) return Status::InvalidArgument("DL(n) must be >= 0");
+    for (int k = 0; k <= n_max; ++k) {
+      Result<Bits> bs = DynamicBufferSize(row, n, std::min(k, n_max - n));
+      if (!bs.ok()) return bs.status();
+      t.table_[t.Index(n, k)] = bs.value();
+    }
+  }
+  return t;
+}
+
+Result<Bits> BufferSizeTable::Get(int n, int k) const {
+  if (n < 1 || n > params_.n_max) {
+    return Status::OutOfRange("n outside [1, N]");
+  }
+  if (k < 0) return Status::OutOfRange("k must be >= 0");
+  return GetUnchecked(n, k);
+}
+
+Bits BufferSizeTable::GetUnchecked(int n, int k) const {
+  VOD_DCHECK(n >= 1 && n <= params_.n_max && k >= 0);
+  return table_[Index(n, std::min(k, params_.n_max))];
+}
+
+}  // namespace vod::core

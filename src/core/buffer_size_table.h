@@ -1,0 +1,58 @@
+#ifndef VODB_CORE_BUFFER_SIZE_TABLE_H_
+#define VODB_CORE_BUFFER_SIZE_TABLE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "core/params.h"
+
+namespace vod::core {
+
+/// Precomputed table of BS_k(n) for all 1 <= n <= N, 0 <= k <= N
+/// (Sec. 3.3: "precomputing the equations for all possible values of n and
+/// k ... the complexity of memory space requirement is O(N²)").
+///
+/// Lookups clamp k to N − n (estimating more additional requests than the
+/// disk could ever admit is equivalent to estimating exactly the remaining
+/// headroom: the recurrence bottoms out at the fully-loaded boundary in one
+/// step either way).
+class BufferSizeTable {
+ public:
+  /// Maps the in-service count n to the worst per-buffer disk latency DL to
+  /// use in the formulas. The Sweep* method's DL is γ(Cyln/n)+θ (Table 2),
+  /// so its table entries vary DL with n; Round-Robin and GSS* use a
+  /// constant.
+  using DlForN = std::function<Seconds(int n)>;
+
+  /// Builds the table; fails if params are invalid.
+  static Result<BufferSizeTable> Build(const AllocParams& params);
+
+  /// As above, but row n is computed with params.dl = dl_for_n(n).
+  static Result<BufferSizeTable> Build(const AllocParams& params,
+                                       const DlForN& dl_for_n);
+
+  /// BS_k(n). O(1). n must be in [1, N]; k >= 0 (clamped as above).
+  Result<Bits> Get(int n, int k) const;
+
+  /// Unchecked lookup for hot paths; preconditions as Get().
+  Bits GetUnchecked(int n, int k) const;
+
+  const AllocParams& params() const { return params_; }
+  int n_max() const { return params_.n_max; }
+  /// Total table footprint in entries (for the O(N²) claim in benches).
+  std::size_t entry_count() const { return table_.size(); }
+
+ private:
+  BufferSizeTable(AllocParams params, std::vector<double> table);
+
+  std::size_t Index(int n, int k) const;
+
+  AllocParams params_;
+  std::vector<double> table_;  // (N) rows of (N+1) k-entries.
+};
+
+}  // namespace vod::core
+
+#endif  // VODB_CORE_BUFFER_SIZE_TABLE_H_

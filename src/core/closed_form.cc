@@ -1,0 +1,89 @@
+#include "core/closed_form.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace vod::core {
+namespace {
+
+Status ValidateNk(const AllocParams& params, int n, int k) {
+  VOD_RETURN_IF_ERROR(params.Validate());
+  if (n < 1 || n > params.n_max) {
+    return Status::OutOfRange("n=" + std::to_string(n) + " outside [1, N]");
+  }
+  if (k < 0) return Status::OutOfRange("k must be >= 0");
+  return Status::OK();
+}
+
+/// f(i) = n + i·k + (i−1)·i·α/2 — the in-service count after i expansion
+/// steps (the estimate grows by α each step, so counts accumulate
+/// k, k+α, k+2α, ...).
+double StepCount(int n, int k, int alpha, int i) {
+  return static_cast<double>(n) + static_cast<double>(i) * k +
+         0.5 * static_cast<double>(i - 1) * i * alpha;
+}
+
+}  // namespace
+
+Result<int> ExpansionSteps(const AllocParams& params, int n, int k) {
+  VOD_RETURN_IF_ERROR(ValidateNk(params, n, k));
+  if (n == params.n_max) {
+    return Status::OutOfRange("e is defined for n < N only");
+  }
+  const double a = static_cast<double>(params.alpha);
+  const double kd = static_cast<double>(k);
+  const double gap = static_cast<double>(params.n_max - n);
+  const double disc = kd * kd + a * (2.0 * gap - kd) + a * a / 4.0;
+  // disc = (k − α/2)² + 2·α·(N−n) − 2·α·k + ... is always positive for
+  // n < N; guard against rounding anyway.
+  const double root = std::sqrt(std::max(disc, 0.0));
+  double e = std::ceil((a / 2.0 - kd + root) / a);
+  // Guard the ceiling against floating-point ties: enforce the defining
+  // property f(e) >= N > f(e-1) exactly.
+  int ei = std::max(1, static_cast<int>(e));
+  while (StepCount(n, k, params.alpha, ei) < params.n_max) ++ei;
+  while (ei > 1 &&
+         StepCount(n, k, params.alpha, ei - 1) >= params.n_max) {
+    --ei;
+  }
+  return ei;
+}
+
+Result<Bits> DynamicBufferSize(const AllocParams& params, int n, int k) {
+  VOD_RETURN_IF_ERROR(ValidateNk(params, n, k));
+  const double big_n = static_cast<double>(params.n_max);
+  const double full =
+      params.dl * big_n * params.cr * params.tr / (params.tr - big_n * params.cr);
+  if (n == params.n_max) return full;
+
+  Result<int> e_res = ExpansionSteps(params, n, k);
+  if (!e_res.ok()) return e_res.status();
+  const int e = e_res.value();
+  const double c = params.cr / params.tr;
+
+  // prefix[i] = Π_{j=1}^{i} f(j), prefix[0] = 1.
+  std::vector<double> prefix(static_cast<std::size_t>(e) + 1, 1.0);
+  for (int i = 1; i <= e; ++i) {
+    prefix[static_cast<std::size_t>(i)] =
+        prefix[static_cast<std::size_t>(i - 1)] *
+        StepCount(n, k, params.alpha, i);
+  }
+
+  // Term 1: c^e · Π_{i=1}^{e−1} f(i) · N²·TR/(TR − N·CR).
+  const double term1 = std::pow(c, e) * prefix[static_cast<std::size_t>(e - 1)] *
+                       big_n * big_n * params.tr /
+                       (params.tr - big_n * params.cr);
+  // Term 2: Σ_{i=0}^{e−2} c^i · Π_{j=1}^{i+1} f(j).
+  double term2 = 0.0;
+  for (int i = 0; i <= e - 2; ++i) {
+    term2 += std::pow(c, i) * prefix[static_cast<std::size_t>(i + 1)];
+  }
+  // Term 3: c^{e−1} · N · Π_{j=1}^{e−1} f(j).
+  const double term3 = std::pow(c, e - 1) * big_n *
+                       prefix[static_cast<std::size_t>(e - 1)];
+
+  return params.dl * params.cr * (term1 + term2 + term3);
+}
+
+}  // namespace vod::core

@@ -1,0 +1,36 @@
+#include "core/latency_model.h"
+
+namespace vod::core {
+
+Seconds WorstInitialLatencyRoundRobin(const AllocParams& params, Bits bs) {
+  return 2.0 * params.dl + bs / params.tr;
+}
+
+Seconds WorstInitialLatencySweep(const AllocParams& params, Bits bs, int n) {
+  const double slot = params.dl + bs / params.tr;
+  return 2.0 * static_cast<double>(n) * slot + slot;
+}
+
+Seconds WorstInitialLatencyGss(const AllocParams& params, Bits bs, int g) {
+  return 2.0 * static_cast<double>(g) * (params.dl + bs / params.tr);
+}
+
+Result<Seconds> WorstInitialLatency(const AllocParams& params,
+                                    ScheduleMethod method, Bits bs,
+                                    int n_or_g) {
+  VOD_RETURN_IF_ERROR(params.Validate());
+  if (bs < 0) return Status::InvalidArgument("buffer size must be >= 0");
+  switch (method) {
+    case ScheduleMethod::kRoundRobin:
+      return WorstInitialLatencyRoundRobin(params, bs);
+    case ScheduleMethod::kSweep:
+      if (n_or_g < 1) return Status::InvalidArgument("n must be >= 1");
+      return WorstInitialLatencySweep(params, bs, n_or_g);
+    case ScheduleMethod::kGss:
+      if (n_or_g < 1) return Status::InvalidArgument("g must be >= 1");
+      return WorstInitialLatencyGss(params, bs, n_or_g);
+  }
+  return Status::InvalidArgument("unknown scheduling method");
+}
+
+}  // namespace vod::core

@@ -1,0 +1,39 @@
+#ifndef VODB_CORE_LATENCY_MODEL_H_
+#define VODB_CORE_LATENCY_MODEL_H_
+
+#include "common/status.h"
+#include "common/units.h"
+#include "core/params.h"
+
+namespace vod::core {
+
+/// Worst-case initial latency models, Eqs. (2)–(4). Initial latency is the
+/// time between a request's arrival and the arrival of its first video data
+/// in server memory. Each formula is linear in the buffer size BS, which is
+/// why minimizing BS (the paper's goal) minimizes latency.
+
+/// Eq. (2) — BubbleUp Round-Robin: wait out the service in progress
+/// (DL + BS/TR), then be serviced (another DL + transfer is folded into the
+/// 2·DL structure of the paper's equation):
+///   IL = 2·DL + BS/TR.
+Seconds WorstInitialLatencyRoundRobin(const AllocParams& params, Bits bs);
+
+/// Eq. (3) — Sweep*: a request arriving at the start of a period may be
+/// serviced at the end of the *next* period:
+///   IL = 2·n·(DL + BS/TR) + DL + BS/TR.
+Seconds WorstInitialLatencySweep(const AllocParams& params, Bits bs, int n);
+
+/// Eq. (4) — extended GSS*: wait the current group, then the next group
+/// containing the new request:
+///   IL = 2·g·(DL + BS/TR).
+Seconds WorstInitialLatencyGss(const AllocParams& params, Bits bs, int g);
+
+/// Dispatches to the per-method formula. `n_or_g` is the in-service count n
+/// for Sweep*, the group size g for GSS*, and ignored for Round-Robin.
+Result<Seconds> WorstInitialLatency(const AllocParams& params,
+                                    ScheduleMethod method, Bits bs,
+                                    int n_or_g);
+
+}  // namespace vod::core
+
+#endif  // VODB_CORE_LATENCY_MODEL_H_

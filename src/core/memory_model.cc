@@ -1,0 +1,119 @@
+#include "core/memory_model.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "core/closed_form.h"
+#include "core/static_alloc.h"
+
+namespace vod::core {
+
+Bits MemoryRequirementRoundRobin(const AllocParams& params, Bits bs, int n,
+                                 int slots) {
+  VOD_DCHECK(n >= 1 && slots >= n);
+  const double nd = static_cast<double>(n);
+  return nd * bs - bs * nd * (nd - 1.0) / (2.0 * static_cast<double>(slots)) +
+         nd * params.cr * params.dl;
+}
+
+Bits MemoryRequirementSweep(const AllocParams& params, Bits bs, int n,
+                            int slots) {
+  VOD_DCHECK(n >= 1 && slots >= n);
+  if (n == 1) {
+    return bs + (bs / params.tr + params.dl) * params.cr;
+  }
+  const double nd = static_cast<double>(n);
+  const double t = bs / params.cr;  // Full cycle over `slots` service slots.
+  return (nd - 1.0) * bs +
+         (nd * t / static_cast<double>(slots) - (nd - 2.0) * bs / params.tr) *
+             params.cr * nd;
+}
+
+Bits MemoryRequirementGss(const AllocParams& params, Bits bs, int n,
+                          int slots, int g) {
+  VOD_DCHECK(n >= 1 && slots >= n && g >= 1);
+  if (g >= n) return MemoryRequirementSweep(params, bs, n, slots);
+  if (g == 1) return MemoryRequirementRoundRobin(params, bs, n, slots);
+
+  const double nd = static_cast<double>(n);
+  const double gd = static_cast<double>(g);
+  const double sd = static_cast<double>(slots);
+  const double t = bs / params.cr;
+  const int big_g = (n + g - 1) / g;              // G = ⌈n/g⌉.
+  const double big_gd = static_cast<double>(big_g);
+  const int g_rem = n - (n / g) * g;              // g' = n − ⌊n/g⌋·g.
+
+  if (g_rem == 0) {
+    // Theorem 4, case G = n/g (every group full).
+    const double per_group =
+        gd * bs - (nd * t / sd + (gd - 2.0) * bs / params.tr -
+                   gd * t * (big_gd + 2.0) / (2.0 * sd)) *
+                      params.cr * gd;
+    const double max_group =
+        (gd - 1.0) * bs +
+        (t * gd / sd - (gd - 2.0) * bs / params.tr) * params.cr * gd;
+    return (big_gd - 1.0) * per_group + max_group;
+  }
+
+  // Theorem 4, case G > n/g (last group has g' in [1, g) members).
+  const double g_remd = static_cast<double>(g_rem);
+  const double per_group =
+      gd * bs - (nd * t / sd + (gd - 2.0) * bs / params.tr -
+                 gd * t * (big_gd + 1.0) / (2.0 * sd)) *
+                    params.cr * gd;
+  // The last term uses g' (theorem statement); the appendix's Eq. (24)
+  // misprints it as g — the theorem body is the consistent version.
+  const double tail =
+      bs * (gd + g_remd - 1.0) +
+      params.cr * ((t * gd / sd - (gd - 2.0) * bs / params.tr) * gd -
+                   (gd - 2.0) * g_remd * bs / params.tr);
+  return (big_gd - 2.0) * per_group + tail;
+}
+
+Bits MemoryRequirementKernel(const AllocParams& params, ScheduleMethod method,
+                             Bits bs, int n, int slots, int g) {
+  switch (method) {
+    case ScheduleMethod::kRoundRobin:
+      return MemoryRequirementRoundRobin(params, bs, n, slots);
+    case ScheduleMethod::kSweep:
+      return MemoryRequirementSweep(params, bs, n, slots);
+    case ScheduleMethod::kGss:
+      return MemoryRequirementGss(params, bs, n, slots, g);
+  }
+  return 0;
+}
+
+Result<Bits> DynamicMemoryRequirement(const AllocParams& params,
+                                      ScheduleMethod method, int n, int k,
+                                      int g) {
+  VOD_RETURN_IF_ERROR(params.Validate());
+  if (n < 1 || n > params.n_max) {
+    return Status::OutOfRange("n=" + std::to_string(n) + " outside [1, N]");
+  }
+  if (k < 0) return Status::OutOfRange("k must be >= 0");
+  if (method == ScheduleMethod::kGss && g < 1) {
+    return Status::InvalidArgument("GSS requires group size g >= 1");
+  }
+  const int kc = std::min(k, params.n_max - n);
+  Result<Bits> bs = DynamicBufferSize(params, n, kc);
+  if (!bs.ok()) return bs.status();
+  return MemoryRequirementKernel(params, method, bs.value(), n, n + kc, g);
+}
+
+Result<Bits> StaticMemoryRequirement(const AllocParams& params,
+                                     ScheduleMethod method, int n, int g) {
+  VOD_RETURN_IF_ERROR(params.Validate());
+  if (n < 1 || n > params.n_max) {
+    return Status::OutOfRange("n=" + std::to_string(n) + " outside [1, N]");
+  }
+  if (method == ScheduleMethod::kGss && g < 1) {
+    return Status::InvalidArgument("GSS requires group size g >= 1");
+  }
+  Result<Bits> bs = StaticSchemeBufferSize(params);
+  if (!bs.ok()) return bs.status();
+  return MemoryRequirementKernel(params, method, bs.value(), n, params.n_max,
+                                 g);
+}
+
+}  // namespace vod::core

@@ -1,0 +1,53 @@
+#ifndef VODB_CORE_MEMORY_MODEL_H_
+#define VODB_CORE_MEMORY_MODEL_H_
+
+#include "common/status.h"
+#include "common/units.h"
+#include "core/params.h"
+
+namespace vod::core {
+
+/// Minimum system memory needed to support n in-service requests (plus k
+/// estimated additional ones) under each scheduling method — Theorems 2–4.
+///
+/// All three theorems share a template: buffers of size BS are refilled on a
+/// cycle of `slots` equal service slots (slots = k+n for the dynamic scheme;
+/// the static scheme always spaces services as if fully loaded, slots = N),
+/// requests drain at CR, and the requirement is the peak of the resulting
+/// periodic function. The kernels below take BS and `slots` explicitly so
+/// both schemes (and ablations) instantiate the same code.
+
+/// Theorem 2 (Round-Robin / BubbleUp):
+///   Mem = n·BS − BS·n·(n−1)/(2·slots) + n·CR·DL.
+Bits MemoryRequirementRoundRobin(const AllocParams& params, Bits bs, int n,
+                                 int slots);
+
+/// Theorem 3 (Sweep*), with T = BS/CR the full cycle:
+///   n > 1: (n−1)·BS + (n·T/slots − (n−2)·BS/TR)·CR·n
+///   n = 1: BS + (BS/TR + DL)·CR.
+Bits MemoryRequirementSweep(const AllocParams& params, Bits bs, int n,
+                            int slots);
+
+/// Theorem 4 (GSS*) with group size g; delegates to Theorem 3 when g >= n
+/// and Theorem 2 when g == 1. G = ⌈n/g⌉ groups; g' = n − ⌊n/g⌋·g.
+Bits MemoryRequirementGss(const AllocParams& params, Bits bs, int n,
+                          int slots, int g);
+
+/// Dispatch across methods. `g` is used by GSS* only.
+Bits MemoryRequirementKernel(const AllocParams& params, ScheduleMethod method,
+                             Bits bs, int n, int slots, int g);
+
+/// Dynamic scheme: BS = BS_k(n) (Theorem 1), slots = k+n. k is clamped to
+/// [0, N−n]. Requires 1 <= n <= N.
+Result<Bits> DynamicMemoryRequirement(const AllocParams& params,
+                                      ScheduleMethod method, int n, int k,
+                                      int g);
+
+/// Static scheme baseline: every buffer is BS(N) and services are spaced at
+/// the fully-loaded slot width (slots = N) regardless of load.
+Result<Bits> StaticMemoryRequirement(const AllocParams& params,
+                                     ScheduleMethod method, int n, int g);
+
+}  // namespace vod::core
+
+#endif  // VODB_CORE_MEMORY_MODEL_H_

@@ -1,0 +1,74 @@
+#include "core/params.h"
+
+#include <cmath>
+
+namespace vod::core {
+
+std::string_view ScheduleMethodName(ScheduleMethod m) {
+  switch (m) {
+    case ScheduleMethod::kRoundRobin:
+      return "RoundRobin";
+    case ScheduleMethod::kSweep:
+      return "Sweep*";
+    case ScheduleMethod::kGss:
+      return "GSS*";
+  }
+  return "Unknown";
+}
+
+Status AllocParams::Validate() const {
+  if (tr <= 0) return Status::InvalidArgument("TR must be > 0");
+  if (cr <= 0) return Status::InvalidArgument("CR must be > 0");
+  if (dl < 0) return Status::InvalidArgument("DL must be >= 0");
+  if (n_max < 1) return Status::InvalidArgument("N must be >= 1");
+  if (static_cast<double>(n_max) * cr >= tr) {
+    return Status::InvalidArgument("N violates Eq. (1): N*CR must be < TR");
+  }
+  if (alpha < 1) {
+    // Footnote 5: with α = 0 a freshly started system (k = 0) could never
+    // admit anything, so α >= 1 is required.
+    return Status::InvalidArgument("alpha must be >= 1");
+  }
+  return Status::OK();
+}
+
+int MaxConcurrentRequests(BitsPerSecond tr, BitsPerSecond cr) {
+  if (tr <= 0 || cr <= 0) return 0;
+  const double ratio = tr / cr;
+  // Largest integer strictly below TR/CR (Eq. 1). When TR/CR is integral,
+  // N = TR/CR - 1 because equality cannot absorb any disk latency.
+  const double floor_val = std::floor(ratio);
+  if (floor_val == ratio) return static_cast<int>(floor_val) - 1;
+  return static_cast<int>(floor_val);
+}
+
+Seconds WorstDiskLatency(const disk::DiskProfile& profile,
+                         ScheduleMethod method, int n_or_g) {
+  const double cyln = static_cast<double>(profile.cylinders);
+  switch (method) {
+    case ScheduleMethod::kRoundRobin:
+      return profile.WorstLatency(cyln);
+    case ScheduleMethod::kSweep:
+    case ScheduleMethod::kGss: {
+      const double div = n_or_g >= 1 ? static_cast<double>(n_or_g) : 1.0;
+      return profile.WorstLatency(cyln / div);
+    }
+  }
+  return profile.WorstLatency(cyln);
+}
+
+Result<AllocParams> MakeAllocParams(const disk::DiskProfile& profile,
+                                    BitsPerSecond cr, ScheduleMethod method,
+                                    int n_or_g, int alpha) {
+  VOD_RETURN_IF_ERROR(profile.Validate());
+  AllocParams p;
+  p.tr = profile.transfer_rate;
+  p.cr = cr;
+  p.dl = WorstDiskLatency(profile, method, n_or_g);
+  p.n_max = MaxConcurrentRequests(p.tr, cr);
+  p.alpha = alpha;
+  VOD_RETURN_IF_ERROR(p.Validate());
+  return p;
+}
+
+}  // namespace vod::core

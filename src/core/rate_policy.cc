@@ -1,0 +1,51 @@
+#include "core/rate_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vod::core {
+namespace {
+
+/// Euclidean GCD over doubles with an absolute tolerance.
+double RealGcd(double a, double b, double tol) {
+  while (b > tol) {
+    const double r = std::fmod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+}  // namespace
+
+Result<BitsPerSecond> EffectiveConsumptionRate(
+    const std::vector<BitsPerSecond>& rates, RatePolicy policy) {
+  if (rates.empty()) return Status::InvalidArgument("no rates given");
+  for (double r : rates) {
+    if (r <= 0) return Status::InvalidArgument("rates must be positive");
+  }
+  if (policy == RatePolicy::kMaximalRate) {
+    return *std::max_element(rates.begin(), rates.end());
+  }
+  double g = rates.front();
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    g = RealGcd(std::max(g, rates[i]), std::min(g, rates[i]), 1.0);
+  }
+  return g;
+}
+
+Result<int> RequestSlots(BitsPerSecond rate, BitsPerSecond effective_cr,
+                         RatePolicy policy) {
+  if (rate <= 0 || effective_cr <= 0) {
+    return Status::InvalidArgument("rates must be positive");
+  }
+  if (policy == RatePolicy::kMaximalRate) {
+    if (rate > effective_cr * (1 + 1e-9)) {
+      return Status::InvalidArgument("stream rate exceeds the maximal CR");
+    }
+    return 1;
+  }
+  return static_cast<int>(std::ceil(rate / effective_cr - 1e-9));
+}
+
+}  // namespace vod::core

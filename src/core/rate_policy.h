@@ -1,0 +1,37 @@
+#ifndef VODB_CORE_RATE_POLICY_H_
+#define VODB_CORE_RATE_POLICY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace vod::core {
+
+/// Support for variable display rates (footnote 2 of the paper, after
+/// Chang & Garcia-Molina): the buffer-sizing math assumes one common
+/// consumption rate CR, and a mixed-rate catalogue is mapped onto it by
+/// one of two policies:
+///
+///   kMaximalRate — use the largest rate as CR. Every stream is treated as
+///     the fastest one; simple, wastes some buffer for slow streams.
+///   kUnitRate — use (a divisor of) the greatest common divisor of the
+///     rates as the unit CR and treat an r-rate stream as r/unit parallel
+///     unit-rate requests. Tighter, costs request-slot multiplicity.
+enum class RatePolicy { kMaximalRate, kUnitRate };
+
+/// The CR the sizing formulas should use for `rates` under `policy`.
+/// All rates must be positive. For kUnitRate the rates are reduced by an
+/// approximate real-valued GCD (tolerance 1 bit/s).
+Result<BitsPerSecond> EffectiveConsumptionRate(
+    const std::vector<BitsPerSecond>& rates, RatePolicy policy);
+
+/// How many unit-rate request slots a stream of rate `rate` occupies when
+/// the system runs at `unit_cr` (kUnitRate accounting); 1 under
+/// kMaximalRate. Rounds up: a 1.5-unit stream needs 2 slots.
+Result<int> RequestSlots(BitsPerSecond rate, BitsPerSecond effective_cr,
+                         RatePolicy policy);
+
+}  // namespace vod::core
+
+#endif  // VODB_CORE_RATE_POLICY_H_

@@ -1,0 +1,70 @@
+#include "core/recurrence.h"
+
+#include <string>
+#include <vector>
+
+namespace vod::core {
+namespace {
+
+Status ValidateNk(const AllocParams& params, int n, int k) {
+  VOD_RETURN_IF_ERROR(params.Validate());
+  if (n < 1 || n > params.n_max) {
+    return Status::OutOfRange("n=" + std::to_string(n) + " outside [1, N]");
+  }
+  if (k < 0) return Status::OutOfRange("k must be >= 0");
+  return Status::OK();
+}
+
+double FullyLoadedBufferSize(const AllocParams& p) {
+  const double n = static_cast<double>(p.n_max);
+  return p.dl * n * p.cr * p.tr / (p.tr - n * p.cr);
+}
+
+}  // namespace
+
+Result<Bits> BufferSizeByRecurrence(const AllocParams& params, int n, int k) {
+  VOD_RETURN_IF_ERROR(ValidateNk(params, n, k));
+  const double bs_full = FullyLoadedBufferSize(params);
+  if (n == params.n_max) return bs_full;
+
+  // Iterative unrolling of the recurrence from the boundary back to (n, k):
+  // first walk forward recording the counts, then fold backward.
+  // count = n + i*k + (i-1)*i*alpha/2 at step i; estimate k_i = k + i*alpha.
+  std::vector<double> counts;
+  long long count = n;
+  long long estimate = k;
+  while (count + estimate < params.n_max) {
+    count += estimate;
+    counts.push_back(static_cast<double>(count));
+    estimate += params.alpha;
+  }
+  // The final step's count meets or exceeds N; the derivation replaces it
+  // with N itself.
+  counts.push_back(static_cast<double>(params.n_max));
+
+  // Fold backward: BS = count_i * (BS_next/TR + DL) * CR, innermost value is
+  // BS(N).
+  double bs = bs_full;
+  for (auto it = counts.rbegin(); it != counts.rend(); ++it) {
+    bs = *it * (bs / params.tr + params.dl) * params.cr;
+  }
+  // Note: the innermost fold applies count = N around BS(N); by Eq. (11)
+  // N*(BS(N)/TR + DL)*CR == BS(N), so the extra application is exact.
+  return bs;
+}
+
+Result<int> RecurrenceDepth(const AllocParams& params, int n, int k) {
+  VOD_RETURN_IF_ERROR(ValidateNk(params, n, k));
+  if (n == params.n_max) return 0;
+  long long count = n;
+  long long estimate = k;
+  int depth = 1;
+  while (count + estimate < params.n_max) {
+    count += estimate;
+    estimate += params.alpha;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace vod::core

@@ -1,0 +1,35 @@
+#ifndef VODB_CORE_RECURRENCE_H_
+#define VODB_CORE_RECURRENCE_H_
+
+#include "common/status.h"
+#include "common/units.h"
+#include "core/params.h"
+
+namespace vod::core {
+
+/// Direct evaluation of the buffer-size recurrence (Eq. 10 of the paper)
+/// *without* the closed form. Used as an independent oracle to validate
+/// Theorem 1 and as a reference implementation for alternate α policies.
+///
+/// The recurrence (minimum sizes; Eq. 10 with equality):
+///
+///   BS_k(n) = (n+k) · ( BS_{k+α}(n+k) / TR + DL ) · CR       for n+k < N
+///   BS_k(n) = N · ( BS(N) / TR + DL ) · CR                   when n+k >= N
+///   BS(N)   = DL · N · CR · TR / (TR − N·CR)                 (Eq. 11)
+///
+/// where the "n+k >= N" step mirrors the derivation's substitution of N for
+/// the first expansion count that meets or exceeds N ((12) → (13)).
+/// Unrolling steps the in-service count through
+/// count_i = n + i·k + (i−1)·i·α/2 while the estimate grows k → k+α → ...
+///
+/// Requires 1 <= n <= N and 0 <= k. Values of k beyond N−n are legal (the
+/// recurrence terminates immediately at the boundary).
+Result<Bits> BufferSizeByRecurrence(const AllocParams& params, int n, int k);
+
+/// Number of expansion steps the recurrence performs before hitting the
+/// fully-loaded boundary; equals Theorem 1's `e` (validated by tests).
+Result<int> RecurrenceDepth(const AllocParams& params, int n, int k);
+
+}  // namespace vod::core
+
+#endif  // VODB_CORE_RECURRENCE_H_

@@ -1,0 +1,26 @@
+#include "core/static_alloc.h"
+
+namespace vod::core {
+
+Result<Bits> StaticBufferSize(const AllocParams& params, int n) {
+  VOD_RETURN_IF_ERROR(params.Validate());
+  if (n < 1 || n > params.n_max) {
+    return Status::OutOfRange("n=" + std::to_string(n) +
+                              " outside [1, N=" +
+                              std::to_string(params.n_max) + "]");
+  }
+  const double nd = static_cast<double>(n);
+  return nd * params.cr * params.dl * params.tr / (params.tr - nd * params.cr);
+}
+
+Result<Bits> StaticSchemeBufferSize(const AllocParams& params) {
+  return StaticBufferSize(params, params.n_max);
+}
+
+Result<Seconds> StaticServicePeriod(const AllocParams& params, int n) {
+  Result<Bits> bs = StaticBufferSize(params, n);
+  if (!bs.ok()) return bs.status();
+  return bs.value() / params.cr;
+}
+
+}  // namespace vod::core

@@ -1,0 +1,31 @@
+#ifndef VODB_CORE_STATIC_ALLOC_H_
+#define VODB_CORE_STATIC_ALLOC_H_
+
+#include "common/status.h"
+#include "common/units.h"
+#include "core/params.h"
+
+namespace vod::core {
+
+/// Eq. (5): the minimum buffer size that lets the server service n buffers
+/// of this size once per service period while each request consumes at CR —
+///
+///     BS(n) = n · CR · DL · TR / (TR − n · CR)
+///
+/// Defined for 1 <= n <= N (Eq. 1 guarantees the denominator is positive).
+/// This diverges as n → TR/CR, which is why the static scheme's fully-loaded
+/// size BS(N) is so large.
+Result<Bits> StaticBufferSize(const AllocParams& params, int n);
+
+/// The buffer size the *static allocation scheme* hands to every request
+/// regardless of load: BS(N) (Sec. 2.3).
+Result<Bits> StaticSchemeBufferSize(const AllocParams& params);
+
+/// The service period implied by Eq. (5) at load n: T(n) = BS(n) / CR,
+/// equivalently n · (BS(n)/TR + DL). Exposed because the memory theorems
+/// and the simulator both need it.
+Result<Seconds> StaticServicePeriod(const AllocParams& params, int n);
+
+}  // namespace vod::core
+
+#endif  // VODB_CORE_STATIC_ALLOC_H_

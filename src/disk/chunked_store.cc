@@ -1,0 +1,88 @@
+#include "disk/chunked_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace vod::disk {
+
+ChunkedVideoStore::ChunkedVideoStore(const DiskProfile& profile,
+                                     Bits max_buffer, Bits chunk_size)
+    : capacity_(profile.capacity),
+      bits_per_cylinder_(profile.BitsPerCylinder()),
+      cylinders_(static_cast<double>(profile.cylinders)),
+      max_buffer_(max_buffer), chunk_size_(chunk_size) {}
+
+Result<ChunkedVideoStore> ChunkedVideoStore::Create(const DiskProfile& profile,
+                                                    Bits max_buffer,
+                                                    Bits chunk_size) {
+  VOD_RETURN_IF_ERROR(profile.Validate());
+  if (max_buffer <= 0) {
+    return Status::InvalidArgument("max buffer must be positive");
+  }
+  if (chunk_size == 0) chunk_size = 2 * max_buffer;
+  if (chunk_size < 2 * max_buffer) {
+    // The paper's requirement: a chunk is "at least twice larger than the
+    // maximum buffer size" — anything smaller cannot guarantee that a
+    // buffer-sized read avoids a chunk boundary.
+    return Status::InvalidArgument("chunk must be >= 2x the maximum buffer");
+  }
+  if (chunk_size > profile.capacity) {
+    return Status::InvalidArgument("chunk larger than the disk");
+  }
+  return ChunkedVideoStore(profile, max_buffer, chunk_size);
+}
+
+Result<VideoId> ChunkedVideoStore::AddVideo(std::string title, Bits size) {
+  if (size <= 0) return Status::InvalidArgument("video size must be positive");
+  const Bits stride_bits = stride();
+  const long chunks =
+      static_cast<long>(std::ceil(size / stride_bits));
+  const Bits physical = static_cast<double>(chunks) * chunk_size_;
+  if (physical_used_ + physical > capacity_) {
+    return Status::CapacityExceeded("chunked store full for '" + title + "'");
+  }
+  StoredVideo v;
+  v.title = std::move(title);
+  v.logical_size = size;
+  v.physical_start = physical_used_;
+  v.chunk_count = chunks;
+  physical_used_ += physical;
+  videos_.push_back(std::move(v));
+  return static_cast<VideoId>(videos_.size() - 1);
+}
+
+bool ChunkedVideoStore::SingleChunk(Bits offset, Bits length) const {
+  if (length > max_buffer_) return false;
+  const Bits stride_bits = stride();
+  const double chunk_idx = std::floor(offset / stride_bits);
+  // The chunk holds [idx·stride, idx·stride + chunk): the read end must
+  // stay inside.
+  return offset + length <= chunk_idx * stride_bits + chunk_size_ + 1e-6;
+}
+
+Result<double> ChunkedVideoStore::ReadLocation(VideoId video, Bits offset,
+                                               Bits length) const {
+  if (video < 0 || video >= static_cast<VideoId>(videos_.size())) {
+    return Status::NotFound("video id " + std::to_string(video));
+  }
+  const StoredVideo& v = videos_[static_cast<std::size_t>(video)];
+  if (offset < 0 || offset + length > v.logical_size + 1e-6) {
+    return Status::OutOfRange("read outside video");
+  }
+  if (length > max_buffer_) {
+    return Status::InvalidArgument(
+        "read exceeds the maximum buffer the layout was built for");
+  }
+  const Bits stride_bits = stride();
+  const double chunk_idx = std::floor(offset / stride_bits);
+  if (chunk_idx >= static_cast<double>(v.chunk_count)) {
+    return Status::OutOfRange("offset beyond the video's last chunk");
+  }
+  const Bits in_chunk = offset - chunk_idx * stride_bits;
+  const Bits physical =
+      v.physical_start + chunk_idx * chunk_size_ + in_chunk;
+  return std::min(physical / bits_per_cylinder_, cylinders_ - 1.0);
+}
+
+}  // namespace vod::disk

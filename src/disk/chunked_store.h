@@ -1,0 +1,76 @@
+#ifndef VODB_DISK_CHUNKED_STORE_H_
+#define VODB_DISK_CHUNKED_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "disk/disk_profile.h"
+#include "disk/video_layout.h"
+
+namespace vod::disk {
+
+/// Chang & Garcia-Molina's *chunk* storage (footnote 3 of the paper): video
+/// data is laid out in physically contiguous chunks at least twice the
+/// maximum buffer size, with the tail of each chunk replicated at the head
+/// of the next, so that ANY read of up to one maximum buffer comes from a
+/// single chunk — hence a single disk latency per buffer service even
+/// though whole videos cannot be stored contiguously.
+///
+/// Layout math: with chunk size C and maximum buffer B (C >= 2·B), each
+/// chunk stores the logical range [i·(C−B), i·(C−B) + C): consecutive
+/// chunks overlap by B (the replicated region), the logical stride is C−B,
+/// and the physical space overhead factor is C / (C−B) <= 2.
+class ChunkedVideoStore {
+ public:
+  /// `max_buffer` is the largest read the server will issue (the static
+  /// scheme's BS(N)); `chunk_size` defaults to 2× that.
+  static Result<ChunkedVideoStore> Create(const DiskProfile& profile,
+                                          Bits max_buffer,
+                                          Bits chunk_size = 0);
+
+  /// Adds a video; returns its id. Physical space consumed is
+  /// ceil(size/stride) chunks.
+  Result<VideoId> AddVideo(std::string title, Bits size);
+
+  /// The cylinder at which a read of `length` bits starting at logical
+  /// `offset` of `video` begins. Fails unless the read fits one chunk
+  /// (length <= max_buffer) — the guarantee the chunk layout provides.
+  Result<double> ReadLocation(VideoId video, Bits offset, Bits length) const;
+
+  /// True if [offset, offset+length) lies within a single chunk.
+  bool SingleChunk(Bits offset, Bits length) const;
+
+  Bits chunk_size() const { return chunk_size_; }
+  Bits stride() const { return chunk_size_ - max_buffer_; }
+  /// Physical bits consumed per logical bit stored (replication overhead).
+  double SpaceOverhead() const {
+    return chunk_size_ / (chunk_size_ - max_buffer_);
+  }
+  Bits physical_used() const { return physical_used_; }
+  int video_count() const { return static_cast<int>(videos_.size()); }
+
+ private:
+  struct StoredVideo {
+    std::string title;
+    Bits logical_size = 0;
+    Bits physical_start = 0;  ///< First chunk's physical position.
+    long chunk_count = 0;
+  };
+
+  ChunkedVideoStore(const DiskProfile& profile, Bits max_buffer,
+                    Bits chunk_size);
+
+  Bits capacity_;
+  Bits bits_per_cylinder_;
+  double cylinders_;
+  Bits max_buffer_;
+  Bits chunk_size_;
+  Bits physical_used_ = 0;
+  std::vector<StoredVideo> videos_;
+};
+
+}  // namespace vod::disk
+
+#endif  // VODB_DISK_CHUNKED_STORE_H_

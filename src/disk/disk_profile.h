@@ -1,0 +1,52 @@
+#ifndef VODB_DISK_DISK_PROFILE_H_
+#define VODB_DISK_DISK_PROFILE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "disk/seek_model.h"
+
+namespace vod::disk {
+
+/// Static description of a disk drive: the parameters the paper's analysis
+/// depends on (Table 3) plus geometry needed by the simulator.
+struct DiskProfile {
+  std::string name;
+  Bits capacity = 0;
+  BitsPerSecond transfer_rate = 0;      ///< TR (the *minimum* sustained rate).
+  double rpm = 0;
+  Seconds max_rotational_latency = 0;   ///< θ = one full revolution.
+  long cylinders = 0;                   ///< Cyln.
+  SeekModel seek{0, 0, 0, 0, 1};
+
+  /// γ(Cyln): the worst read seek, full-stroke.
+  Seconds MaxSeekTime() const;
+
+  /// Worst per-buffer disk latency when consecutive services are at most
+  /// `span_cylinders` apart: γ(span) + θ. The three scheduling methods
+  /// instantiate span = Cyln (Round-Robin), Cyln/n (Sweep), Cyln/g (GSS).
+  Seconds WorstLatency(double span_cylinders) const;
+
+  /// Time to transfer `bits` at the sustained rate TR.
+  Seconds TransferTime(Bits bits) const;
+
+  /// Bits stored per cylinder (uniform-density approximation used to map
+  /// byte offsets to cylinders).
+  Bits BitsPerCylinder() const;
+
+  Status Validate() const;
+};
+
+/// The paper's evaluation disk (Table 3): Seagate Barracuda 9LP.
+/// Cyln = 6000 is derived from the seek model: γ(Cyln) = µ2 + ν2·Cyln
+/// must equal the published 13.4 ms max read seek.
+DiskProfile SeagateBarracuda9LP();
+
+/// A smaller synthetic profile (N = 19) used by tests to exercise the
+/// formulas away from the paper's constants.
+DiskProfile SmallTestDisk();
+
+}  // namespace vod::disk
+
+#endif  // VODB_DISK_DISK_PROFILE_H_

@@ -1,0 +1,42 @@
+#include "disk/seek_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vod::disk {
+
+SeekModel::SeekModel(Seconds mu1, Seconds nu1, Seconds mu2, Seconds nu2,
+                     double boundary_cylinders)
+    : mu1_(mu1), nu1_(nu1), mu2_(mu2), nu2_(nu2),
+      boundary_(boundary_cylinders) {}
+
+Seconds SeekModel::SeekTime(double cylinders) const {
+  VOD_DCHECK(cylinders >= 0.0);
+  if (cylinders <= 0.0) return 0.0;
+  if (cylinders < boundary_) return mu1_ + nu1_ * std::sqrt(cylinders);
+  return mu2_ + nu2_ * cylinders;
+}
+
+Status SeekModel::Validate() const {
+  if (mu1_ < 0.0 || nu1_ < 0.0 || mu2_ < 0.0 || nu2_ < 0.0) {
+    return Status::InvalidArgument("seek coefficients must be non-negative");
+  }
+  if (boundary_ <= 0.0) {
+    return Status::InvalidArgument("seek boundary must be positive");
+  }
+  // The curve need not be exactly continuous (the paper's published
+  // constants are slightly discontinuous at x=400), but it must not jump
+  // downward across the boundary by more than 5%: that would make longer
+  // seeks cheaper than shorter ones, breaking the concavity argument the
+  // Sweep worst case relies on.
+  const Seconds left = mu1_ + nu1_ * std::sqrt(boundary_);
+  const Seconds right = mu2_ + nu2_ * boundary_;
+  if (right < 0.95 * left) {
+    return Status::InvalidArgument(
+        "seek curve drops across the piecewise boundary");
+  }
+  return Status::OK();
+}
+
+}  // namespace vod::disk

@@ -1,0 +1,61 @@
+#include "disk/video_layout.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vod::disk {
+
+VideoLayout::VideoLayout(const DiskProfile& profile)
+    : capacity_(profile.capacity),
+      bits_per_cylinder_(profile.BitsPerCylinder()),
+      cylinders_(static_cast<double>(profile.cylinders)) {}
+
+Result<VideoId> VideoLayout::AddVideo(std::string title, Bits size) {
+  if (size <= 0) {
+    return Status::InvalidArgument("video size must be positive");
+  }
+  if (next_offset_ + size > capacity_) {
+    return Status::CapacityExceeded("disk full: cannot place video '" +
+                                    title + "'");
+  }
+  VideoInfo info;
+  info.id = static_cast<VideoId>(videos_.size());
+  info.title = std::move(title);
+  info.size = size;
+  info.start_offset = next_offset_;
+  next_offset_ += size;
+  videos_.push_back(info);
+  return info.id;
+}
+
+std::vector<VideoId> VideoLayout::FillWithVideos(int count, Bits each_size) {
+  std::vector<VideoId> ids;
+  for (int i = 0; i < count; ++i) {
+    Result<VideoId> r =
+        AddVideo("video-" + std::to_string(videos_.size()), each_size);
+    if (!r.ok()) break;
+    ids.push_back(r.value());
+  }
+  return ids;
+}
+
+Result<double> VideoLayout::CylinderOf(VideoId video, Bits offset) const {
+  if (video < 0 || video >= static_cast<VideoId>(videos_.size())) {
+    return Status::NotFound("video id " + std::to_string(video));
+  }
+  const VideoInfo& info = videos_[static_cast<std::size_t>(video)];
+  if (offset < 0 || offset > info.size) {
+    return Status::OutOfRange("offset outside video");
+  }
+  const double cyl = (info.start_offset + offset) / bits_per_cylinder_;
+  return std::min(cyl, cylinders_ - 1.0);
+}
+
+Result<VideoInfo> VideoLayout::Get(VideoId video) const {
+  if (video < 0 || video >= static_cast<VideoId>(videos_.size())) {
+    return Status::NotFound("video id " + std::to_string(video));
+  }
+  return videos_[static_cast<std::size_t>(video)];
+}
+
+}  // namespace vod::disk

@@ -1,0 +1,62 @@
+#ifndef VODB_DISK_VIDEO_LAYOUT_H_
+#define VODB_DISK_VIDEO_LAYOUT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "disk/disk_profile.h"
+
+namespace vod::disk {
+
+/// Identifier of a video within one disk's layout.
+using VideoId = int;
+
+/// Describes one stored video.
+struct VideoInfo {
+  VideoId id = -1;
+  std::string title;
+  Bits size = 0;        ///< Total encoded size.
+  Bits start_offset = 0;  ///< First bit's position on the disk.
+};
+
+/// Placement of videos on a single disk.
+///
+/// Following the paper (Sec. 2.1, footnote 3), each video is stored
+/// contiguously — Chang & Garcia-Molina's *chunk* mechanism guarantees that
+/// any one buffer's worth of data is readable from one contiguous region, so
+/// a single disk latency suffices per buffer service. We model that directly
+/// as contiguous placement; the layout maps (video, offset) to a cylinder so
+/// the simulator can compute true seek distances.
+class VideoLayout {
+ public:
+  explicit VideoLayout(const DiskProfile& profile);
+
+  /// Places a video of `size` bits at the next free position.
+  /// Fails with CapacityExceeded when the disk is full.
+  Result<VideoId> AddVideo(std::string title, Bits size);
+
+  /// Convenience: fills the disk with `count` equal-length videos (or fewer
+  /// if capacity runs out first); returns the ids created.
+  std::vector<VideoId> FillWithVideos(int count, Bits each_size);
+
+  /// The cylinder holding byte-offset `offset` of `video`.
+  Result<double> CylinderOf(VideoId video, Bits offset) const;
+
+  Result<VideoInfo> Get(VideoId video) const;
+  int video_count() const { return static_cast<int>(videos_.size()); }
+  Bits used() const { return next_offset_; }
+  Bits capacity() const { return capacity_; }
+
+ private:
+  Bits capacity_;
+  Bits bits_per_cylinder_;
+  double cylinders_;
+  Bits next_offset_ = 0;
+  std::vector<VideoInfo> videos_;
+};
+
+}  // namespace vod::disk
+
+#endif  // VODB_DISK_VIDEO_LAYOUT_H_

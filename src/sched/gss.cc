@@ -1,0 +1,123 @@
+#include "sched/gss.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vod::sched {
+
+GssScheduler::GssScheduler(int group_size) : group_size_(group_size) {
+  VOD_CHECK(group_size >= 1);
+}
+
+void GssScheduler::SortByCylinder(const SchedulerContext& ctx,
+                                  std::vector<RequestId>* ids) {
+  std::sort(ids->begin(), ids->end(), [&ctx](RequestId a, RequestId b) {
+    const double ca = ctx.CurrentCylinder(a);
+    const double cb = ctx.CurrentCylinder(b);
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+}
+
+void GssScheduler::Add(RequestId id, Seconds /*now*/) {
+  // BubbleUp at group granularity: join the first *upcoming* group with
+  // space so the newcomer is serviced right after the group currently in
+  // service. While the front group's turn is active (roster_active_), it is
+  // "in service" and skipped; otherwise the front group is itself upcoming.
+  const std::size_t first_upcoming = roster_active_ && !groups_.empty() ? 1 : 0;
+  for (std::size_t i = first_upcoming; i < groups_.size(); ++i) {
+    if (static_cast<int>(groups_[i].size()) < group_size_) {
+      groups_[i].push_back(id);
+      return;
+    }
+  }
+  // No upcoming group has space: open a new group positioned right after
+  // the front group (the one in service, or next to be served), so the
+  // newcomer is reached after at most one group turn — Eq. (4)'s 2g slots.
+  const std::size_t pos = groups_.empty() ? 0 : 1;
+  std::vector<RequestId> fresh{id};
+  groups_.insert(groups_.begin() + static_cast<std::ptrdiff_t>(pos),
+                 std::move(fresh));
+}
+
+void GssScheduler::Remove(RequestId id) {
+  bool removed_front_group = false;
+  for (auto git = groups_.begin(); git != groups_.end(); ++git) {
+    auto it = std::find(git->begin(), git->end(), id);
+    if (it == git->end()) continue;
+    git->erase(it);
+    if (git->empty()) {
+      removed_front_group = git == groups_.begin();
+      groups_.erase(git);
+    }
+    break;
+  }
+  auto rit = std::find(current_roster_.begin(), current_roster_.end(), id);
+  if (rit != current_roster_.end()) current_roster_.erase(rit);
+
+  if (roster_active_ && current_roster_.empty()) {
+    // The in-service group's turn ended with this departure. If the group
+    // still exists (wasn't erased as empty), rotate it to the back.
+    if (!removed_front_group && !groups_.empty()) {
+      groups_.push_back(groups_.front());
+      groups_.pop_front();
+    }
+    roster_active_ = false;
+  }
+}
+
+std::vector<RequestId> GssScheduler::ServiceSequence(
+    const SchedulerContext& ctx, Seconds /*now*/) {
+  if (!roster_active_) {
+    // Open the turn of the first group that has work; rotate duty-free
+    // groups to the back (each group inspected at most once).
+    for (std::size_t attempts = 0; attempts < groups_.size(); ++attempts) {
+      current_roster_.clear();
+      for (RequestId id : groups_.front()) {
+        if (ctx.NeedsService(id)) current_roster_.push_back(id);
+      }
+      if (!current_roster_.empty()) {
+        SortByCylinder(ctx, &current_roster_);
+        roster_active_ = true;
+        break;
+      }
+      groups_.push_back(groups_.front());
+      groups_.pop_front();
+    }
+  }
+  std::vector<RequestId> seq;
+  for (RequestId id : current_roster_) {
+    if (ctx.NeedsService(id)) seq.push_back(id);
+  }
+  // Flatten the remaining groups in cyclic order for deadline lookahead.
+  for (std::size_t i = 1; i < groups_.size(); ++i) {
+    std::vector<RequestId> grp;
+    for (RequestId id : groups_[i]) {
+      if (ctx.NeedsService(id)) grp.push_back(id);
+    }
+    SortByCylinder(ctx, &grp);
+    seq.insert(seq.end(), grp.begin(), grp.end());
+  }
+  return seq;
+}
+
+void GssScheduler::OnServiceComplete(RequestId id, Seconds /*now*/) {
+  auto it = std::find(current_roster_.begin(), current_roster_.end(), id);
+  if (it == current_roster_.end()) {
+    // Serviced out of turn (the no-displacement rule reached past the
+    // in-service group under overload). Its own group's turn still stands;
+    // nothing to rotate.
+    return;
+  }
+  current_roster_.erase(it);
+  if (current_roster_.empty()) {
+    // Group turn complete: rotate it to the back of the cycle.
+    VOD_CHECK(!groups_.empty());
+    groups_.push_back(groups_.front());
+    groups_.pop_front();
+    roster_active_ = false;
+  }
+}
+
+}  // namespace vod::sched

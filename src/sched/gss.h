@@ -1,0 +1,49 @@
+#ifndef VODB_SCHED_GSS_H_
+#define VODB_SCHED_GSS_H_
+
+#include <deque>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace vod::sched {
+
+/// Extended GSS* scheduling [6], [8]: requests are partitioned into groups
+/// of at most g buffers; groups are serviced cyclically with BubbleUp (a
+/// new request's group is serviced right after the current group — Eq. (4)'s
+/// 2g-slot worst initial latency), and buffers inside a group are serviced
+/// in disk-position order, as late as safely possible (Sweep*).
+///
+/// With g = 1 this degenerates to Round-Robin; with g >= n to Sweep*.
+class GssScheduler final : public BufferScheduler {
+ public:
+  /// `group_size` is g; the paper uses g = 8 (the memory-minimizing size
+  /// for the Barracuda 9LP configuration).
+  explicit GssScheduler(int group_size);
+
+  void Add(RequestId id, Seconds now) override;
+  void Remove(RequestId id) override;
+  bool AdmitsMidPeriod() const override { return true; }
+  std::vector<RequestId> ServiceSequence(const SchedulerContext& ctx,
+                                         Seconds now) override;
+  void OnServiceComplete(RequestId id, Seconds now) override;
+
+  int group_size() const { return group_size_; }
+  int group_count() const { return static_cast<int>(groups_.size()); }
+
+ private:
+  /// Sorts `ids` by cylinder (sweep order within a group).
+  static void SortByCylinder(const SchedulerContext& ctx,
+                             std::vector<RequestId>* ids);
+
+  int group_size_;
+  /// Groups in cyclic service order; front() is the group being serviced.
+  std::deque<std::vector<RequestId>> groups_;
+  /// Members of the front group not yet serviced this turn, sweep-ordered.
+  std::vector<RequestId> current_roster_;
+  bool roster_active_ = false;
+};
+
+}  // namespace vod::sched
+
+#endif  // VODB_SCHED_GSS_H_

@@ -1,0 +1,51 @@
+#include "sched/round_robin.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vod::sched {
+
+void RoundRobinScheduler::Add(RequestId id, Seconds /*now*/) {
+  fresh_.push_back(id);
+}
+
+void RoundRobinScheduler::Remove(RequestId id) {
+  auto fit = std::find(fresh_.begin(), fresh_.end(), id);
+  if (fit != fresh_.end()) {
+    fresh_.erase(fit);
+    return;
+  }
+  ring_.remove(id);
+}
+
+std::vector<RequestId> RoundRobinScheduler::ServiceSequence(
+    const SchedulerContext& ctx, Seconds /*now*/) {
+  std::vector<RequestId> seq;
+  seq.reserve(fresh_.size() + ring_.size());
+  for (RequestId id : fresh_) {
+    if (ctx.NeedsService(id)) seq.push_back(id);
+  }
+  for (RequestId id : ring_) {
+    if (ctx.NeedsService(id)) seq.push_back(id);
+  }
+  return seq;
+}
+
+void RoundRobinScheduler::OnServiceComplete(RequestId id, Seconds /*now*/) {
+  // A newcomer may be serviced out of FIFO order when the no-displacement
+  // rule skipped past it temporarily, so search the whole fresh queue.
+  auto fit = std::find(fresh_.begin(), fresh_.end(), id);
+  if (fit != fresh_.end()) {
+    fresh_.erase(fit);
+    ring_.push_back(id);
+    return;
+  }
+  // Rotate the serviced request to the back of the ring.
+  auto it = std::find(ring_.begin(), ring_.end(), id);
+  VOD_CHECK(it != ring_.end());
+  ring_.erase(it);
+  ring_.push_back(id);
+}
+
+}  // namespace vod::sched

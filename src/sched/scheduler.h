@@ -1,0 +1,110 @@
+#ifndef VODB_SCHED_SCHEDULER_H_
+#define VODB_SCHED_SCHEDULER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace vod::sched {
+
+/// Read-only view of request state the schedulers need. Implemented by the
+/// simulator (and by test fixtures).
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+
+  /// When the request's buffer runs empty (its service deadline). Requests
+  /// that have never been serviced return +infinity — an unfilled buffer
+  /// cannot underflow (urgency for them is about latency, handled by the
+  /// ordering, not about continuity). Fully delivered requests are never in
+  /// a service sequence.
+  virtual Seconds BufferDeadline(RequestId id) const = 0;
+
+  /// True until the request's first buffer fill completes.
+  virtual bool NeverServiced(RequestId id) const = 0;
+
+  /// Disk cylinder of the request's next read (Sweep ordering key).
+  virtual double CurrentCylinder(RequestId id) const = 0;
+
+  /// Whether the request still has undelivered data.
+  virtual bool NeedsService(RequestId id) const = 0;
+
+  /// Conservative (worst-case) duration of the request's next buffer fill.
+  virtual Seconds WorstServiceTime(RequestId id) const = 0;
+
+  /// Worst-case duration of one hypothetical newcomer service. The pacing
+  /// rule reserves this much slack ahead of every established deadline so a
+  /// BubbleUp insertion never displaces an urgent refill — the slack the
+  /// allocation schemes budget for (k·slots dynamically, N−n free slots
+  /// statically).
+  virtual Seconds NewcomerReserve() const = 0;
+};
+
+/// A scheduling decision: service `id`, starting no earlier than
+/// `not_before` (the just-in-time start that keeps every queued buffer fed
+/// while maximizing memory sharing — the Sweep*/GSS* "as late as possible"
+/// rule).
+struct ServiceDecision {
+  RequestId id = kInvalidRequestId;
+  Seconds not_before = 0;
+};
+
+/// Order-of-service policy (Sec. 2.2). The scheduler owns only ordering and
+/// admission *timing*; admission *control* (Assumption 1) belongs to the
+/// BufferAllocator, and service *timing* safety is computed from the
+/// sequence via LatestSafeStart below.
+class BufferScheduler {
+ public:
+  virtual ~BufferScheduler() = default;
+
+  /// Registers a newly admitted request (it has no buffer yet).
+  virtual void Add(RequestId id, Seconds now) = 0;
+
+  /// Removes a departed request.
+  virtual void Remove(RequestId id) = 0;
+
+  /// Whether a new request may enter service immediately (BubbleUp-style)
+  /// or must wait for the next period boundary (Sweep*).
+  virtual bool AdmitsMidPeriod() const = 0;
+
+  /// The upcoming service order over all registered requests that still
+  /// need service, starting with the request to service next. Pure —
+  /// repeated calls without intervening mutations return the same sequence.
+  virtual std::vector<RequestId> ServiceSequence(const SchedulerContext& ctx,
+                                                 Seconds now) = 0;
+
+  /// Notifies that `id`'s buffer fill finished at `now` (advances rings,
+  /// periods, and group cursors).
+  virtual void OnServiceComplete(RequestId id, Seconds now) = 0;
+
+  /// Picks the next service and its start time. std::nullopt when nothing
+  /// needs service. The policy combines three rules:
+  ///  - lazy: with only established buffers queued, start at the latest
+  ///    safe moment (maximizes memory sharing);
+  ///  - eager on newcomers: while any never-serviced request is queued,
+  ///    start immediately (BubbleUp's low-latency rule);
+  ///  - no displacement: if serving the leading newcomers first would make
+  ///    an established buffer miss its deadline (by worst-case accounting),
+  ///    skip past them and refill established buffers first. The dynamic
+  ///    scheme's k·slot reservation normally keeps this branch cold.
+  std::optional<ServiceDecision> Next(const SchedulerContext& ctx,
+                                      Seconds now);
+};
+
+/// The latest time the server may start working through `sequence` (in
+/// order, back to back, each service taking its worst-case time) such that
+/// every request is refilled no later than its deadline:
+///
+///   latest = min over positions j of ( deadline_j − Σ_{m<=j} svc_m )
+///
+/// Starting later than this risks a buffer underflow; starting earlier
+/// only reduces memory sharing. Returns +inf for an empty sequence.
+Seconds LatestSafeStart(const SchedulerContext& ctx,
+                        const std::vector<RequestId>& sequence);
+
+}  // namespace vod::sched
+
+#endif  // VODB_SCHED_SCHEDULER_H_

@@ -1,0 +1,51 @@
+#include "sched/sweep.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vod::sched {
+
+void SweepScheduler::Add(RequestId id, Seconds /*now*/) {
+  members_.insert(id);
+}
+
+void SweepScheduler::Remove(RequestId id) {
+  members_.erase(id);
+  auto it = std::find(roster_.begin(), roster_.end(), id);
+  if (it != roster_.end()) roster_.erase(it);
+}
+
+std::vector<RequestId> SweepScheduler::ServiceSequence(
+    const SchedulerContext& ctx, Seconds /*now*/) {
+  if (roster_.empty()) {
+    // Start a new period: everyone needing service, in cylinder order
+    // (one-directional scan; the data positions advance monotonically so
+    // consecutive periods naturally sweep forward).
+    for (RequestId id : members_) {
+      if (ctx.NeedsService(id)) roster_.push_back(id);
+    }
+    std::sort(roster_.begin(), roster_.end(),
+              [&ctx](RequestId a, RequestId b) {
+                const double ca = ctx.CurrentCylinder(a);
+                const double cb = ctx.CurrentCylinder(b);
+                if (ca != cb) return ca < cb;
+                return a < b;
+              });
+    if (!roster_.empty()) ++periods_started_;
+  }
+  std::vector<RequestId> seq;
+  seq.reserve(roster_.size());
+  for (RequestId id : roster_) {
+    if (ctx.NeedsService(id)) seq.push_back(id);
+  }
+  return seq;
+}
+
+void SweepScheduler::OnServiceComplete(RequestId id, Seconds /*now*/) {
+  auto it = std::find(roster_.begin(), roster_.end(), id);
+  VOD_CHECK(it != roster_.end());
+  roster_.erase(it);
+}
+
+}  // namespace vod::sched

@@ -1,0 +1,59 @@
+#include "sim/memory_broker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vod::sim {
+
+AnalyticMemoryBroker::AnalyticMemoryBroker(core::AllocParams params,
+                                           core::ScheduleMethod method,
+                                           bool use_dynamic, int g,
+                                           int disk_count, Bits capacity)
+    : params_(params), method_(method), use_dynamic_(use_dynamic), g_(g),
+      capacity_(capacity), n_(static_cast<std::size_t>(disk_count), 0),
+      k_(static_cast<std::size_t>(disk_count), 0) {
+  VOD_CHECK(disk_count >= 1);
+}
+
+Bits AnalyticMemoryBroker::PriceDisk(int n, int k) const {
+  if (n <= 0) return 0;
+  n = std::min(n, params_.n_max);
+  const Result<Bits> m =
+      use_dynamic_
+          ? core::DynamicMemoryRequirement(params_, method_, n, k, g_)
+          : core::StaticMemoryRequirement(params_, method_, n, g_);
+  // Parameters were validated at construction; a failure here is a bug.
+  VOD_CHECK(m.ok());
+  return m.value();
+}
+
+bool AnalyticMemoryBroker::CanAdmit(int disk, int new_n, int k) const {
+  const std::size_t d = static_cast<std::size_t>(disk);
+  VOD_CHECK(d < n_.size());
+  if (new_n > params_.n_max) return false;
+  Bits total = 0;
+  for (std::size_t i = 0; i < n_.size(); ++i) {
+    if (i == d) {
+      total += PriceDisk(new_n, k);
+    } else {
+      total += PriceDisk(n_[i], k_[i]);
+    }
+  }
+  return total <= capacity_;
+}
+
+void AnalyticMemoryBroker::OnState(int disk, int n, int k) {
+  const std::size_t d = static_cast<std::size_t>(disk);
+  VOD_CHECK(d < n_.size());
+  n_[d] = n;
+  k_[d] = k;
+}
+
+Bits AnalyticMemoryBroker::ReservedMemory() const {
+  Bits total = 0;
+  for (std::size_t i = 0; i < n_.size(); ++i) total += PriceDisk(n_[i], k_[i]);
+  return total;
+}
+
+}  // namespace vod::sim

@@ -1,0 +1,69 @@
+#ifndef VODB_SIM_MEMORY_BROKER_H_
+#define VODB_SIM_MEMORY_BROKER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "core/memory_model.h"
+#include "core/params.h"
+
+namespace vod::sim {
+
+/// Shared-memory admission authority for a (possibly multi-disk) server.
+/// Disks ask whether admitting one more request fits the memory budget;
+/// they report their (n, k) state after every change so the broker can
+/// price the whole system with the analytic models of Theorems 2–4.
+class MemoryBroker {
+ public:
+  virtual ~MemoryBroker() = default;
+
+  /// May `disk` grow to `new_n` in-service requests (its current estimate
+  /// being `k`)? Pure — does not change state.
+  virtual bool CanAdmit(int disk, int new_n, int k) const = 0;
+
+  /// Disk state update (after admission, departure, or allocation).
+  virtual void OnState(int disk, int n, int k) = 0;
+
+  /// Total memory the broker currently prices the system at.
+  virtual Bits ReservedMemory() const = 0;
+};
+
+/// No memory constraint (single-disk latency experiments).
+class UnlimitedMemoryBroker final : public MemoryBroker {
+ public:
+  bool CanAdmit(int, int, int) const override { return true; }
+  void OnState(int, int, int) override {}
+  Bits ReservedMemory() const override { return 0; }
+};
+
+/// Prices each disk with the scheme's analytic minimum memory requirement
+/// and admits while the total fits `capacity` (Figs. 13–14).
+class AnalyticMemoryBroker final : public MemoryBroker {
+ public:
+  /// `use_dynamic` selects Theorems 2–4 (dynamic scheme) vs the static
+  /// counterparts; `g` is the GSS group size.
+  AnalyticMemoryBroker(core::AllocParams params, core::ScheduleMethod method,
+                       bool use_dynamic, int g, int disk_count,
+                       Bits capacity);
+
+  bool CanAdmit(int disk, int new_n, int k) const override;
+  void OnState(int disk, int n, int k) override;
+  Bits ReservedMemory() const override;
+
+  /// Memory the model assigns to one disk at (n, k); 0 when n == 0.
+  Bits PriceDisk(int n, int k) const;
+
+ private:
+  core::AllocParams params_;
+  core::ScheduleMethod method_;
+  bool use_dynamic_;
+  int g_;
+  Bits capacity_;
+  std::vector<int> n_;
+  std::vector<int> k_;
+};
+
+}  // namespace vod::sim
+
+#endif  // VODB_SIM_MEMORY_BROKER_H_

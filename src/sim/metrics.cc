@@ -1,0 +1,24 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+namespace vod::sim {
+
+void SimMetrics::ResolveEstimation(
+    const std::vector<Seconds>& sorted_arrival_times) {
+  estimation_checks = 0;
+  estimation_successes = 0;
+  for (const AllocationRecord& rec : allocations) {
+    const auto lo = std::upper_bound(sorted_arrival_times.begin(),
+                                     sorted_arrival_times.end(), rec.time);
+    const auto hi =
+        std::upper_bound(sorted_arrival_times.begin(),
+                         sorted_arrival_times.end(),
+                         rec.time + rec.usage_period);
+    const long actual = static_cast<long>(hi - lo);
+    ++estimation_checks;
+    if (actual <= rec.k) ++estimation_successes;
+  }
+}
+
+}  // namespace vod::sim

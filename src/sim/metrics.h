@@ -1,0 +1,74 @@
+#ifndef VODB_SIM_METRICS_H_
+#define VODB_SIM_METRICS_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace vod::sim {
+
+/// One buffer allocation the simulator performed (for Figs. 7–8 and the
+/// assumption-invariant tests).
+struct AllocationRecord {
+  Seconds time = 0;
+  RequestId request = 0;
+  int n = 0;
+  int k = 0;
+  Bits buffer_size = 0;
+  Seconds usage_period = 0;
+};
+
+/// Everything a simulation run measures. Collected per disk; MultiDisk runs
+/// merge them.
+struct SimMetrics {
+  // --- Requests ---
+  long arrivals = 0;
+  long admitted = 0;
+  long rejected = 0;          ///< Turned away (n == N or memory).
+  long deferred_admissions = 0;  ///< Assumption-1 deferrals that later got in.
+  long completed = 0;
+  long cancelled = 0;  ///< VCR cancellations (Sec. 1: reposition = cancel+new).
+
+  /// Initial latency (arrival -> first data in memory), per admitted
+  /// request, bucketed by the number of requests in service at the moment
+  /// the request was admitted (Fig. 11's x axis). Index 0 unused.
+  std::vector<RunningStats> initial_latency_by_n;
+  RunningStats initial_latency;  ///< All admitted requests together.
+
+  // --- Allocations / estimation (Figs. 7-8) ---
+  std::vector<AllocationRecord> allocations;
+  long estimation_checks = 0;
+  long estimation_successes = 0;
+  RunningStats estimated_k;
+
+  // --- Continuity ---
+  long starvation_events = 0;  ///< Buffer underflows (must be 0 normally).
+
+  // --- Resource usage over time ---
+  StepTimeSeries concurrency;
+  StepTimeSeries memory_usage;      ///< Actual buffered bits, sampled.
+  StepTimeSeries memory_reserved;   ///< Analytic reservation (broker view).
+  int peak_concurrency = 0;
+
+  // --- Disk accounting ---
+  Seconds disk_busy_time = 0;
+  long services = 0;
+
+  /// Resolves estimation success for all allocation records given the full
+  /// sorted arrival-time log: success iff the number of arrivals in
+  /// (t, t + usage_period] is <= k. Call once after the run.
+  void ResolveEstimation(const std::vector<Seconds>& sorted_arrival_times);
+
+  double SuccessProbability() const {
+    return estimation_checks > 0
+               ? static_cast<double>(estimation_successes) /
+                     static_cast<double>(estimation_checks)
+               : 1.0;
+  }
+};
+
+}  // namespace vod::sim
+
+#endif  // VODB_SIM_METRICS_H_

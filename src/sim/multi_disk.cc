@@ -1,0 +1,121 @@
+#include "sim/multi_disk.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace vod::sim {
+
+MultiDiskSimulator::MultiDiskSimulator(
+    std::unique_ptr<AnalyticMemoryBroker> broker,
+    std::vector<std::unique_ptr<VodSimulator>> sims)
+    : broker_(std::move(broker)), sims_(std::move(sims)) {}
+
+Result<std::unique_ptr<MultiDiskSimulator>> MultiDiskSimulator::Create(
+    const SimConfig& base, int disk_count, Bits memory_capacity) {
+  if (disk_count < 1) return Status::InvalidArgument("need >= 1 disk");
+  if (memory_capacity <= 0) {
+    return Status::InvalidArgument("memory capacity must be > 0");
+  }
+  VOD_RETURN_IF_ERROR(base.Validate());
+
+  const int n_for_dl =
+      base.method == core::ScheduleMethod::kGss
+          ? base.gss_group_size
+          : core::MaxConcurrentRequests(base.profile.transfer_rate,
+                                        base.consumption_rate);
+  Result<core::AllocParams> params =
+      core::MakeAllocParams(base.profile, base.consumption_rate, base.method,
+                            n_for_dl, base.alpha);
+  if (!params.ok()) return params.status();
+
+  auto broker = std::make_unique<AnalyticMemoryBroker>(
+      *params, base.method, base.scheme == AllocScheme::kDynamic,
+      base.gss_group_size, disk_count, memory_capacity);
+
+  std::vector<std::unique_ptr<VodSimulator>> sims;
+  sims.reserve(static_cast<std::size_t>(disk_count));
+  for (int d = 0; d < disk_count; ++d) {
+    SimConfig cfg = base;
+    cfg.disk_id = d;
+    cfg.seed = base.seed * 1000003ULL + static_cast<std::uint64_t>(d);
+    Result<std::unique_ptr<VodSimulator>> sim =
+        VodSimulator::Create(cfg, broker.get());
+    if (!sim.ok()) return sim.status();
+    sims.push_back(std::move(sim.value()));
+  }
+  return std::unique_ptr<MultiDiskSimulator>(
+      new MultiDiskSimulator(std::move(broker), std::move(sims)));
+}
+
+Status MultiDiskSimulator::AddArrivals(
+    const std::vector<ArrivalEvent>& arrivals) {
+  std::vector<std::vector<ArrivalEvent>> per =
+      SplitByDisk(arrivals, disk_count());
+  for (int d = 0; d < disk_count(); ++d) {
+    VOD_RETURN_IF_ERROR(
+        sims_[static_cast<std::size_t>(d)]->AddArrivals(
+            per[static_cast<std::size_t>(d)]));
+  }
+  return Status::OK();
+}
+
+void MultiDiskSimulator::RunToCompletion() {
+  for (;;) {
+    // Globally earliest next event across disks.
+    Seconds best = std::numeric_limits<double>::infinity();
+    VodSimulator* who = nullptr;
+    for (auto& s : sims_) {
+      const Seconds t = s->NextEventTime();
+      if (t < best) {
+        best = t;
+        who = s.get();
+      }
+    }
+    if (who == nullptr) break;
+    who->Step();
+  }
+}
+
+void MultiDiskSimulator::Finalize() {
+  for (auto& s : sims_) s->Finalize();
+}
+
+StepTimeSeries MultiDiskSimulator::TotalConcurrency() const {
+  std::vector<const StepTimeSeries*> parts;
+  parts.reserve(sims_.size());
+  for (const auto& s : sims_) parts.push_back(&s->metrics().concurrency);
+  return MergeStepSeriesSum(parts);
+}
+
+int MultiDiskSimulator::PeakConcurrency() const {
+  return static_cast<int>(TotalConcurrency().max_value());
+}
+
+long MultiDiskSimulator::TotalAdmitted() const {
+  long total = 0;
+  for (const auto& s : sims_) total += s->metrics().admitted;
+  return total;
+}
+
+long MultiDiskSimulator::TotalRejected() const {
+  long total = 0;
+  for (const auto& s : sims_) total += s->metrics().rejected;
+  return total;
+}
+
+long MultiDiskSimulator::TotalArrivals() const {
+  long total = 0;
+  for (const auto& s : sims_) total += s->metrics().arrivals;
+  return total;
+}
+
+long MultiDiskSimulator::TotalStarvations() const {
+  long total = 0;
+  for (const auto& s : sims_) total += s->metrics().starvation_events;
+  return total;
+}
+
+}  // namespace vod::sim

@@ -1,0 +1,58 @@
+#ifndef VODB_SIM_MULTI_DISK_H_
+#define VODB_SIM_MULTI_DISK_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/memory_broker.h"
+#include "sim/vod_simulator.h"
+#include "sim/workload.h"
+
+namespace vod::sim {
+
+/// A VOD server with several disks sharing one memory budget (the setting
+/// of Figs. 13–14: 10 Barracuda disks, disk loads skewed by Zipf(θ)).
+/// Each disk runs its own VodSimulator; a shared AnalyticMemoryBroker
+/// prices every disk with the scheme's memory model and gates admission.
+/// The event loops interleave on a single global clock.
+class MultiDiskSimulator {
+ public:
+  /// `base` configures each disk (disk_id/seed are derived per disk).
+  /// `memory_capacity` is the shared budget in bits.
+  static Result<std::unique_ptr<MultiDiskSimulator>> Create(
+      const SimConfig& base, int disk_count, Bits memory_capacity);
+
+  /// Distributes arrivals to disks via their `disk` field.
+  Status AddArrivals(const std::vector<ArrivalEvent>& arrivals);
+
+  /// Runs all disks to completion on the shared clock.
+  void RunToCompletion();
+
+  void Finalize();
+
+  int disk_count() const { return static_cast<int>(sims_.size()); }
+  const VodSimulator& sim(int disk) const { return *sims_[size_t(disk)]; }
+  const MemoryBroker& broker() const { return *broker_; }
+
+  /// System-wide concurrency over time (sum across disks).
+  StepTimeSeries TotalConcurrency() const;
+  /// Peak of the summed concurrency.
+  int PeakConcurrency() const;
+  long TotalAdmitted() const;
+  long TotalRejected() const;
+  long TotalArrivals() const;
+  long TotalStarvations() const;
+
+ private:
+  MultiDiskSimulator(std::unique_ptr<AnalyticMemoryBroker> broker,
+                     std::vector<std::unique_ptr<VodSimulator>> sims);
+
+  std::unique_ptr<AnalyticMemoryBroker> broker_;
+  std::vector<std::unique_ptr<VodSimulator>> sims_;
+};
+
+}  // namespace vod::sim
+
+#endif  // VODB_SIM_MULTI_DISK_H_

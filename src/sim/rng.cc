@@ -1,0 +1,48 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vod::sim {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+std::uint32_t Rng::NextU32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::NextDouble() {
+  // 32 random bits scaled to [0,1); adequate resolution for simulation.
+  return NextU32() * (1.0 / 4294967296.0);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Exponential(double rate) {
+  VOD_DCHECK(rate > 0.0);
+  double u = NextDouble();
+  if (u <= 0.0) u = 1e-12;  // Avoid log(0).
+  return -std::log(u) / rate;
+}
+
+std::uint32_t Rng::NextBelow(std::uint32_t n) {
+  VOD_DCHECK(n > 0);
+  // Lemire's rejection-free-ish bounded sampling (bias negligible here).
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(NextU32()) * n) >> 32);
+}
+
+}  // namespace vod::sim

@@ -1,0 +1,36 @@
+#ifndef VODB_SIM_RNG_H_
+#define VODB_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace vod::sim {
+
+/// PCG32 (O'Neill): small, fast, reproducible across platforms — simulation
+/// results must not depend on the standard library's distribution
+/// implementations, so sampling is done in-house.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 1);
+
+  std::uint32_t NextU32();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Exponential with the given rate (mean 1/rate); rate must be > 0.
+  double Exponential(double rate);
+
+  /// Uniform integer in [0, n).
+  std::uint32_t NextBelow(std::uint32_t n);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace vod::sim
+
+#endif  // VODB_SIM_RNG_H_

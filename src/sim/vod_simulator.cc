@@ -1,0 +1,640 @@
+#include "sim/vod_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "sched/gss.h"
+#include "sched/round_robin.h"
+#include "sched/sweep.h"
+
+namespace vod::sim {
+
+namespace {
+constexpr Seconds kEps = 1e-9;
+constexpr Seconds kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::string_view AllocSchemeName(AllocScheme s) {
+  return s == AllocScheme::kStatic ? "static" : "dynamic";
+}
+
+Status SimConfig::Validate() const {
+  VOD_RETURN_IF_ERROR(profile.Validate());
+  if (consumption_rate <= 0) {
+    return Status::InvalidArgument("consumption rate must be > 0");
+  }
+  if (gss_group_size < 1) {
+    return Status::InvalidArgument("GSS group size must be >= 1");
+  }
+  if (alpha < 1) return Status::InvalidArgument("alpha must be >= 1");
+  if (t_log <= 0) return Status::InvalidArgument("T_log must be > 0");
+  if (video_count < 1) return Status::InvalidArgument("need >= 1 video");
+  if (video_length <= 0) {
+    return Status::InvalidArgument("video length must be > 0");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<VodSimulator>> VodSimulator::Create(
+    const SimConfig& config, MemoryBroker* broker) {
+  VOD_RETURN_IF_ERROR(config.Validate());
+
+  // The allocator's AllocParams use the method's conservative DL: the
+  // fully-loaded γ(Cyln/N)+θ for Sweep*, γ(Cyln/g)+θ for GSS*, and the full
+  // stroke for Round-Robin. The dynamic Sweep* table additionally varies DL
+  // with n (Table 2).
+  const int n_for_dl =
+      config.method == core::ScheduleMethod::kGss
+          ? config.gss_group_size
+          : core::MaxConcurrentRequests(config.profile.transfer_rate,
+                                        config.consumption_rate);
+  Result<core::AllocParams> params =
+      core::MakeAllocParams(config.profile, config.consumption_rate,
+                            config.method, n_for_dl, config.alpha);
+  if (!params.ok()) return params.status();
+
+  disk::VideoLayout layout(config.profile);
+  const Bits video_size = config.video_length * config.consumption_rate;
+  const std::vector<disk::VideoId> ids =
+      layout.FillWithVideos(config.video_count, video_size);
+  if (static_cast<int>(ids.size()) < config.video_count) {
+    return Status::CapacityExceeded("videos do not fit on the disk");
+  }
+
+  std::unique_ptr<core::BufferAllocator> allocator;
+  if (config.scheme == AllocScheme::kStatic) {
+    Result<std::unique_ptr<core::StaticBufferAllocator>> a =
+        core::StaticBufferAllocator::Create(*params);
+    if (!a.ok()) return a.status();
+    allocator = std::move(a.value());
+  } else {
+    core::BufferSizeTable::DlForN dl_for_n = nullptr;
+    if (config.method == core::ScheduleMethod::kSweep) {
+      const disk::DiskProfile profile = config.profile;
+      dl_for_n = [profile](int n) {
+        return core::WorstDiskLatency(profile, core::ScheduleMethod::kSweep,
+                                      n);
+      };
+    }
+    Result<std::unique_ptr<core::DynamicBufferAllocator>> a =
+        core::DynamicBufferAllocator::Create(*params, config.t_log, dl_for_n);
+    if (!a.ok()) return a.status();
+    allocator = std::move(a.value());
+  }
+
+  std::unique_ptr<sched::BufferScheduler> scheduler;
+  switch (config.method) {
+    case core::ScheduleMethod::kRoundRobin:
+      scheduler = std::make_unique<sched::RoundRobinScheduler>();
+      break;
+    case core::ScheduleMethod::kSweep:
+      scheduler = std::make_unique<sched::SweepScheduler>();
+      break;
+    case core::ScheduleMethod::kGss:
+      scheduler = std::make_unique<sched::GssScheduler>(config.gss_group_size);
+      break;
+  }
+
+  if (config.disable_admission_control) {
+    auto* dyn = dynamic_cast<core::DynamicBufferAllocator*>(allocator.get());
+    if (dyn != nullptr) dyn->set_enforce_assumptions(false);
+  }
+
+  auto sim = std::unique_ptr<VodSimulator>(
+      new VodSimulator(config, *params, std::move(layout),
+                       std::move(allocator), std::move(scheduler), broker));
+  return sim;
+}
+
+VodSimulator::VodSimulator(const SimConfig& config,
+                           core::AllocParams alloc_params,
+                           disk::VideoLayout layout,
+                           std::unique_ptr<core::BufferAllocator> allocator,
+                           std::unique_ptr<sched::BufferScheduler> scheduler,
+                           MemoryBroker* broker)
+    : config_(config), alloc_params_(alloc_params), layout_(std::move(layout)),
+      disk_(config.profile), allocator_(std::move(allocator)),
+      scheduler_(std::move(scheduler)), broker_(broker),
+      rng_(config.seed, /*stream=*/0x9e3779b97f4a7c15ULL ^
+                            static_cast<std::uint64_t>(config.disk_id)) {
+  metrics_.initial_latency_by_n.resize(
+      static_cast<std::size_t>(alloc_params_.n_max) + 1);
+}
+
+Status VodSimulator::AddArrivals(const std::vector<ArrivalEvent>& arrivals) {
+  for (const ArrivalEvent& ev : arrivals) {
+    if (ev.time < now_) {
+      return Status::InvalidArgument("arrival in the past");
+    }
+    if (ev.video < 0 || ev.video >= layout_.video_count()) {
+      return Status::InvalidArgument("arrival references unknown video");
+    }
+    arrivals_.push_back(ev);
+    Push(ev.time, EventKind::kArrival, kInvalidRequestId,
+         arrivals_.size() - 1);
+  }
+  return Status::OK();
+}
+
+void VodSimulator::Push(Seconds time, EventKind kind, RequestId id,
+                        std::size_t arrival_index) {
+  Event ev;
+  ev.time = time;
+  ev.seq = next_seq_++;
+  ev.kind = kind;
+  ev.request = id;
+  ev.arrival_index = arrival_index;
+  events_.push(ev);
+}
+
+Seconds VodSimulator::NextEventTime() const {
+  return events_.empty() ? kInf : events_.top().time;
+}
+
+bool VodSimulator::Step() {
+  if (events_.empty()) return false;
+  const Event ev = events_.top();
+  events_.pop();
+  VOD_DCHECK(ev.time >= now_ - kEps);
+  now_ = std::max(now_, ev.time);
+  switch (ev.kind) {
+    case EventKind::kArrival:
+      HandleArrival(ev);
+      break;
+    case EventKind::kServiceComplete:
+      HandleServiceComplete(ev);
+      break;
+    case EventKind::kDeparture:
+      HandleDeparture(ev);
+      break;
+    case EventKind::kWakeup:
+      if (wakeup_pending_ && std::abs(ev.time - scheduled_wakeup_) < kEps) {
+        wakeup_pending_ = false;
+      }
+      MaybeScheduleService();
+      break;
+  }
+  return true;
+}
+
+void VodSimulator::RunUntil(Seconds t) {
+  while (!events_.empty() && events_.top().time <= t) Step();
+}
+
+void VodSimulator::RunToCompletion() {
+  while (Step()) {
+  }
+}
+
+void VodSimulator::Finalize() {
+  std::sort(arrival_times_.begin(), arrival_times_.end());
+  metrics_.ResolveEstimation(arrival_times_);
+}
+
+// ---------------------------------------------------------------------------
+// Consumption bookkeeping
+// ---------------------------------------------------------------------------
+
+Bits VodSimulator::ConsumedAt(const Req& r, Seconds t) const {
+  if (!r.playing) return 0;
+  const Bits grown =
+      r.consumed + alloc_params_.cr * std::max(0.0, t - r.consumed_at);
+  // Consumption can neither exceed what has been delivered (underflow
+  // stalls playback) nor the total the user will watch.
+  return std::min({grown, r.delivered, r.total_bits});
+}
+
+void VodSimulator::SyncConsumption(Req& r, Seconds t) {
+  r.consumed = ConsumedAt(r, t);
+  r.consumed_at = t;
+}
+
+Bits VodSimulator::BufferLevelAt(const Req& r, Seconds t) const {
+  return r.delivered - ConsumedAt(r, t);
+}
+
+Bits VodSimulator::TotalBufferedBits(Seconds t) const {
+  Bits total = 0;
+  for (const auto& [id, r] : requests_) {
+    if (r.admitted) total += BufferLevelAt(r, t);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerContext
+// ---------------------------------------------------------------------------
+
+const VodSimulator::Req& VodSimulator::GetReq(RequestId id) const {
+  auto it = requests_.find(id);
+  VOD_CHECK(it != requests_.end());
+  return it->second;
+}
+
+VodSimulator::Req& VodSimulator::GetReq(RequestId id) {
+  auto it = requests_.find(id);
+  VOD_CHECK(it != requests_.end());
+  return it->second;
+}
+
+Seconds VodSimulator::BufferDeadline(RequestId id) const {
+  const Req& r = GetReq(id);
+  // An unfilled buffer has no continuity deadline; a fully delivered
+  // request never underflows either.
+  if (!r.playing || r.delivered >= r.total_bits) return kInf;
+  const Bits level = BufferLevelAt(r, now_);
+  return now_ + level / alloc_params_.cr;
+}
+
+bool VodSimulator::NeverServiced(RequestId id) const {
+  return !GetReq(id).playing;
+}
+
+double VodSimulator::CurrentCylinder(RequestId id) const {
+  const Req& r = GetReq(id);
+  Result<double> cyl =
+      layout_.CylinderOf(r.video, r.start_offset + r.delivered);
+  VOD_CHECK(cyl.ok());
+  return cyl.value();
+}
+
+bool VodSimulator::NeedsService(RequestId id) const {
+  const Req& r = GetReq(id);
+  return r.admitted && r.delivered < r.total_bits;
+}
+
+core::AllocationDecision VodSimulator::CachedPreview() const {
+  if (preview_cache_time_ != now_ ||
+      preview_cache_version_ != state_version_) {
+    Result<core::AllocationDecision> d = allocator_->Preview(now_);
+    VOD_CHECK(d.ok());
+    preview_cache_ = d.value();
+    preview_cache_time_ = now_;
+    preview_cache_version_ = state_version_;
+  }
+  return preview_cache_;
+}
+
+Seconds VodSimulator::WorstServiceTime(RequestId id) const {
+  const Req& r = GetReq(id);
+  const core::AllocationDecision d = CachedPreview();
+  const Bits bits = std::min(d.buffer_size, r.total_bits - r.delivered);
+  // Lookahead DL uses the *current* load for Sweep (γ(Cyln/n)), the group
+  // size for GSS, and the full stroke for Round-Robin.
+  const int n_or_g = config_.method == core::ScheduleMethod::kGss
+                         ? config_.gss_group_size
+                         : std::max(1, allocator_->active_count());
+  const Seconds dl =
+      core::WorstDiskLatency(config_.profile, config_.method, n_or_g);
+  return dl + bits / alloc_params_.tr;
+}
+
+Seconds VodSimulator::NewcomerReserve() const {
+  const core::AllocationDecision d = CachedPreview();
+  const int n_or_g = config_.method == core::ScheduleMethod::kGss
+                         ? config_.gss_group_size
+                         : std::max(1, allocator_->active_count());
+  const Seconds dl =
+      core::WorstDiskLatency(config_.profile, config_.method, n_or_g);
+  const Seconds slot = dl + d.buffer_size / alloc_params_.tr;
+  // The scheme's standing insertion budget, in whole service slots. The
+  // dynamic scheme sized every buffer for k_c additional services per usage
+  // period (that is what k means); refilling k_c slots early keeps exactly
+  // that margin in every buffer, so admitted newcomers displace no one.
+  // The static scheme's structural slack is the N−n free slots; a small cap
+  // keeps its memory behaviour near the analytic model while covering the
+  // bursts a Poisson arrival stream realistically delivers per period.
+  int slots = std::min(d.k, alloc_params_.n_max - allocator_->active_count());
+  if (config_.scheme == AllocScheme::kStatic) {
+    slots = std::min(alloc_params_.n_max - allocator_->active_count(), 4);
+  }
+  return std::max(1, slots) * slot;
+}
+
+// ---------------------------------------------------------------------------
+// Event handlers
+// ---------------------------------------------------------------------------
+
+void VodSimulator::RecordConcurrency() {
+  // Concurrency counts viewing users (n): admitted requests that have not
+  // yet departed, including ones draining their final buffer.
+  const int n = allocator_->active_count();
+  metrics_.concurrency.Record(now_, n);
+  metrics_.peak_concurrency = std::max(metrics_.peak_concurrency, n);
+}
+
+void VodSimulator::ReportBrokerState(int k_estimate) {
+  last_k_estimate_ = k_estimate;
+  if (broker_ != nullptr) {
+    broker_->OnState(config_.disk_id, allocator_->active_count(), k_estimate);
+    metrics_.memory_reserved.Record(now_, broker_->ReservedMemory());
+  }
+}
+
+void VodSimulator::HandleArrival(const Event& ev) {
+  ProcessArrival(arrivals_[ev.arrival_index]);
+}
+
+Result<RequestId> VodSimulator::SubmitNow(const ArrivalEvent& arrival) {
+  if (arrival.time < now_ - kEps) {
+    return Status::InvalidArgument("arrival in the past");
+  }
+  if (arrival.video < 0 || arrival.video >= layout_.video_count()) {
+    return Status::InvalidArgument("arrival references unknown video");
+  }
+  now_ = std::max(now_, arrival.time);
+  return ProcessArrival(arrival);
+}
+
+Result<RequestId> VodSimulator::ProcessArrival(const ArrivalEvent& a) {
+  ++metrics_.arrivals;
+  ++state_version_;
+  arrival_times_.push_back(now_);
+  allocator_->NoteArrival(now_);
+
+  Req r;
+  r.id = next_request_id_++;
+  r.video = a.video;
+  r.arrival = now_;
+  r.viewing = a.viewing_time;
+  Result<disk::VideoInfo> info = layout_.Get(a.video);
+  VOD_CHECK(info.ok());
+  r.start_offset =
+      std::clamp(a.start_position * alloc_params_.cr, 0.0, info->size);
+  r.total_bits = std::min(a.viewing_time * alloc_params_.cr,
+                          info->size - r.start_offset);
+  if (r.total_bits <= 0) {
+    ++metrics_.rejected;
+    return Status::InvalidArgument("nothing to play at that position");
+  }
+
+  // Immediate rejections (Sec. 5.1): a fully loaded disk turns the request
+  // away; so does an exhausted memory budget. Assumption-1 conflicts defer
+  // instead (handled in TryAdmitPending).
+  if (allocator_->active_count() >= alloc_params_.n_max) {
+    ++metrics_.rejected;
+    return Status::CapacityExceeded("fully loaded (n == N)");
+  }
+  if (broker_ != nullptr &&
+      !broker_->CanAdmit(config_.disk_id, allocator_->active_count() + 1,
+                         last_k_estimate_)) {
+    ++metrics_.rejected;
+    return Status::CapacityExceeded("memory budget exhausted");
+  }
+
+  const RequestId id = r.id;
+  requests_[id] = r;
+  pending_.push_back(id);
+  TryAdmitPending();
+  MaybeScheduleService();
+  return id;
+}
+
+Status VodSimulator::CancelRequest(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("no such request");
+  ++state_version_;
+  // Still queued for admission?
+  auto pit = std::find(pending_.begin(), pending_.end(), id);
+  if (pit != pending_.end()) pending_.erase(pit);
+  if (it->second.admitted) {
+    allocator_->Remove(id);
+    scheduler_->Remove(id);
+  }
+  // A cancellation mid-service lets the read finish; HandleServiceComplete
+  // tolerates the missing request.
+  requests_.erase(it);
+  ++metrics_.cancelled;
+  RecordConcurrency();
+  ReportBrokerState(last_k_estimate_);
+  MaybeScheduleService();
+  return Status::OK();
+}
+
+void VodSimulator::TryAdmitPending() {
+  while (!pending_.empty()) {
+    // Sweep* never admits mid-period: the newcomer would perturb the sweep
+    // order. Every other method admits whenever the allocator agrees.
+    if (!scheduler_->AdmitsMidPeriod()) {
+      auto* sweep = dynamic_cast<sched::SweepScheduler*>(scheduler_.get());
+      if (sweep != nullptr && !sweep->AtPeriodBoundary()) break;
+    }
+    const RequestId id = pending_.front();
+    Req& r = GetReq(id);
+
+    if (allocator_->active_count() >= alloc_params_.n_max) {
+      // The disk filled up while the request waited: reject it now.
+      pending_.pop_front();
+      requests_.erase(id);
+      ++metrics_.rejected;
+      continue;
+    }
+    if (broker_ != nullptr &&
+        !broker_->CanAdmit(config_.disk_id, allocator_->active_count() + 1,
+                           last_k_estimate_)) {
+      pending_.pop_front();
+      requests_.erase(id);
+      ++metrics_.rejected;
+      continue;
+    }
+
+    const Status st = allocator_->Admit(id, now_);
+    if (st.code() == StatusCode::kDeferred) {
+      if (!r.was_deferred) {
+        r.was_deferred = true;
+        ++metrics_.deferred_admissions;
+      }
+      break;  // FIFO: later arrivals wait behind the deferred one.
+    }
+    if (!st.ok()) {
+      pending_.pop_front();
+      requests_.erase(id);
+      ++metrics_.rejected;
+      continue;
+    }
+
+    pending_.pop_front();
+    ++state_version_;
+    r.admitted = true;
+    r.n_at_admit = allocator_->active_count();
+    ++metrics_.admitted;
+    scheduler_->Add(id, now_);
+    RecordConcurrency();
+    ReportBrokerState(last_k_estimate_);
+  }
+}
+
+void VodSimulator::MaybeScheduleService() {
+  if (disk_busy_) return;
+  TryAdmitPending();
+  std::optional<sched::ServiceDecision> dec = scheduler_->Next(*this, now_);
+  if (!dec.has_value()) return;
+  if (dec->not_before <= now_ + kEps) {
+    BeginService(dec->id);
+    return;
+  }
+  if (!wakeup_pending_ || dec->not_before < scheduled_wakeup_ - kEps) {
+    scheduled_wakeup_ = dec->not_before;
+    wakeup_pending_ = true;
+    Push(dec->not_before, EventKind::kWakeup, kInvalidRequestId);
+  }
+}
+
+void VodSimulator::BeginService(RequestId id) {
+  Req& r = GetReq(id);
+  ++state_version_;
+  Result<core::AllocationDecision> d = allocator_->Allocate(id, now_);
+  VOD_CHECK(d.ok());
+  const Bits bits = std::min(d->buffer_size, r.total_bits - r.delivered);
+  VOD_CHECK(bits > 0);
+
+  Result<double> cyl =
+      layout_.CylinderOf(r.video, r.start_offset + r.delivered);
+  VOD_CHECK(cyl.ok());
+  const double rot =
+      config_.worst_case_rotation ? 1.0 : rng_.NextDouble();
+  Result<disk::ServiceTiming> timing = disk_.Read(cyl.value(), bits, rot);
+  VOD_CHECK(timing.ok());
+
+  disk_busy_ = true;
+  in_service_ = id;
+  in_service_bits_ = bits;
+  Push(now_ + timing->total(), EventKind::kServiceComplete, id);
+
+  AllocationRecord rec;
+  rec.time = now_;
+  rec.request = id;
+  rec.n = d->n;
+  rec.k = d->k;
+  rec.buffer_size = d->buffer_size;
+  rec.usage_period = d->usage_period;
+  metrics_.allocations.push_back(rec);
+  metrics_.estimated_k.Add(d->k);
+  metrics_.memory_usage.Record(now_, TotalBufferedBits(now_));
+  ++metrics_.services;
+  metrics_.disk_busy_time += timing->total();
+  ReportBrokerState(d->k);
+}
+
+void VodSimulator::DetectStarvation() {
+  // A buffer that reaches zero exactly as its refill completes is the
+  // intended just-in-time behaviour; only count underflows that persisted
+  // beyond a 1 ms grace (a genuine playback glitch).
+  constexpr Seconds kGrace = 1e-3;
+  for (auto& [id, r] : requests_) {
+    if (!r.admitted || !r.playing) continue;
+    if (r.delivered >= r.total_bits) continue;
+    const Seconds empty_since =
+        r.consumed_at + (r.delivered - r.consumed) / alloc_params_.cr;
+    const bool starving = now_ > empty_since + kGrace;
+    if (starving && !r.starved) {
+      r.starved = true;
+      ++metrics_.starvation_events;
+    } else if (!starving) {
+      r.starved = false;
+    }
+  }
+}
+
+void VodSimulator::HandleServiceComplete(const Event& ev) {
+  const RequestId id = ev.request;
+  VOD_CHECK(disk_busy_ && in_service_ == id);
+  ++state_version_;
+  disk_busy_ = false;
+  in_service_ = kInvalidRequestId;
+
+  // A request can depart mid-service only if viewing ended exactly at the
+  // boundary; it may also have been removed — guard.
+  auto it = requests_.find(id);
+  if (it != requests_.end()) {
+    Req& r = it->second;
+    DetectStarvation();
+    SyncConsumption(r, now_);
+    r.delivered += in_service_bits_;
+    ++r.fill_count;
+    if (r.first_data < 0) {
+      r.first_data = now_;
+      const Seconds il = now_ - r.arrival;
+      metrics_.initial_latency.Add(il);
+      const std::size_t bucket = static_cast<std::size_t>(
+          std::clamp(r.n_at_admit, 1, alloc_params_.n_max));
+      metrics_.initial_latency_by_n[bucket].Add(il);
+    }
+    // Sweep* streams are double-buffered: the data filled in period p is
+    // consumed during period p+1 (that lag is where Theorem 3's ~2·n·BS
+    // memory comes from). Playback therefore begins at the second fill —
+    // otherwise a stream refilled early in one period and late in the next
+    // (sweep order follows disk position, not deadlines) would underflow.
+    const int fills_before_playback =
+        config_.method == core::ScheduleMethod::kSweep ? 2 : 1;
+    if (!r.playing && (r.fill_count >= fills_before_playback ||
+                       r.delivered >= r.total_bits)) {
+      r.playing = true;
+      r.consumed = 0;
+      r.consumed_at = now_;
+    }
+    r.starved = false;
+    scheduler_->OnServiceComplete(id, now_);
+    if (r.delivered >= r.total_bits) {
+      // Fully delivered: the request keeps its slot in n while its last
+      // buffer drains (it is still viewing) but needs no more services, so
+      // its inertia snapshot is retired and the scheduler forgets it.
+      allocator_->MarkDrained(id);
+      scheduler_->Remove(id);
+      const Bits left = r.total_bits - ConsumedAt(r, now_);
+      Push(now_ + left / alloc_params_.cr, EventKind::kDeparture, id);
+    }
+    metrics_.memory_usage.Record(now_, TotalBufferedBits(now_));
+  }
+  in_service_bits_ = 0;
+  MaybeScheduleService();
+}
+
+void VodSimulator::HandleDeparture(const Event& ev) {
+  const RequestId id = ev.request;
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return;
+  ++state_version_;
+  allocator_->Remove(id);
+  scheduler_->Remove(id);
+  requests_.erase(it);
+  ++metrics_.completed;
+  RecordConcurrency();
+  ReportBrokerState(last_k_estimate_);
+  MaybeScheduleService();
+}
+
+// ---------------------------------------------------------------------------
+// Series merging
+// ---------------------------------------------------------------------------
+
+StepTimeSeries MergeStepSeriesSum(
+    const std::vector<const StepTimeSeries*>& series) {
+  struct Tagged {
+    double time;
+    std::size_t src;
+    double value;
+  };
+  std::vector<Tagged> all;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    for (const auto& [t, v] : series[s]->points()) {
+      all.push_back({t, s, v});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& a, const Tagged& b) { return a.time < b.time; });
+  std::vector<double> last(series.size(), 0.0);
+  double sum = 0.0;
+  StepTimeSeries out;
+  for (const Tagged& tg : all) {
+    sum += tg.value - last[tg.src];
+    last[tg.src] = tg.value;
+    out.Record(tg.time, sum);
+  }
+  return out;
+}
+
+}  // namespace vod::sim

@@ -1,0 +1,232 @@
+#ifndef VODB_SIM_VOD_SIMULATOR_H_
+#define VODB_SIM_VOD_SIMULATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "core/allocator.h"
+#include "core/params.h"
+#include "disk/simulated_disk.h"
+#include "disk/video_layout.h"
+#include "sched/scheduler.h"
+#include "sim/memory_broker.h"
+#include "sim/metrics.h"
+#include "sim/rng.h"
+#include "sim/workload.h"
+
+namespace vod::sim {
+
+/// Which buffer-allocation scheme the server runs.
+enum class AllocScheme { kStatic, kDynamic };
+
+std::string_view AllocSchemeName(AllocScheme s);
+
+/// Configuration of one simulated VOD disk server.
+struct SimConfig {
+  disk::DiskProfile profile = disk::SeagateBarracuda9LP();
+  BitsPerSecond consumption_rate = Mbps(1.5);
+  core::ScheduleMethod method = core::ScheduleMethod::kRoundRobin;
+  AllocScheme scheme = AllocScheme::kDynamic;
+  int gss_group_size = 8;    ///< g (the paper's memory-minimizing value).
+  int alpha = 1;             ///< α of Assumption 2.
+  Seconds t_log = Minutes(40);
+  int video_count = 6;
+  Seconds video_length = Hours(2);  ///< Every video is 120 min (Sec. 5.1).
+  std::uint64_t seed = 1;
+  /// Force every rotational delay to the worst case θ (validation runs);
+  /// default samples U[0, θ).
+  bool worst_case_rotation = false;
+  int disk_id = 0;           ///< Identity towards the MemoryBroker.
+  /// Disable the dynamic scheme's Assumption-1 admission gate (failure
+  /// injection: shows starvation when enforcement is removed).
+  bool disable_admission_control = false;
+
+  Status Validate() const;
+};
+
+/// Discrete-event simulator of one VOD disk server implementing the model
+/// of Secs. 2–3: shared-memory buffers with use-it-and-toss-it consumption,
+/// per-method service ordering, just-in-time ("as late as safely possible")
+/// service starts, BubbleUp admission, and either static or dynamic buffer
+/// allocation with predict-and-enforce admission control.
+///
+/// The simulator is steppable so that a multi-disk server can interleave
+/// several instances on one global clock (see MultiDiskSimulator).
+class VodSimulator : public sched::SchedulerContext {
+ public:
+  /// `broker` may be nullptr (no memory constraint). The broker must
+  /// outlive the simulator.
+  static Result<std::unique_ptr<VodSimulator>> Create(const SimConfig& config,
+                                                      MemoryBroker* broker);
+
+  ~VodSimulator() override = default;
+  VodSimulator(const VodSimulator&) = delete;
+  VodSimulator& operator=(const VodSimulator&) = delete;
+
+  /// Feeds arrivals (time-sorted). Call before stepping past their times.
+  Status AddArrivals(const std::vector<ArrivalEvent>& arrivals);
+
+  /// Processes one arrival synchronously at the current clock (the event
+  /// time must not precede now()). Returns the assigned request id, or
+  /// CapacityExceeded if the request was rejected on the spot. The request
+  /// may still be waiting in the admission queue (deferred) on return.
+  Result<RequestId> SubmitNow(const ArrivalEvent& arrival);
+
+  /// Cancels a pending or in-service request (VCR semantics: the paper
+  /// models fast-forward/rewind as cancelling the stream and submitting a
+  /// new request at the target position — see VodServer::VcrReposition).
+  Status CancelRequest(RequestId id);
+
+  /// Time of the next pending event; +inf when drained.
+  Seconds NextEventTime() const;
+
+  /// Processes one event. Returns false when no events remain.
+  bool Step();
+
+  /// Runs until the event queue drains or the clock passes `t`.
+  void RunUntil(Seconds t);
+
+  /// Runs until every request completed and the queue drained.
+  void RunToCompletion();
+
+  /// Resolves estimation-success bookkeeping; call once after the run.
+  void Finalize();
+
+  Seconds now() const { return now_; }
+  const SimMetrics& metrics() const { return metrics_; }
+  const SimConfig& config() const { return config_; }
+  const core::AllocParams& alloc_params() const { return alloc_params_; }
+  int active_count() const { return allocator_->active_count(); }
+  const disk::SimulatedDisk& disk() const { return disk_; }
+
+  // --- sched::SchedulerContext ---
+  Seconds BufferDeadline(RequestId id) const override;
+  bool NeverServiced(RequestId id) const override;
+  double CurrentCylinder(RequestId id) const override;
+  bool NeedsService(RequestId id) const override;
+  Seconds WorstServiceTime(RequestId id) const override;
+  Seconds NewcomerReserve() const override;
+
+ private:
+  enum class EventKind { kArrival, kServiceComplete, kDeparture, kWakeup };
+
+  struct Event {
+    Seconds time = 0;
+    std::uint64_t seq = 0;  ///< FIFO tiebreak for equal times.
+    EventKind kind = EventKind::kArrival;
+    RequestId request = kInvalidRequestId;
+    std::size_t arrival_index = 0;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct Req {
+    RequestId id = kInvalidRequestId;
+    disk::VideoId video = 0;
+    Seconds arrival = 0;
+    Seconds viewing = 0;
+    Bits start_offset = 0;  ///< Playback start within the video (VCR).
+    Bits total_bits = 0;
+    Bits delivered = 0;
+    Bits consumed = 0;       ///< As of `consumed_at` (lazy).
+    Seconds consumed_at = 0;
+    bool playing = false;
+    bool admitted = false;
+    bool starved = false;    ///< Currently underflowed (edge counted once).
+    bool was_deferred = false;
+    int n_at_admit = 0;
+    int fill_count = 0;
+    Seconds first_data = -1;
+  };
+
+  VodSimulator(const SimConfig& config, core::AllocParams alloc_params,
+               disk::VideoLayout layout,
+               std::unique_ptr<core::BufferAllocator> allocator,
+               std::unique_ptr<sched::BufferScheduler> scheduler,
+               MemoryBroker* broker);
+
+  void Push(Seconds time, EventKind kind, RequestId id,
+            std::size_t arrival_index = 0);
+
+  void HandleArrival(const Event& ev);
+  Result<RequestId> ProcessArrival(const ArrivalEvent& a);
+  void HandleServiceComplete(const Event& ev);
+  void HandleDeparture(const Event& ev);
+
+  /// Admission pump: admits queued requests in FIFO order while the
+  /// scheduler's timing, the allocator's Assumption 1, and the memory
+  /// broker all allow it.
+  void TryAdmitPending();
+
+  /// If the disk is idle, picks the next service and either starts it or
+  /// schedules a wakeup at its just-in-time start.
+  void MaybeScheduleService();
+
+  void BeginService(RequestId id);
+
+  /// Advances the lazy consumption clock of `r` to `t`.
+  void SyncConsumption(Req& r, Seconds t);
+  Bits ConsumedAt(const Req& r, Seconds t) const;
+  Bits BufferLevelAt(const Req& r, Seconds t) const;
+  Bits TotalBufferedBits(Seconds t) const;
+
+  void DetectStarvation();
+  void RecordConcurrency();
+  void ReportBrokerState(int k_estimate);
+
+  const Req& GetReq(RequestId id) const;
+  Req& GetReq(RequestId id);
+
+  SimConfig config_;
+  core::AllocParams alloc_params_;
+  disk::VideoLayout layout_;
+  disk::SimulatedDisk disk_;
+  std::unique_ptr<core::BufferAllocator> allocator_;
+  std::unique_ptr<sched::BufferScheduler> scheduler_;
+  MemoryBroker* broker_;  ///< Not owned; may be nullptr.
+  Rng rng_;
+
+  Seconds now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<ArrivalEvent> arrivals_;
+  std::vector<Seconds> arrival_times_;  ///< For estimation resolution.
+
+  std::map<RequestId, Req> requests_;
+  std::deque<RequestId> pending_;  ///< Arrived, awaiting admission (Q).
+  RequestId next_request_id_ = 1;
+
+  bool disk_busy_ = false;
+  RequestId in_service_ = kInvalidRequestId;
+  Bits in_service_bits_ = 0;
+  int last_k_estimate_ = 0;
+  Seconds scheduled_wakeup_ = 0;
+  bool wakeup_pending_ = false;
+
+  /// Allocator Preview() is O(n); the scheduling lookahead asks for it once
+  /// per sequence member, so cache it per (clock, state epoch).
+  core::AllocationDecision CachedPreview() const;
+  mutable core::AllocationDecision preview_cache_;
+  mutable Seconds preview_cache_time_ = -1;
+  mutable std::uint64_t preview_cache_version_ = ~0ULL;
+  std::uint64_t state_version_ = 0;
+
+  SimMetrics metrics_;
+};
+
+/// Sums several step time series (per-disk concurrency, memory, ...).
+StepTimeSeries MergeStepSeriesSum(
+    const std::vector<const StepTimeSeries*>& series);
+
+}  // namespace vod::sim
+
+#endif  // VODB_SIM_VOD_SIMULATOR_H_

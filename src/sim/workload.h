@@ -1,0 +1,67 @@
+#ifndef VODB_SIM_WORKLOAD_H_
+#define VODB_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/zipf.h"
+
+namespace vod::sim {
+
+/// One generated user request before it reaches a server.
+struct ArrivalEvent {
+  Seconds time = 0;
+  int video = 0;            ///< Video chosen (Zipf popularity).
+  Seconds viewing_time = 0; ///< How long the user watches (U(0, 2h) [4]).
+  int disk = 0;             ///< Target disk (multi-disk experiments).
+  /// Playback start position within the video. Non-zero for VCR
+  /// repositioning, which the paper's model treats as a brand-new request
+  /// (Sec. 1): fast-forward/rewind cancels the old stream and submits one
+  /// starting here.
+  Seconds start_position = 0;
+};
+
+/// Workload parameters matching Sec. 5.1.
+struct WorkloadConfig {
+  Seconds duration = Hours(24);
+  Seconds slot_length = Minutes(30);
+  double theta = 0.5;            ///< Time-of-day Zipf skew (0 peaky, 1 flat).
+  Seconds peak_time = Hours(9);  ///< "peak time occurs after nine hours".
+  double total_expected_arrivals = 1200;
+  Seconds max_viewing_time = Hours(2);  ///< Viewing ~ U(0, this].
+  int video_count = 6;
+  double video_theta = 0.271;    ///< Video popularity skew (Wolf et al. [15]).
+  int disk_count = 1;
+  double disk_theta = 1.0;       ///< Disk-load skew (Figs. 13–14 use 0/.5/1).
+  std::uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// Generates the full day of arrivals: a non-homogeneous Poisson process
+/// with the Zipf(θ) slot profile (piecewise-constant rates, generated
+/// exactly per slot with exponential gaps), video popularity by Zipf, and
+/// disk assignment by Zipf over disks. Sorted by time.
+Result<std::vector<ArrivalEvent>> GenerateWorkload(const WorkloadConfig& cfg);
+
+/// Splits a workload per disk (preserving order).
+std::vector<std::vector<ArrivalEvent>> SplitByDisk(
+    const std::vector<ArrivalEvent>& all, int disk_count);
+
+/// The offered concurrency the workload implies under an admission cap
+/// (Fig. 6): requests are accepted while fewer than `cap` are viewing and
+/// rejected otherwise. Returns (time, concurrency) steps plus the rejection
+/// count.
+struct OfferedLoad {
+  std::vector<std::pair<Seconds, int>> concurrency;
+  int rejected = 0;
+  int peak = 0;
+};
+OfferedLoad ComputeOfferedLoad(const std::vector<ArrivalEvent>& arrivals,
+                               int cap);
+
+}  // namespace vod::sim
+
+#endif  // VODB_SIM_WORKLOAD_H_

@@ -1,0 +1,79 @@
+#include "sim/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace vod::sim {
+
+Result<std::vector<double>> ZipfWeights(int count, double theta) {
+  if (count < 1) return Status::InvalidArgument("count must be >= 1");
+  if (theta < 0.0 || theta > 1.0) {
+    return Status::InvalidArgument("theta must be in [0, 1]");
+  }
+  std::vector<double> w(static_cast<std::size_t>(count));
+  double sum = 0.0;
+  for (int r = 1; r <= count; ++r) {
+    const double v = std::pow(1.0 / static_cast<double>(r), 1.0 - theta);
+    w[static_cast<std::size_t>(r - 1)] = v;
+    sum += v;
+  }
+  for (double& v : w) v /= sum;
+  return w;
+}
+
+ArrivalRateProfile::ArrivalRateProfile(Seconds duration, Seconds slot_len,
+                                       std::vector<double> rates)
+    : duration_(duration), slot_len_(slot_len), rates_(std::move(rates)) {
+  for (double r : rates_) max_rate_ = std::max(max_rate_, r);
+}
+
+Result<ArrivalRateProfile> ArrivalRateProfile::Create(Seconds duration,
+                                                      Seconds slot_len,
+                                                      double theta,
+                                                      Seconds peak_time,
+                                                      double total_expected) {
+  if (duration <= 0 || slot_len <= 0 || slot_len > duration) {
+    return Status::InvalidArgument("bad duration/slot length");
+  }
+  if (total_expected < 0) {
+    return Status::InvalidArgument("total_expected must be >= 0");
+  }
+  const int slots = static_cast<int>(std::ceil(duration / slot_len));
+  Result<std::vector<double>> weights = ZipfWeights(slots, theta);
+  if (!weights.ok()) return weights.status();
+
+  // Assign rank 1 to the peak slot, then fan out: after, before, after, ...
+  int peak_slot = static_cast<int>(peak_time / slot_len);
+  peak_slot = std::clamp(peak_slot, 0, slots - 1);
+  std::vector<double> share(static_cast<std::size_t>(slots), 0.0);
+  int rank = 0;
+  share[static_cast<std::size_t>(peak_slot)] = (*weights)[rank++];
+  for (int d = 1; rank < slots; ++d) {
+    const int after = peak_slot + d;
+    if (after < slots && rank < slots) {
+      share[static_cast<std::size_t>(after)] = (*weights)[rank++];
+    }
+    const int before = peak_slot - d;
+    if (before >= 0 && rank < slots) {
+      share[static_cast<std::size_t>(before)] = (*weights)[rank++];
+    }
+  }
+
+  std::vector<double> rates(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    const Seconds len = std::min(slot_len, duration - i * slot_len);
+    rates[static_cast<std::size_t>(i)] =
+        len > 0 ? total_expected * share[static_cast<std::size_t>(i)] / len
+                : 0.0;
+  }
+  return ArrivalRateProfile(duration, slot_len, std::move(rates));
+}
+
+double ArrivalRateProfile::RateAt(Seconds t) const {
+  if (t < 0 || t >= duration_) return 0.0;
+  const std::size_t slot = static_cast<std::size_t>(t / slot_len_);
+  return slot < rates_.size() ? rates_[slot] : 0.0;
+}
+
+}  // namespace vod::sim

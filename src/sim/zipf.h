@@ -1,0 +1,52 @@
+#ifndef VODB_SIM_ZIPF_H_
+#define VODB_SIM_ZIPF_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace vod::sim {
+
+/// Zipf weights in the Wolf/Yu/Shachnai parameterization used by the paper
+/// [15]: item of rank r (1-based) gets weight ∝ (1/r)^(1−θ), normalized to
+/// sum to 1. θ = 0 is the classic highly skewed Zipf; θ = 1 is uniform.
+Result<std::vector<double>> ZipfWeights(int count, double theta);
+
+/// The paper's time-of-day arrival profile (Sec. 5.1): the day is divided
+/// into fixed slots (30 min); slot arrival rates follow a Zipf(θ)
+/// distribution whose rank-1 slot is the one containing `peak_time`, with
+/// ranks growing with distance from the peak (alternating after/before, so
+/// the profile is a peak that decays in both directions — giving the
+/// "high arrival rate between hours 7 and 13" shape of Fig. 6 at θ <= 0.5).
+class ArrivalRateProfile {
+ public:
+  /// `total_expected` arrivals are distributed over `duration` according to
+  /// the Zipf(θ) slot weights.
+  static Result<ArrivalRateProfile> Create(Seconds duration, Seconds slot_len,
+                                           double theta, Seconds peak_time,
+                                           double total_expected);
+
+  /// Arrival rate λ(t) in requests/second; 0 outside [0, duration).
+  double RateAt(Seconds t) const;
+
+  /// Upper bound on λ over the whole day (for thinning-based generation).
+  double MaxRate() const { return max_rate_; }
+
+  Seconds duration() const { return duration_; }
+  Seconds slot_length() const { return slot_len_; }
+  const std::vector<double>& slot_rates() const { return rates_; }
+
+ private:
+  ArrivalRateProfile(Seconds duration, Seconds slot_len,
+                     std::vector<double> rates);
+
+  Seconds duration_;
+  Seconds slot_len_;
+  std::vector<double> rates_;
+  double max_rate_ = 0;
+};
+
+}  // namespace vod::sim
+
+#endif  // VODB_SIM_ZIPF_H_

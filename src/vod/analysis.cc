@@ -1,0 +1,188 @@
+#include "vod/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/closed_form.h"
+#include "core/latency_model.h"
+#include "core/memory_model.h"
+#include "core/static_alloc.h"
+#include "sim/zipf.h"
+
+namespace vod {
+
+namespace {
+
+/// AllocParams for `cfg` at in-service count n (Sweep's DL varies with n;
+/// GSS uses the group size; Round-Robin the full stroke). The static
+/// scheme's buffer is always sized at the fully loaded configuration.
+Result<core::AllocParams> ParamsAt(const AnalysisConfig& cfg, int n) {
+  const int n_or_g =
+      cfg.method == core::ScheduleMethod::kGss ? cfg.gss_group_size : n;
+  return core::MakeAllocParams(cfg.profile, cfg.consumption_rate, cfg.method,
+                               n_or_g, cfg.alpha);
+}
+
+Result<core::AllocParams> FullyLoadedParams(const AnalysisConfig& cfg) {
+  const int n_max = core::MaxConcurrentRequests(cfg.profile.transfer_rate,
+                                                cfg.consumption_rate);
+  return ParamsAt(cfg, n_max);
+}
+
+}  // namespace
+
+Result<std::vector<SchemeComparisonPoint>> BufferSizeCurve(
+    const AnalysisConfig& cfg) {
+  Result<core::AllocParams> full = FullyLoadedParams(cfg);
+  if (!full.ok()) return full.status();
+  Result<Bits> static_bs = core::StaticSchemeBufferSize(*full);
+  if (!static_bs.ok()) return static_bs.status();
+
+  std::vector<SchemeComparisonPoint> out;
+  for (int n = 1; n <= full->n_max; ++n) {
+    Result<core::AllocParams> p = ParamsAt(cfg, n);
+    if (!p.ok()) return p.status();
+    const int k = std::min(cfg.k, p->n_max - n);
+    Result<Bits> dyn = core::DynamicBufferSize(*p, n, k);
+    if (!dyn.ok()) return dyn.status();
+    out.push_back({n, *static_bs, *dyn});
+  }
+  return out;
+}
+
+Result<std::vector<SchemeComparisonPoint>> WorstLatencyCurve(
+    const AnalysisConfig& cfg) {
+  Result<std::vector<SchemeComparisonPoint>> sizes = BufferSizeCurve(cfg);
+  if (!sizes.ok()) return sizes.status();
+
+  std::vector<SchemeComparisonPoint> out;
+  for (const SchemeComparisonPoint& pt : *sizes) {
+    Result<core::AllocParams> p = ParamsAt(cfg, pt.n);
+    if (!p.ok()) return p.status();
+    const int n_or_g =
+        cfg.method == core::ScheduleMethod::kGss ? cfg.gss_group_size : pt.n;
+    Result<Seconds> il_static =
+        core::WorstInitialLatency(*p, cfg.method, pt.stat, n_or_g);
+    if (!il_static.ok()) return il_static.status();
+    Result<Seconds> il_dyn =
+        core::WorstInitialLatency(*p, cfg.method, pt.dynamic, n_or_g);
+    if (!il_dyn.ok()) return il_dyn.status();
+    out.push_back({pt.n, *il_static, *il_dyn});
+  }
+  return out;
+}
+
+Result<std::vector<SchemeComparisonPoint>> MemoryRequirementCurve(
+    const AnalysisConfig& cfg) {
+  Result<core::AllocParams> full = FullyLoadedParams(cfg);
+  if (!full.ok()) return full.status();
+
+  std::vector<SchemeComparisonPoint> out;
+  for (int n = 1; n <= full->n_max; ++n) {
+    Result<core::AllocParams> p = ParamsAt(cfg, n);
+    if (!p.ok()) return p.status();
+    const int k = std::min(cfg.k, p->n_max - n);
+    Result<Bits> mem_static = core::StaticMemoryRequirement(
+        *full, cfg.method, n, cfg.gss_group_size);
+    if (!mem_static.ok()) return mem_static.status();
+    Result<Bits> mem_dyn = core::DynamicMemoryRequirement(
+        *p, cfg.method, n, k, cfg.gss_group_size);
+    if (!mem_dyn.ok()) return mem_dyn.status();
+    out.push_back({n, *mem_static, *mem_dyn});
+  }
+  return out;
+}
+
+Result<std::vector<CapacityPoint>> CapacityVsMemoryCurve(
+    const AnalysisConfig& cfg, int disk_count, double disk_theta,
+    const std::vector<Bits>& memory_sizes) {
+  if (disk_count < 1) return Status::InvalidArgument("need >= 1 disk");
+  Result<std::vector<double>> weights =
+      sim::ZipfWeights(disk_count, disk_theta);
+  if (!weights.ok()) return weights.status();
+  Result<core::AllocParams> full = FullyLoadedParams(cfg);
+  if (!full.ok()) return full.status();
+  const int n_max = full->n_max;
+
+  // Memory cost of one disk holding n requests under each scheme.
+  auto disk_cost = [&](int n, bool dynamic) -> Result<Bits> {
+    if (n == 0) return 0.0;
+    Result<core::AllocParams> p = ParamsAt(cfg, n);
+    if (!p.ok()) return p.status();
+    if (dynamic) {
+      const int k = std::min(cfg.k, n_max - n);
+      return core::DynamicMemoryRequirement(*p, cfg.method, n, k,
+                                            cfg.gss_group_size);
+    }
+    return core::StaticMemoryRequirement(*full, cfg.method, n,
+                                         cfg.gss_group_size);
+  };
+
+  // For a target total request count m, distribute across disks by the
+  // Zipf weights (each capped at N) and price the system.
+  auto total_cost = [&](int m, bool dynamic) -> Result<Bits> {
+    // Largest-remainder apportionment of m across disks.
+    std::vector<int> n_d(static_cast<std::size_t>(disk_count), 0);
+    std::vector<std::pair<double, int>> rema;
+    int assigned = 0;
+    for (int d = 0; d < disk_count; ++d) {
+      const double exact = m * (*weights)[static_cast<std::size_t>(d)];
+      int base = static_cast<int>(std::floor(exact));
+      base = std::min(base, n_max);
+      n_d[static_cast<std::size_t>(d)] = base;
+      assigned += base;
+      rema.push_back({exact - std::floor(exact), d});
+    }
+    std::sort(rema.begin(), rema.end(), std::greater<>());
+    for (auto& [frac, d] : rema) {
+      if (assigned >= m) break;
+      if (n_d[static_cast<std::size_t>(d)] < n_max) {
+        ++n_d[static_cast<std::size_t>(d)];
+        ++assigned;
+      }
+    }
+    Bits total = 0;
+    for (int d = 0; d < disk_count; ++d) {
+      Result<Bits> c = disk_cost(n_d[static_cast<std::size_t>(d)], dynamic);
+      if (!c.ok()) return c.status();
+      total += *c;
+    }
+    if (assigned < m) {
+      // Zipf skew saturated some disks before reaching m: the system
+      // cannot host m requests no matter the memory.
+      return Status::CapacityExceeded("disk capacity reached");
+    }
+    return total;
+  };
+
+  // Max m that both fits `memory` and respects per-disk saturation
+  // (monotone in m → binary search).
+  auto max_requests = [&](Bits memory, bool dynamic) -> Result<int> {
+    int lo = 0;
+    int hi = disk_count * n_max;
+    while (lo < hi) {
+      const int mid = (lo + hi + 1) / 2;
+      Result<Bits> c = total_cost(mid, dynamic);
+      if (c.ok() && *c <= memory) {
+        lo = mid;
+      } else if (!c.ok() && c.status().code() != StatusCode::kCapacityExceeded) {
+        return c.status();
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  };
+
+  std::vector<CapacityPoint> out;
+  for (Bits memory : memory_sizes) {
+    Result<int> s = max_requests(memory, /*dynamic=*/false);
+    if (!s.ok()) return s.status();
+    Result<int> d = max_requests(memory, /*dynamic=*/true);
+    if (!d.ok()) return d.status();
+    out.push_back({memory, *s, *d});
+  }
+  return out;
+}
+
+}  // namespace vod

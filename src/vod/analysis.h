@@ -1,0 +1,68 @@
+#ifndef VODB_VOD_ANALYSIS_H_
+#define VODB_VOD_ANALYSIS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "core/params.h"
+#include "disk/disk_profile.h"
+
+namespace vod {
+
+/// Convenience wrappers producing the paper's analytic curves — the data
+/// behind Figs. 9, 10, 12 and 13 — for a disk profile and scheduling
+/// method, for both allocation schemes. These are thin compositions of the
+/// core formulas; benches and examples print them directly.
+
+/// Inputs shared by all analytic curves.
+struct AnalysisConfig {
+  disk::DiskProfile profile = disk::SeagateBarracuda9LP();
+  BitsPerSecond consumption_rate = Mbps(1.5);
+  core::ScheduleMethod method = core::ScheduleMethod::kRoundRobin;
+  int gss_group_size = 8;
+  int alpha = 1;
+  /// k used for the dynamic curves: the paper's worst-case average of
+  /// estimated additional requests (4 for Round-Robin with T_log = 40 min,
+  /// 3 for Sweep*/GSS* with T_log = 20 min; Sec. 5.1 fn. 9).
+  int k = 4;
+};
+
+/// One point of a static-vs-dynamic analytic comparison at load n.
+struct SchemeComparisonPoint {
+  int n = 0;
+  double stat = 0;     ///< Static scheme value.
+  double dynamic = 0;  ///< Dynamic scheme value.
+};
+
+/// Fig. 9: buffer size (bits) vs n for both schemes.
+Result<std::vector<SchemeComparisonPoint>> BufferSizeCurve(
+    const AnalysisConfig& cfg);
+
+/// Fig. 10: worst initial latency (seconds) vs n for both schemes
+/// (Eqs. 2–4 applied to each scheme's buffer size).
+Result<std::vector<SchemeComparisonPoint>> WorstLatencyCurve(
+    const AnalysisConfig& cfg);
+
+/// Fig. 12: minimum memory requirement (bits) vs n for both schemes
+/// (Theorems 2–4 and the static counterparts).
+Result<std::vector<SchemeComparisonPoint>> MemoryRequirementCurve(
+    const AnalysisConfig& cfg);
+
+/// Fig. 13: the number of concurrent user requests a `disk_count`-disk
+/// server with `memory` bits of buffer space can support, when the per-disk
+/// load is skewed by Zipf(θ) (Sec. 5.3). Computed by growing the per-disk
+/// request counts in proportion to the Zipf weights until either every disk
+/// saturates (n_d = N) or the memory model's total exceeds `memory`.
+struct CapacityPoint {
+  Bits memory = 0;
+  int stat = 0;
+  int dynamic = 0;
+};
+Result<std::vector<CapacityPoint>> CapacityVsMemoryCurve(
+    const AnalysisConfig& cfg, int disk_count, double disk_theta,
+    const std::vector<Bits>& memory_sizes);
+
+}  // namespace vod
+
+#endif  // VODB_VOD_ANALYSIS_H_

@@ -1,0 +1,89 @@
+#ifndef VODB_VOD_SERVER_H_
+#define VODB_VOD_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "sim/vod_simulator.h"
+
+namespace vod {
+
+/// The library's top-level facade: a single-disk VOD server with a chosen
+/// buffer scheduling method and buffer allocation scheme, driven in virtual
+/// time. Wraps sim::VodSimulator behind a submit/run API so applications
+/// (and the examples) don't deal with event plumbing.
+///
+///   VodServer::Options opt;
+///   opt.config.method = core::ScheduleMethod::kGss;
+///   opt.config.scheme = sim::AllocScheme::kDynamic;
+///   auto server = VodServer::Create(opt);
+///   server->Submit(/*video=*/0, /*viewing_time=*/Minutes(90));
+///   server->RunFor(Hours(1));
+///   auto& m = server->metrics();
+class VodServer {
+ public:
+  struct Options {
+    sim::SimConfig config;
+    /// Optional shared-memory constraint (bits); 0 means unconstrained.
+    Bits memory_capacity = 0;
+  };
+
+  static Result<std::unique_ptr<VodServer>> Create(const Options& options);
+
+  /// Submits a user request for `video` at the current virtual time,
+  /// viewing for `viewing_time`. Returns the request's arrival time.
+  /// Admission (including rejection and deferral) happens inside the run.
+  Result<Seconds> Submit(int video, Seconds viewing_time);
+
+  /// Like Submit, but processed synchronously (pending events up to the
+  /// current horizon are drained first) and returns the request id, usable
+  /// with VcrReposition/Cancel. `start_position` is the playback offset
+  /// into the video. CapacityExceeded if rejected on arrival.
+  Result<RequestId> SubmitSession(int video, Seconds viewing_time,
+                                  Seconds start_position = 0);
+
+  /// VCR fast-forward/rewind. The paper's model (Sec. 1): a reposition is
+  /// a *new user request* — the old stream is cancelled and a fresh request
+  /// starts at `new_position`, paying a fresh initial latency (which is
+  /// exactly why the paper minimizes it). Returns the new request's id.
+  Result<RequestId> VcrReposition(RequestId session, int video,
+                                  Seconds new_position,
+                                  Seconds remaining_viewing);
+
+  /// Cancels a session (user pressed stop).
+  Status Cancel(RequestId session);
+
+  /// Advances virtual time by `duration`, processing everything due.
+  void RunFor(Seconds duration);
+
+  /// Runs until all submitted requests have completed.
+  void RunToCompletion();
+
+  /// Finalizes estimation bookkeeping; call after the last Run*.
+  void Finish();
+
+  Seconds now() const { return sim_->now(); }
+  int active_requests() const { return sim_->active_count(); }
+  const sim::SimMetrics& metrics() const { return sim_->metrics(); }
+  const core::AllocParams& alloc_params() const {
+    return sim_->alloc_params();
+  }
+
+  /// One-line summary ("admitted=…, mean initial latency=…") for demos.
+  std::string SummaryLine() const;
+
+ private:
+  VodServer(std::unique_ptr<sim::MemoryBroker> broker,
+            std::unique_ptr<sim::VodSimulator> sim);
+
+  std::unique_ptr<sim::MemoryBroker> broker_;
+  std::unique_ptr<sim::VodSimulator> sim_;
+  Seconds horizon_ = 0;
+};
+
+}  // namespace vod
+
+#endif  // VODB_VOD_SERVER_H_

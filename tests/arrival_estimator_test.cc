@@ -1,0 +1,96 @@
+#include "core/arrival_estimator.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/rng.h"
+
+namespace vod::core {
+namespace {
+
+TEST(ArrivalEstimatorTest, EmptyLogGivesZero) {
+  ArrivalEstimator est(Minutes(40));
+  EXPECT_EQ(est.KLog(100.0, 10.0), 0);
+}
+
+TEST(ArrivalEstimatorTest, SingleArrivalGivesOne) {
+  ArrivalEstimator est(Minutes(40));
+  est.RecordArrival(10.0);
+  EXPECT_EQ(est.KLog(11.0, 5.0), 1);
+}
+
+TEST(ArrivalEstimatorTest, CountsWithinWindow) {
+  ArrivalEstimator est(Minutes(40));
+  // Three arrivals within 2 s, one far away.
+  est.RecordArrival(10.0);
+  est.RecordArrival(10.5);
+  est.RecordArrival(11.5);
+  est.RecordArrival(100.0);
+  EXPECT_EQ(est.KLog(101.0, 2.0), 3);
+  EXPECT_EQ(est.KLog(101.0, 0.8), 2);  // Only {10.0, 10.5} fit.
+  EXPECT_EQ(est.KLog(101.0, 0.2), 1);
+}
+
+TEST(ArrivalEstimatorTest, PrunesBeyondTLog) {
+  ArrivalEstimator est(60.0);  // T_log = 1 min.
+  est.RecordArrival(0.0);
+  est.RecordArrival(1.0);
+  est.RecordArrival(100.0);
+  // At t=130, arrivals at 0 and 1 are out of the log.
+  EXPECT_EQ(est.KLog(130.0, 10.0), 1);
+  EXPECT_EQ(est.logged_count(), 1u);
+}
+
+TEST(ArrivalEstimatorTest, ZeroPeriodGivesZero) {
+  ArrivalEstimator est(60.0);
+  est.RecordArrival(1.0);
+  EXPECT_EQ(est.KLog(2.0, 0.0), 0);
+}
+
+TEST(ArrivalEstimatorTest, MatchesBruteForceOnRandomStreams) {
+  // Property: the two-pointer sweep equals a quadratic brute force for
+  // arrival-anchored windows.
+  sim::Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    ArrivalEstimator est(1000.0);
+    std::vector<double> times;
+    double t = 0;
+    for (int i = 0; i < 80; ++i) {
+      t += rng.Exponential(0.5);
+      times.push_back(t);
+      est.RecordArrival(t);
+    }
+    const double sp = rng.Uniform(0.5, 20.0);
+    int brute = 0;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      int cnt = 0;
+      for (std::size_t j = i; j < times.size(); ++j) {
+        if (times[j] < times[i] + sp) ++cnt;
+      }
+      brute = std::max(brute, cnt);
+    }
+    EXPECT_EQ(est.KLog(t, sp), brute) << "trial=" << trial << " sp=" << sp;
+  }
+}
+
+TEST(ArrivalEstimatorTest, KLogGrowsWithWindow) {
+  ArrivalEstimator est(Minutes(40));
+  for (int i = 0; i < 20; ++i) est.RecordArrival(i * 1.0);
+  int prev = 0;
+  for (double sp : {0.5, 1.5, 3.5, 7.5, 25.0}) {
+    const int k = est.KLog(20.0, sp);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+}
+
+TEST(ArrivalEstimatorTest, RequiresPositiveTLog) {
+  EXPECT_DEATH(ArrivalEstimator(-1.0), "t_log");
+}
+
+}  // namespace
+}  // namespace vod::core

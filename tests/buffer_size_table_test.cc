@@ -1,0 +1,89 @@
+#include "core/buffer_size_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/closed_form.h"
+#include "core/params.h"
+#include "disk/disk_profile.h"
+
+namespace vod::core {
+namespace {
+
+AllocParams SmallParams() {
+  auto p = MakeAllocParams(disk::SmallTestDisk(), Mbps(1.5),
+                           ScheduleMethod::kRoundRobin, 0, 1);
+  EXPECT_TRUE(p.ok());
+  return p.value();
+}
+
+TEST(BufferSizeTableTest, MatchesClosedFormEverywhere) {
+  const AllocParams p = SmallParams();
+  auto table = BufferSizeTable::Build(p);
+  ASSERT_TRUE(table.ok());
+  for (int n = 1; n <= p.n_max; ++n) {
+    for (int k = 0; k <= p.n_max; ++k) {
+      const double expected =
+          DynamicBufferSize(p, n, std::min(k, p.n_max - n)).value();
+      EXPECT_DOUBLE_EQ(table->Get(n, k).value(), expected)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BufferSizeTableTest, FootprintIsOofNSquared) {
+  const AllocParams p = SmallParams();
+  auto table = BufferSizeTable::Build(p);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->entry_count(),
+            static_cast<std::size_t>(p.n_max) *
+                static_cast<std::size_t>(p.n_max + 1));
+}
+
+TEST(BufferSizeTableTest, ClampsOversizedK) {
+  const AllocParams p = SmallParams();
+  auto table = BufferSizeTable::Build(p);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->Get(5, 1000).value(),
+                   table->Get(5, p.n_max).value());
+}
+
+TEST(BufferSizeTableTest, RejectsOutOfRange) {
+  const AllocParams p = SmallParams();
+  auto table = BufferSizeTable::Build(p);
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->Get(0, 0).ok());
+  EXPECT_FALSE(table->Get(p.n_max + 1, 0).ok());
+  EXPECT_FALSE(table->Get(1, -1).ok());
+}
+
+TEST(BufferSizeTableTest, PerRowDlVariation) {
+  // Sweep's table uses DL(n) = γ(Cyln/n) + θ per row (Table 2).
+  const auto profile = disk::SmallTestDisk();
+  auto pr = MakeAllocParams(profile, Mbps(1.5), ScheduleMethod::kSweep,
+                            1, 1);
+  ASSERT_TRUE(pr.ok());
+  const AllocParams p = pr.value();
+  auto dl_for_n = [&profile](int n) {
+    return WorstDiskLatency(profile, ScheduleMethod::kSweep, n);
+  };
+  auto table = BufferSizeTable::Build(p, dl_for_n);
+  ASSERT_TRUE(table.ok());
+  for (int n : {1, 5, p.n_max}) {
+    AllocParams row = p;
+    row.dl = dl_for_n(n);
+    EXPECT_DOUBLE_EQ(table->Get(n, 0).value(),
+                     DynamicBufferSize(row, n, 0).value())
+        << "n=" << n;
+  }
+}
+
+TEST(BufferSizeTableTest, GetUncheckedAgreesWithGet) {
+  const AllocParams p = SmallParams();
+  auto table = BufferSizeTable::Build(p);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->GetUnchecked(3, 2), table->Get(3, 2).value());
+}
+
+}  // namespace
+}  // namespace vod::core

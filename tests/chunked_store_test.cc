@@ -1,0 +1,96 @@
+#include "disk/chunked_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace vod::disk {
+namespace {
+
+ChunkedVideoStore MakeStore(Bits max_buffer = Megabits(200),
+                            Bits chunk = 0) {
+  auto store = ChunkedVideoStore::Create(SeagateBarracuda9LP(), max_buffer,
+                                         chunk);
+  EXPECT_TRUE(store.ok());
+  return std::move(store.value());
+}
+
+TEST(ChunkedStoreTest, DefaultChunkIsTwiceTheBuffer) {
+  ChunkedVideoStore store = MakeStore(Megabits(200));
+  EXPECT_DOUBLE_EQ(store.chunk_size(), Megabits(400));
+  EXPECT_DOUBLE_EQ(store.stride(), Megabits(200));
+  EXPECT_DOUBLE_EQ(store.SpaceOverhead(), 2.0);
+}
+
+TEST(ChunkedStoreTest, LargerChunksReduceOverhead) {
+  ChunkedVideoStore store = MakeStore(Megabits(200), Megabits(1000));
+  EXPECT_NEAR(store.SpaceOverhead(), 1.25, 1e-12);
+}
+
+TEST(ChunkedStoreTest, RejectsUndersizedChunk) {
+  EXPECT_FALSE(ChunkedVideoStore::Create(SeagateBarracuda9LP(),
+                                         Megabits(200), Megabits(300))
+                   .ok());
+}
+
+TEST(ChunkedStoreTest, EveryBufferReadFitsOneChunk) {
+  // The whole point of the chunk layout (footnote 3): a read of up to the
+  // maximum buffer never spans chunks, wherever it starts.
+  ChunkedVideoStore store = MakeStore(Megabits(200));
+  auto v = store.AddVideo("movie", Gigabits(10));
+  ASSERT_TRUE(v.ok());
+  for (double off = 0; off <= 10e9 - 200e6; off += 37e6) {
+    EXPECT_TRUE(store.SingleChunk(off, Megabits(200))) << "offset " << off;
+    EXPECT_TRUE(store.ReadLocation(*v, off, Megabits(200)).ok())
+        << "offset " << off;
+  }
+}
+
+TEST(ChunkedStoreTest, OverlongReadRejected) {
+  ChunkedVideoStore store = MakeStore(Megabits(200));
+  auto v = store.AddVideo("movie", Gigabits(10));
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(store.ReadLocation(*v, 0, Megabits(201)).ok());
+  EXPECT_FALSE(store.SingleChunk(0, Megabits(400)));
+}
+
+TEST(ChunkedStoreTest, PhysicalSpaceReflectsReplication) {
+  ChunkedVideoStore store = MakeStore(Megabits(200));
+  // 1 Gbit of data, stride 200 Mbit → 5 chunks of 400 Mbit = 2 Gbit.
+  auto v = store.AddVideo("movie", Gigabits(1));
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(store.physical_used(), Gigabits(2));
+}
+
+TEST(ChunkedStoreTest, CapacityEnforced) {
+  ChunkedVideoStore store = MakeStore(Megabits(200));
+  // 9.19 GB disk ≈ 73.9 Gbit physical; with 2x overhead ≈ 36.9 Gbit logical.
+  auto a = store.AddVideo("a", Gigabits(30));
+  ASSERT_TRUE(a.ok());
+  auto b = store.AddVideo("b", Gigabits(30));
+  EXPECT_EQ(b.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(ChunkedStoreTest, ReadLocationValidates) {
+  ChunkedVideoStore store = MakeStore(Megabits(200));
+  auto v = store.AddVideo("movie", Gigabits(1));
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(store.ReadLocation(99, 0, Megabits(1)).ok());
+  EXPECT_FALSE(store.ReadLocation(*v, Gigabits(2), Megabits(1)).ok());
+}
+
+TEST(ChunkedStoreTest, LocationsAdvanceMonotonically) {
+  ChunkedVideoStore store = MakeStore(Megabits(200));
+  auto v = store.AddVideo("movie", Gigabits(4));
+  ASSERT_TRUE(v.ok());
+  double prev = -1;
+  for (double off = 0; off < 3.8e9; off += 100e6) {
+    auto cyl = store.ReadLocation(*v, off, Megabits(100));
+    ASSERT_TRUE(cyl.ok());
+    EXPECT_GT(*cyl, prev);
+    prev = *cyl;
+  }
+}
+
+}  // namespace
+}  // namespace vod::disk

@@ -1,0 +1,217 @@
+#include "core/closed_form.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/recurrence.h"
+#include "core/static_alloc.h"
+#include "disk/disk_profile.h"
+
+namespace vod::core {
+namespace {
+
+AllocParams PaperParams(int alpha = 1) {
+  auto p = MakeAllocParams(disk::SeagateBarracuda9LP(), Mbps(1.5),
+                           ScheduleMethod::kRoundRobin, 0, alpha);
+  EXPECT_TRUE(p.ok());
+  return p.value();
+}
+
+// --- Static baseline (Eq. 5) ---
+
+TEST(StaticAllocTest, FullyLoadedMatchesHandComputation) {
+  const AllocParams p = PaperParams();
+  // BS(79) = 79 · 1.5e6 · DL · 120e6 / (120e6 − 118.5e6), DL = 21.73 ms.
+  const double expected =
+      79.0 * Mbps(1.5) * Milliseconds(21.73) * Mbps(120) /
+      (Mbps(120) - 79.0 * Mbps(1.5));
+  EXPECT_NEAR(StaticSchemeBufferSize(p).value(), expected, 1.0);
+  EXPECT_NEAR(ToMegabits(expected), 206.0, 0.5);  // ≈ 206 Mbit ≈ 24.6 MB.
+}
+
+TEST(StaticAllocTest, GrowsSuperlinearlyTowardN) {
+  const AllocParams p = PaperParams();
+  const double bs40 = StaticBufferSize(p, 40).value();
+  const double bs78 = StaticBufferSize(p, 78).value();
+  const double bs79 = StaticBufferSize(p, 79).value();
+  EXPECT_GT(bs78 / bs40, 78.0 / 40.0);  // Faster than linear.
+  EXPECT_GT(bs79, bs78);
+}
+
+TEST(StaticAllocTest, RejectsOutOfRangeN) {
+  const AllocParams p = PaperParams();
+  EXPECT_FALSE(StaticBufferSize(p, 0).ok());
+  EXPECT_FALSE(StaticBufferSize(p, 80).ok());
+}
+
+TEST(StaticAllocTest, ServicePeriodIsBufferOverConsumption) {
+  const AllocParams p = PaperParams();
+  const double bs = StaticBufferSize(p, 50).value();
+  EXPECT_NEAR(StaticServicePeriod(p, 50).value(), bs / p.cr, 1e-9);
+}
+
+// --- Expansion step count e ---
+
+TEST(ClosedFormTest, ExpansionStepsSatisfyDefiningProperty) {
+  for (int alpha : {1, 2, 3}) {
+    const AllocParams p = PaperParams(alpha);
+    for (int n = 1; n < p.n_max; ++n) {
+      for (int k = 0; k <= p.n_max; ++k) {
+        const int e = ExpansionSteps(p, n, k).value();
+        ASSERT_GE(e, 1);
+        // f(i) = n + i·k + (i−1)·i·α/2 must first reach N exactly at i = e.
+        auto f = [&](int i) {
+          return n + i * k + (i - 1) * i * alpha / 2.0;
+        };
+        EXPECT_GE(f(e), p.n_max) << "n=" << n << " k=" << k << " α=" << alpha;
+        if (e > 1) {
+          EXPECT_LT(f(e - 1), p.n_max)
+              << "n=" << n << " k=" << k << " α=" << alpha;
+        }
+      }
+    }
+  }
+}
+
+TEST(ClosedFormTest, ExpansionStepsEqualsRecurrenceDepth) {
+  for (int alpha : {1, 2, 5}) {
+    const AllocParams p = PaperParams(alpha);
+    for (int n = 1; n < p.n_max; n += 3) {
+      for (int k = 0; k <= p.n_max - n; k += 2) {
+        EXPECT_EQ(ExpansionSteps(p, n, k).value(),
+                  RecurrenceDepth(p, n, k).value())
+            << "n=" << n << " k=" << k << " α=" << alpha;
+      }
+    }
+  }
+}
+
+TEST(ClosedFormTest, ExpansionStepsUndefinedAtFullLoad) {
+  const AllocParams p = PaperParams();
+  EXPECT_FALSE(ExpansionSteps(p, p.n_max, 0).ok());
+}
+
+// --- Theorem 1 (the paper's central result) ---
+
+struct SweepCase {
+  const char* name;
+  disk::DiskProfile profile;
+  int alpha;
+};
+
+class Theorem1Property
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Theorem1Property, ClosedFormEqualsRecurrenceEverywhere) {
+  const auto [alpha, profile_idx] = GetParam();
+  const disk::DiskProfile profile =
+      profile_idx == 0 ? disk::SeagateBarracuda9LP() : disk::SmallTestDisk();
+  auto pr = MakeAllocParams(profile, Mbps(1.5), ScheduleMethod::kRoundRobin,
+                            0, alpha);
+  ASSERT_TRUE(pr.ok());
+  const AllocParams p = pr.value();
+  for (int n = 1; n <= p.n_max; ++n) {
+    for (int k = 0; k <= p.n_max; ++k) {
+      const double closed = DynamicBufferSize(p, n, k).value();
+      const double direct = BufferSizeByRecurrence(p, n, k).value();
+      EXPECT_NEAR(closed / direct, 1.0, 1e-9)
+          << "n=" << n << " k=" << k << " α=" << alpha
+          << " profile=" << profile.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaAndProfileSweep, Theorem1Property,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(0, 1)),
+    [](const auto& info) {
+      return "alpha" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == 0 ? "_barracuda" : "_smalldisk");
+    });
+
+TEST(ClosedFormTest, FullyLoadedEqualsStaticScheme) {
+  const AllocParams p = PaperParams();
+  EXPECT_DOUBLE_EQ(DynamicBufferSize(p, p.n_max, 0).value(),
+                   StaticSchemeBufferSize(p).value());
+}
+
+TEST(ClosedFormTest, MonotoneInN) {
+  const AllocParams p = PaperParams();
+  for (int k : {0, 1, 4}) {
+    double prev = 0;
+    for (int n = 1; n <= p.n_max; ++n) {
+      const double bs = DynamicBufferSize(p, n, k).value();
+      EXPECT_GE(bs, prev) << "n=" << n << " k=" << k;
+      prev = bs;
+    }
+  }
+}
+
+TEST(ClosedFormTest, MonotoneInK) {
+  const AllocParams p = PaperParams();
+  for (int n : {1, 10, 40, 70}) {
+    double prev = 0;
+    for (int k = 0; k <= p.n_max - n; ++k) {
+      const double bs = DynamicBufferSize(p, n, k).value();
+      EXPECT_GE(bs, prev - 1e-9) << "n=" << n << " k=" << k;
+      prev = bs;
+    }
+  }
+}
+
+TEST(ClosedFormTest, DynamicNeverExceedsFullyLoadedSize) {
+  const AllocParams p = PaperParams();
+  const double full = StaticSchemeBufferSize(p).value();
+  for (int n = 1; n <= p.n_max; ++n) {
+    for (int k = 0; k <= p.n_max; k += 7) {
+      EXPECT_LE(DynamicBufferSize(p, n, k).value(), full * (1 + 1e-12));
+    }
+  }
+}
+
+TEST(ClosedFormTest, DynamicAtLeastStaticAtSameLoad) {
+  // BS_k(n) sizes for n+k future requests, so it dominates the static
+  // formula's BS(n) (which assumes the load never grows).
+  const AllocParams p = PaperParams();
+  for (int n = 1; n < p.n_max; n += 5) {
+    EXPECT_GE(DynamicBufferSize(p, n, 1).value(),
+              StaticBufferSize(p, n).value());
+  }
+}
+
+TEST(ClosedFormTest, SaturatedKCollapsesToFullSize) {
+  // k >= N − n means the very next expansion hits the boundary: the buffer
+  // equals the fully loaded size regardless of how much bigger k gets.
+  const AllocParams p = PaperParams();
+  const double full = StaticSchemeBufferSize(p).value();
+  EXPECT_NEAR(DynamicBufferSize(p, 10, p.n_max - 10).value(), full, 1e-6);
+  EXPECT_NEAR(DynamicBufferSize(p, 10, p.n_max).value(), full, 1e-6);
+}
+
+TEST(ClosedFormTest, RejectsBadInputs) {
+  const AllocParams p = PaperParams();
+  EXPECT_FALSE(DynamicBufferSize(p, 0, 1).ok());
+  EXPECT_FALSE(DynamicBufferSize(p, p.n_max + 1, 0).ok());
+  EXPECT_FALSE(DynamicBufferSize(p, 1, -1).ok());
+}
+
+TEST(ClosedFormTest, UsagePeriodIsBufferOverConsumption) {
+  const AllocParams p = PaperParams();
+  EXPECT_DOUBLE_EQ(UsagePeriod(p, Megabits(3)), Megabits(3) / p.cr);
+}
+
+TEST(ClosedFormTest, PaperScaleSanity) {
+  // The dynamic buffer at n = 1 must be orders of magnitude below the
+  // static scheme's 206 Mbit — this gap is the paper's whole point.
+  const AllocParams p = PaperParams();
+  const double bs1 = DynamicBufferSize(p, 1, 4).value();
+  EXPECT_LT(ToMegabits(bs1), 1.0);
+  EXPECT_GT(ToMegabits(bs1), 0.01);
+}
+
+}  // namespace
+}  // namespace vod::core

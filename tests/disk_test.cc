@@ -1,0 +1,209 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "disk/disk_profile.h"
+#include "disk/seek_model.h"
+#include "disk/simulated_disk.h"
+#include "disk/video_layout.h"
+
+namespace vod::disk {
+namespace {
+
+// --- SeekModel ---
+
+TEST(SeekModelTest, ZeroDistanceIsFree) {
+  SeekModel m(Milliseconds(0.54), Milliseconds(0.26), Milliseconds(5.0),
+              Milliseconds(0.0014), 400.0);
+  EXPECT_DOUBLE_EQ(m.SeekTime(0.0), 0.0);
+}
+
+TEST(SeekModelTest, ShortSeekUsesSqrtBranch) {
+  SeekModel m(Milliseconds(0.54), Milliseconds(0.26), Milliseconds(5.0),
+              Milliseconds(0.0014), 400.0);
+  EXPECT_NEAR(m.SeekTime(100.0), Milliseconds(0.54 + 0.26 * 10.0), 1e-12);
+}
+
+TEST(SeekModelTest, LongSeekUsesLinearBranch) {
+  SeekModel m(Milliseconds(0.54), Milliseconds(0.26), Milliseconds(5.0),
+              Milliseconds(0.0014), 400.0);
+  EXPECT_NEAR(m.SeekTime(6000.0), Milliseconds(5.0 + 0.0014 * 6000.0), 1e-12);
+}
+
+TEST(SeekModelTest, PaperModelHits13point4msMaxSeek) {
+  const DiskProfile p = SeagateBarracuda9LP();
+  EXPECT_NEAR(p.MaxSeekTime(), Milliseconds(13.4), 1e-9);
+}
+
+TEST(SeekModelTest, MonotoneWithinBranchesAndNearlyContinuous) {
+  // The paper's published constants are *slightly* discontinuous at the
+  // x = 400 boundary (5.74 ms vs 5.56 ms); each branch is monotone and the
+  // jump stays within the 5% Validate() tolerance.
+  const SeekModel m = SeagateBarracuda9LP().seek;
+  double prev = 0.0;
+  for (double x = 1; x <= 6000; x += 7) {
+    const double t = m.SeekTime(x);
+    if (x < 400 || x - 7 >= 400) {
+      EXPECT_GE(t, prev) << "at x=" << x;
+    } else {
+      EXPECT_GE(t, prev * 0.95) << "boundary crossing at x=" << x;
+    }
+    prev = t;
+  }
+}
+
+TEST(SeekModelTest, ValidateRejectsNegativeCoefficients) {
+  SeekModel bad(-1e-3, 0, 0, 0, 400.0);
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(SeekModelTest, ValidateRejectsDownwardJump) {
+  // Left limit at 400: 1 + 0.1*20 = 3 ms; right: 0.5 ms — a big drop.
+  SeekModel bad(Milliseconds(1.0), Milliseconds(0.1), Milliseconds(0.5),
+                Milliseconds(0.0), 400.0);
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(SeekModelTest, PaperProfilesValidate) {
+  EXPECT_TRUE(SeagateBarracuda9LP().Validate().ok());
+  EXPECT_TRUE(SmallTestDisk().Validate().ok());
+}
+
+// --- DiskProfile ---
+
+TEST(DiskProfileTest, Barracuda9LPMatchesTable3) {
+  const DiskProfile p = SeagateBarracuda9LP();
+  EXPECT_DOUBLE_EQ(p.transfer_rate, Mbps(120));
+  EXPECT_NEAR(p.max_rotational_latency, Milliseconds(8.33), 1e-12);
+  EXPECT_NEAR(ToGigabytes(p.capacity), 9.19, 1e-9);
+  EXPECT_EQ(p.cylinders, 6000);
+}
+
+TEST(DiskProfileTest, WorstLatencyIsSeekPlusRotation) {
+  const DiskProfile p = SeagateBarracuda9LP();
+  EXPECT_NEAR(p.WorstLatency(6000.0),
+              Milliseconds(13.4) + Milliseconds(8.33), 1e-9);
+  // Span beyond the disk clamps to the full stroke.
+  EXPECT_DOUBLE_EQ(p.WorstLatency(1e9), p.WorstLatency(6000.0));
+}
+
+TEST(DiskProfileTest, TransferTime) {
+  const DiskProfile p = SeagateBarracuda9LP();
+  EXPECT_DOUBLE_EQ(p.TransferTime(Megabits(120)), 1.0);
+}
+
+TEST(DiskProfileTest, ValidateCatchesBadFields) {
+  DiskProfile p = SeagateBarracuda9LP();
+  p.capacity = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SeagateBarracuda9LP();
+  p.transfer_rate = -1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SeagateBarracuda9LP();
+  p.cylinders = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+// --- VideoLayout ---
+
+TEST(VideoLayoutTest, PlacesVideosContiguously) {
+  VideoLayout layout(SeagateBarracuda9LP());
+  auto a = layout.AddVideo("a", Gigabits(10));
+  auto b = layout.AddVideo("b", Gigabits(10));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(layout.Get(*a)->start_offset, 0);
+  EXPECT_DOUBLE_EQ(layout.Get(*b)->start_offset, Gigabits(10));
+}
+
+TEST(VideoLayoutTest, RejectsWhenFull) {
+  VideoLayout layout(SmallTestDisk());  // 1 GB = 8 Gbit.
+  EXPECT_TRUE(layout.AddVideo("a", Gigabits(7)).ok());
+  auto r = layout.AddVideo("b", Gigabits(2));
+  EXPECT_EQ(r.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(VideoLayoutTest, RejectsNonPositiveSize) {
+  VideoLayout layout(SmallTestDisk());
+  EXPECT_EQ(layout.AddVideo("z", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(VideoLayoutTest, CylinderOfMapsOffsets) {
+  const DiskProfile p = SeagateBarracuda9LP();
+  VideoLayout layout(p);
+  auto v = layout.AddVideo("a", p.capacity / 2);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(layout.CylinderOf(*v, 0).value(), 0.0);
+  EXPECT_NEAR(layout.CylinderOf(*v, p.capacity / 2).value(), 3000.0, 1.0);
+}
+
+TEST(VideoLayoutTest, CylinderOfValidates) {
+  VideoLayout layout(SeagateBarracuda9LP());
+  auto v = layout.AddVideo("a", Gigabits(1));
+  EXPECT_EQ(layout.CylinderOf(99, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(layout.CylinderOf(*v, Gigabits(2)).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(VideoLayoutTest, FillWithVideosStopsAtCapacity) {
+  VideoLayout layout(SmallTestDisk());  // 8 Gbit capacity.
+  auto ids = layout.FillWithVideos(100, Gigabits(3));
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(layout.video_count(), 2);
+}
+
+// --- SimulatedDisk ---
+
+TEST(SimulatedDiskTest, ReadTimingBreakdown) {
+  const DiskProfile p = SeagateBarracuda9LP();
+  SimulatedDisk disk(p);
+  auto t = disk.Read(1000.0, Megabits(12), 1.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(t->seek, p.seek.SeekTime(1000.0), 1e-12);
+  EXPECT_NEAR(t->rotation, p.max_rotational_latency, 1e-12);
+  EXPECT_NEAR(t->transfer, Megabits(12) / p.transfer_rate, 1e-12);
+  EXPECT_NEAR(t->total(), t->seek + t->rotation + t->transfer, 1e-12);
+}
+
+TEST(SimulatedDiskTest, HeadAdvancesWithRead) {
+  const DiskProfile p = SeagateBarracuda9LP();
+  SimulatedDisk disk(p);
+  ASSERT_TRUE(disk.Read(100.0, p.BitsPerCylinder() * 5, 0.0).ok());
+  EXPECT_NEAR(disk.head_cylinder(), 105.0, 1e-9);
+  // Second read from the same place has a small seek now.
+  auto t = disk.Read(105.0, 0.0, 0.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->seek, 0.0);
+}
+
+TEST(SimulatedDiskTest, RejectsBadArguments) {
+  SimulatedDisk disk(SeagateBarracuda9LP());
+  EXPECT_FALSE(disk.Read(-1.0, 10, 0.5).ok());
+  EXPECT_FALSE(disk.Read(1e9, 10, 0.5).ok());
+  EXPECT_FALSE(disk.Read(0.0, -10, 0.5).ok());
+  EXPECT_FALSE(disk.Read(0.0, 10, 2.0).ok());
+}
+
+TEST(SimulatedDiskTest, CountersAccumulate) {
+  SimulatedDisk disk(SeagateBarracuda9LP());
+  ASSERT_TRUE(disk.Read(100.0, Megabits(1), 0.5).ok());
+  ASSERT_TRUE(disk.Read(200.0, Megabits(1), 0.5).ok());
+  EXPECT_EQ(disk.read_count(), 2);
+  EXPECT_GT(disk.total_seek_time(), 0.0);
+  EXPECT_GT(disk.total_rotation_time(), 0.0);
+  EXPECT_GT(disk.total_transfer_time(), 0.0);
+}
+
+TEST(SimulatedDiskTest, WorstCaseReadTimeBoundsActual) {
+  const DiskProfile p = SeagateBarracuda9LP();
+  SimulatedDisk disk(p);
+  const double worst = disk.WorstCaseReadTime(6000.0, Megabits(10));
+  auto t = disk.Read(5999.0, Megabits(10), 1.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_LE(t->total(), worst + 1e-12);
+}
+
+}  // namespace
+}  // namespace vod::disk

@@ -1,0 +1,101 @@
+#include "core/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/closed_form.h"
+#include "core/static_alloc.h"
+#include "disk/disk_profile.h"
+
+namespace vod::core {
+namespace {
+
+AllocParams Params(ScheduleMethod m, int n_or_g) {
+  auto p = MakeAllocParams(disk::SeagateBarracuda9LP(), Mbps(1.5), m, n_or_g,
+                           1);
+  EXPECT_TRUE(p.ok());
+  return p.value();
+}
+
+TEST(LatencyModelTest, RoundRobinEquation2) {
+  const AllocParams p = Params(ScheduleMethod::kRoundRobin, 0);
+  const Bits bs = Megabits(206);
+  EXPECT_NEAR(WorstInitialLatencyRoundRobin(p, bs),
+              2 * p.dl + bs / p.tr, 1e-12);
+  // With the paper's numbers: 2·21.73ms + 1.717s ≈ 1.76 s.
+  EXPECT_NEAR(WorstInitialLatencyRoundRobin(p, bs), 1.76, 0.01);
+}
+
+TEST(LatencyModelTest, SweepEquation3) {
+  const AllocParams p = Params(ScheduleMethod::kSweep, 79);
+  const Bits bs = Megabits(100);
+  const double slot = p.dl + bs / p.tr;
+  EXPECT_NEAR(WorstInitialLatencySweep(p, bs, 79), (2 * 79 + 1) * slot,
+              1e-9);
+}
+
+TEST(LatencyModelTest, GssEquation4) {
+  const AllocParams p = Params(ScheduleMethod::kGss, 8);
+  const Bits bs = Megabits(130);
+  EXPECT_NEAR(WorstInitialLatencyGss(p, bs, 8),
+              2 * 8 * (p.dl + bs / p.tr), 1e-9);
+}
+
+TEST(LatencyModelTest, LatencyLinearInBufferSize) {
+  // Sec. 2.2: "initial latency increases linearly in proportion to the
+  // buffer size BS regardless of buffer scheduling methods".
+  const AllocParams p = Params(ScheduleMethod::kRoundRobin, 0);
+  const double il1 = WorstInitialLatencyRoundRobin(p, Megabits(10));
+  const double il2 = WorstInitialLatencyRoundRobin(p, Megabits(20));
+  const double il3 = WorstInitialLatencyRoundRobin(p, Megabits(30));
+  EXPECT_NEAR(il3 - il2, il2 - il1, 1e-12);
+}
+
+TEST(LatencyModelTest, DispatchMatchesDirectCalls) {
+  const AllocParams p = Params(ScheduleMethod::kSweep, 40);
+  const Bits bs = Megabits(50);
+  EXPECT_DOUBLE_EQ(
+      WorstInitialLatency(p, ScheduleMethod::kSweep, bs, 40).value(),
+      WorstInitialLatencySweep(p, bs, 40));
+  EXPECT_DOUBLE_EQ(
+      WorstInitialLatency(p, ScheduleMethod::kRoundRobin, bs, 0).value(),
+      WorstInitialLatencyRoundRobin(p, bs));
+  EXPECT_DOUBLE_EQ(
+      WorstInitialLatency(p, ScheduleMethod::kGss, bs, 8).value(),
+      WorstInitialLatencyGss(p, bs, 8));
+}
+
+TEST(LatencyModelTest, DispatchValidates) {
+  const AllocParams p = Params(ScheduleMethod::kSweep, 40);
+  EXPECT_FALSE(WorstInitialLatency(p, ScheduleMethod::kSweep, -1.0, 4).ok());
+  EXPECT_FALSE(WorstInitialLatency(p, ScheduleMethod::kSweep, 1.0, 0).ok());
+  EXPECT_FALSE(WorstInitialLatency(p, ScheduleMethod::kGss, 1.0, 0).ok());
+}
+
+TEST(LatencyModelTest, DynamicBeatsStaticBelowFullLoad) {
+  // The headline claim, in worst-case analytic form (Fig. 10): at every
+  // n < N the dynamic scheme's worst latency is below the static one's.
+  const AllocParams p = Params(ScheduleMethod::kRoundRobin, 0);
+  const Bits static_bs = StaticSchemeBufferSize(p).value();
+  for (int n = 1; n < p.n_max; n += 6) {
+    const Bits dyn_bs =
+        DynamicBufferSize(p, n, std::min(4, p.n_max - n)).value();
+    EXPECT_LT(WorstInitialLatencyRoundRobin(p, dyn_bs),
+              WorstInitialLatencyRoundRobin(p, static_bs))
+        << "n=" << n;
+  }
+}
+
+TEST(LatencyModelTest, PaperRatioAtLowLoadIsLarge) {
+  // At n = 1 the reduction is enormous (the paper's 1/11 figure is an
+  // average over n; the low-load end is far bigger).
+  const AllocParams p = Params(ScheduleMethod::kRoundRobin, 0);
+  const Bits static_bs = StaticSchemeBufferSize(p).value();
+  const Bits dyn_bs = DynamicBufferSize(p, 1, 4).value();
+  const double ratio = WorstInitialLatencyRoundRobin(p, static_bs) /
+                       WorstInitialLatencyRoundRobin(p, dyn_bs);
+  EXPECT_GT(ratio, 20.0);
+}
+
+}  // namespace
+}  // namespace vod::core

@@ -1,0 +1,188 @@
+#include "core/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/closed_form.h"
+#include "core/static_alloc.h"
+#include "disk/disk_profile.h"
+
+namespace vod::core {
+namespace {
+
+AllocParams PaperParams(ScheduleMethod m = ScheduleMethod::kRoundRobin,
+                        int n_or_g = 0) {
+  auto p =
+      MakeAllocParams(disk::SeagateBarracuda9LP(), Mbps(1.5), m, n_or_g, 1);
+  EXPECT_TRUE(p.ok());
+  return p.value();
+}
+
+/// Brute force of Theorem 2's model (proof of Eq. 15–17): n buffers of size
+/// BS refilled on a carousel of (slots) equal slots of width T/slots with
+/// T = BS/CR; each holds BS − CR·((t−τ_i) mod T) + CR·DL. The minimum
+/// memory requirement is the max of the sum over the service instants.
+double BruteForceRoundRobinMemory(const AllocParams& p, Bits bs, int n,
+                                  int slots) {
+  const double t_period = bs / p.cr;
+  const double delta = t_period / slots;
+  double best = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double t = j * delta;
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double dt = std::fmod(t - i * delta + 2 * t_period, t_period);
+      total += bs - p.cr * dt + p.cr * p.dl;
+    }
+    best = std::max(best, total);
+  }
+  return best;
+}
+
+TEST(MemoryModelTest, Theorem2MatchesBruteForce) {
+  const AllocParams p = PaperParams();
+  for (int n : {1, 2, 5, 20, 40, 79}) {
+    for (int k : {0, 1, 4, 10}) {
+      if (n + k > p.n_max) continue;
+      const Bits bs = DynamicBufferSize(p, n, k).value();
+      const double expected = BruteForceRoundRobinMemory(p, bs, n, n + k);
+      const double got = MemoryRequirementRoundRobin(p, bs, n, n + k);
+      EXPECT_NEAR(got / expected, 1.0, 1e-9) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(MemoryModelTest, Theorem2StaticInstantiationMatchesBruteForce) {
+  const AllocParams p = PaperParams();
+  const Bits bs = StaticSchemeBufferSize(p).value();
+  for (int n : {1, 10, 50, 79}) {
+    EXPECT_NEAR(MemoryRequirementRoundRobin(p, bs, n, p.n_max) /
+                    BruteForceRoundRobinMemory(p, bs, n, p.n_max),
+                1.0, 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(MemoryModelTest, SweepSingleRequestCase) {
+  const AllocParams p = PaperParams(ScheduleMethod::kSweep, 1);
+  const Bits bs = Megabits(10);
+  EXPECT_NEAR(MemoryRequirementSweep(p, bs, 1, 5),
+              bs + (bs / p.tr + p.dl) * p.cr, 1e-6);
+}
+
+TEST(MemoryModelTest, SweepFormulaForTwoRequests) {
+  const AllocParams p = PaperParams(ScheduleMethod::kSweep, 2);
+  const Bits bs = Megabits(10);
+  const double t = bs / p.cr;
+  // n = 2: (n−1)·BS + (n·T/slots − (n−2)·BS/TR)·CR·n with slots = 3.
+  EXPECT_NEAR(MemoryRequirementSweep(p, bs, 2, 3),
+              bs + (2 * t / 3) * p.cr * 2, 1e-6);
+}
+
+TEST(MemoryModelTest, GssDegeneratesToSweepWhenGroupCoversAll) {
+  const AllocParams p = PaperParams(ScheduleMethod::kGss, 8);
+  const Bits bs = Megabits(20);
+  EXPECT_DOUBLE_EQ(MemoryRequirementGss(p, bs, 6, 10, 8),
+                   MemoryRequirementSweep(p, bs, 6, 10));
+}
+
+TEST(MemoryModelTest, GssDegeneratesToRoundRobinWhenGroupOfOne) {
+  const AllocParams p = PaperParams(ScheduleMethod::kGss, 1);
+  const Bits bs = Megabits(20);
+  EXPECT_DOUBLE_EQ(MemoryRequirementGss(p, bs, 6, 10, 1),
+                   MemoryRequirementRoundRobin(p, bs, 6, 10));
+}
+
+TEST(MemoryModelTest, GssHandlesExactAndRemainderGroups) {
+  const AllocParams p = PaperParams(ScheduleMethod::kGss, 8);
+  const Bits bs = Megabits(20);
+  // g | n and g ∤ n both produce positive, finite, ordered values.
+  const double m16 = MemoryRequirementGss(p, bs, 16, 20, 8);
+  const double m17 = MemoryRequirementGss(p, bs, 17, 21, 8);
+  const double m24 = MemoryRequirementGss(p, bs, 24, 28, 8);
+  EXPECT_GT(m16, 0);
+  EXPECT_GT(m17, m16 * 0.9);
+  EXPECT_GT(m24, m17 * 0.9);
+}
+
+TEST(MemoryModelTest, DynamicRequirementIncreasesWithN) {
+  for (ScheduleMethod m : {ScheduleMethod::kRoundRobin,
+                           ScheduleMethod::kSweep, ScheduleMethod::kGss}) {
+    const AllocParams p =
+        PaperParams(m, m == ScheduleMethod::kGss ? 8 : 79);
+    double prev = 0;
+    for (int n = 1; n <= p.n_max; n += 6) {
+      const double mem =
+          DynamicMemoryRequirement(p, m, n, 3, 8).value();
+      EXPECT_GT(mem, prev * 0.999) << ScheduleMethodName(m) << " n=" << n;
+      prev = mem;
+    }
+  }
+}
+
+TEST(MemoryModelTest, DynamicBelowStaticBelowFullLoad) {
+  // Fig. 12's claim: the dynamic scheme needs (much) less memory than the
+  // static scheme whenever n < N.
+  for (ScheduleMethod m : {ScheduleMethod::kRoundRobin,
+                           ScheduleMethod::kSweep, ScheduleMethod::kGss}) {
+    const AllocParams p =
+        PaperParams(m, m == ScheduleMethod::kGss ? 8 : 79);
+    for (int n = 1; n < p.n_max; n += 9) {
+      const double dyn = DynamicMemoryRequirement(p, m, n, 3, 8).value();
+      const double stat = StaticMemoryRequirement(p, m, n, 8).value();
+      EXPECT_LT(dyn, stat) << ScheduleMethodName(m) << " n=" << n;
+    }
+  }
+}
+
+TEST(MemoryModelTest, SchemesConvergeAtFullLoad) {
+  for (ScheduleMethod m : {ScheduleMethod::kRoundRobin,
+                           ScheduleMethod::kSweep, ScheduleMethod::kGss}) {
+    const AllocParams p =
+        PaperParams(m, m == ScheduleMethod::kGss ? 8 : 79);
+    const double dyn =
+        DynamicMemoryRequirement(p, m, p.n_max, 0, 8).value();
+    const double stat = StaticMemoryRequirement(p, m, p.n_max, 8).value();
+    EXPECT_NEAR(dyn / stat, 1.0, 1e-9) << ScheduleMethodName(m);
+  }
+}
+
+TEST(MemoryModelTest, LowLoadGapIsLarge) {
+  // At n = 1 the static scheme already reserves a share of the huge BS(N)
+  // buffers; the dynamic scheme's requirement is orders of magnitude less.
+  const AllocParams p = PaperParams();
+  const double dyn =
+      DynamicMemoryRequirement(p, ScheduleMethod::kRoundRobin, 1, 4, 8)
+          .value();
+  const double stat =
+      StaticMemoryRequirement(p, ScheduleMethod::kRoundRobin, 1, 8).value();
+  EXPECT_GT(stat / dyn, 50.0);
+}
+
+TEST(MemoryModelTest, ValidatesArguments) {
+  const AllocParams p = PaperParams();
+  EXPECT_FALSE(
+      DynamicMemoryRequirement(p, ScheduleMethod::kRoundRobin, 0, 0, 8).ok());
+  EXPECT_FALSE(DynamicMemoryRequirement(p, ScheduleMethod::kRoundRobin,
+                                        p.n_max + 1, 0, 8)
+                   .ok());
+  EXPECT_FALSE(
+      DynamicMemoryRequirement(p, ScheduleMethod::kRoundRobin, 1, -1, 8).ok());
+  EXPECT_FALSE(DynamicMemoryRequirement(p, ScheduleMethod::kGss, 1, 0, 0).ok());
+  EXPECT_FALSE(StaticMemoryRequirement(p, ScheduleMethod::kGss, 1, 0).ok());
+}
+
+TEST(MemoryModelTest, MemoryAtLeastSumOfLiveBuffers) {
+  // Lower bound sanity: the requirement covers at least one buffer for the
+  // (n−1) filled streams (the Sweep bound) or ~half the ring (RR).
+  const AllocParams p = PaperParams();
+  const Bits bs = DynamicBufferSize(p, 20, 3).value();
+  EXPECT_GE(MemoryRequirementRoundRobin(p, bs, 20, 23), 10 * bs);
+  EXPECT_GE(MemoryRequirementSweep(p, bs, 20, 23), 19 * bs);
+}
+
+}  // namespace
+}  // namespace vod::core

@@ -1,0 +1,152 @@
+#include "sim/multi_disk.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/workload.h"
+
+namespace vod::sim {
+namespace {
+
+// --- AnalyticMemoryBroker ---
+
+core::AllocParams SmallParams() {
+  auto p = core::MakeAllocParams(disk::SmallTestDisk(), Mbps(1.5),
+                                 core::ScheduleMethod::kRoundRobin, 0, 1);
+  EXPECT_TRUE(p.ok());
+  return p.value();
+}
+
+TEST(AnalyticMemoryBrokerTest, PricesWithMemoryModel) {
+  const core::AllocParams p = SmallParams();
+  AnalyticMemoryBroker broker(p, core::ScheduleMethod::kRoundRobin,
+                              /*use_dynamic=*/true, 8, /*disk_count=*/2,
+                              Gigabytes(1));
+  EXPECT_DOUBLE_EQ(broker.PriceDisk(0, 0), 0.0);
+  const double price =
+      core::DynamicMemoryRequirement(p, core::ScheduleMethod::kRoundRobin, 5,
+                                     2, 8)
+          .value();
+  EXPECT_DOUBLE_EQ(broker.PriceDisk(5, 2), price);
+}
+
+TEST(AnalyticMemoryBrokerTest, AdmitsWithinBudgetOnly) {
+  const core::AllocParams p = SmallParams();
+  // Budget = exactly the cost of 3 requests on disk 0.
+  const double budget = core::DynamicMemoryRequirement(
+                            p, core::ScheduleMethod::kRoundRobin, 3, 1, 8)
+                            .value();
+  AnalyticMemoryBroker broker(p, core::ScheduleMethod::kRoundRobin, true, 8,
+                              2, budget);
+  EXPECT_TRUE(broker.CanAdmit(0, 3, 1));
+  EXPECT_FALSE(broker.CanAdmit(0, 4, 1));
+  broker.OnState(0, 3, 1);
+  EXPECT_DOUBLE_EQ(broker.ReservedMemory(), budget);
+  // The other disk has no room left.
+  EXPECT_FALSE(broker.CanAdmit(1, 1, 1));
+}
+
+TEST(AnalyticMemoryBrokerTest, RefusesBeyondDiskCapacity) {
+  const core::AllocParams p = SmallParams();
+  AnalyticMemoryBroker broker(p, core::ScheduleMethod::kRoundRobin, true, 8,
+                              1, Gigabytes(100));
+  EXPECT_FALSE(broker.CanAdmit(0, p.n_max + 1, 0));
+}
+
+TEST(UnlimitedMemoryBrokerTest, AlwaysAdmits) {
+  UnlimitedMemoryBroker broker;
+  EXPECT_TRUE(broker.CanAdmit(0, 1000, 50));
+  broker.OnState(0, 10, 3);
+  EXPECT_DOUBLE_EQ(broker.ReservedMemory(), 0.0);
+}
+
+// --- MultiDiskSimulator ---
+
+TEST(MultiDiskTest, RunsToCompletionAcrossDisks) {
+  SimConfig base;
+  base.method = core::ScheduleMethod::kRoundRobin;
+  base.scheme = AllocScheme::kDynamic;
+  base.t_log = Minutes(40);
+  auto md = MultiDiskSimulator::Create(base, /*disk_count=*/3,
+                                       Gigabytes(4));
+  ASSERT_TRUE(md.ok()) << md.status().ToString();
+
+  WorkloadConfig w;
+  w.duration = Hours(1);
+  w.total_expected_arrivals = 60;
+  w.disk_count = 3;
+  w.disk_theta = 0.5;
+  w.seed = 4;
+  auto arr = GenerateWorkload(w);
+  ASSERT_TRUE(arr.ok());
+  ASSERT_TRUE((*md)->AddArrivals(*arr).ok());
+  (*md)->RunToCompletion();
+  (*md)->Finalize();
+
+  EXPECT_EQ((*md)->TotalArrivals(), static_cast<long>(arr->size()));
+  EXPECT_EQ((*md)->TotalAdmitted() + (*md)->TotalRejected(),
+            (*md)->TotalArrivals());
+  EXPECT_GT((*md)->TotalAdmitted(), 0);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ((*md)->sim(d).active_count(), 0);
+  }
+}
+
+TEST(MultiDiskTest, TightMemoryForcesRejections) {
+  SimConfig base;
+  base.method = core::ScheduleMethod::kRoundRobin;
+  base.scheme = AllocScheme::kStatic;  // Static is hungriest.
+  auto md_small = MultiDiskSimulator::Create(base, 2, Megabytes(80));
+  auto md_large = MultiDiskSimulator::Create(base, 2, Gigabytes(8));
+  ASSERT_TRUE(md_small.ok());
+  ASSERT_TRUE(md_large.ok());
+
+  WorkloadConfig w;
+  w.duration = Hours(1);
+  w.total_expected_arrivals = 80;
+  w.disk_count = 2;
+  w.seed = 6;
+  auto arr = GenerateWorkload(w);
+  ASSERT_TRUE(arr.ok());
+  for (auto* md : {&md_small, &md_large}) {
+    ASSERT_TRUE((**md)->AddArrivals(*arr).ok());
+    (**md)->RunToCompletion();
+  }
+  EXPECT_GT((*md_small)->TotalRejected(), (*md_large)->TotalRejected());
+  EXPECT_LT((*md_small)->PeakConcurrency(), (*md_large)->PeakConcurrency());
+}
+
+TEST(MultiDiskTest, DynamicSchemeFitsMoreInSameMemory) {
+  // The Table 5 effect at a miniature scale: with a constrained shared
+  // memory, the dynamic scheme admits more concurrent viewers.
+  WorkloadConfig w;
+  w.duration = Hours(1);
+  w.total_expected_arrivals = 120;
+  w.disk_count = 2;
+  w.disk_theta = 0.5;
+  w.seed = 8;
+  auto arr = GenerateWorkload(w);
+  ASSERT_TRUE(arr.ok());
+
+  int peak[2] = {0, 0};
+  for (AllocScheme scheme : {AllocScheme::kStatic, AllocScheme::kDynamic}) {
+    SimConfig base;
+    base.method = core::ScheduleMethod::kRoundRobin;
+    base.scheme = scheme;
+    auto md = MultiDiskSimulator::Create(base, 2, Gigabytes(0.5));
+    ASSERT_TRUE(md.ok());
+    ASSERT_TRUE((*md)->AddArrivals(*arr).ok());
+    (*md)->RunToCompletion();
+    peak[scheme == AllocScheme::kDynamic ? 1 : 0] = (*md)->PeakConcurrency();
+  }
+  EXPECT_GT(peak[1], peak[0]);
+}
+
+TEST(MultiDiskTest, CreateValidates) {
+  SimConfig base;
+  EXPECT_FALSE(MultiDiskSimulator::Create(base, 0, Gigabytes(1)).ok());
+  EXPECT_FALSE(MultiDiskSimulator::Create(base, 2, 0).ok());
+}
+
+}  // namespace
+}  // namespace vod::sim

@@ -1,0 +1,81 @@
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "disk/disk_profile.h"
+
+namespace vod::core {
+namespace {
+
+TEST(ParamsTest, MaxConcurrentRequestsMatchesPaper) {
+  // TR = 120 Mbps, CR = 1.5 Mbps → TR/CR = 80, N = 79 (strictly below).
+  EXPECT_EQ(MaxConcurrentRequests(Mbps(120), Mbps(1.5)), 79);
+}
+
+TEST(ParamsTest, MaxConcurrentRequestsNonIntegralRatio) {
+  EXPECT_EQ(MaxConcurrentRequests(Mbps(100), Mbps(1.5)), 66);  // 66.67 → 66.
+}
+
+TEST(ParamsTest, MaxConcurrentRequestsDegenerate) {
+  EXPECT_EQ(MaxConcurrentRequests(0, Mbps(1)), 0);
+  EXPECT_EQ(MaxConcurrentRequests(Mbps(1), 0), 0);
+}
+
+TEST(ParamsTest, ValidateAcceptsPaperConfig) {
+  auto p = MakeAllocParams(disk::SeagateBarracuda9LP(), Mbps(1.5),
+                           ScheduleMethod::kRoundRobin, 0, 1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->n_max, 79);
+  EXPECT_TRUE(p->Validate().ok());
+}
+
+TEST(ParamsTest, ValidateRejectsAlphaZero) {
+  auto p = MakeAllocParams(disk::SeagateBarracuda9LP(), Mbps(1.5),
+                           ScheduleMethod::kRoundRobin, 0, 0);
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(ParamsTest, ValidateRejectsBadRates) {
+  AllocParams p;
+  p.tr = Mbps(120);
+  p.cr = 0;
+  p.dl = 0.01;
+  p.n_max = 79;
+  EXPECT_FALSE(p.Validate().ok());
+  p.cr = Mbps(1.5);
+  p.n_max = 80;  // Violates Eq. (1): 80 * 1.5 = 120 = TR.
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ParamsTest, WorstDiskLatencyRoundRobinIsFullStroke) {
+  const auto prof = disk::SeagateBarracuda9LP();
+  EXPECT_NEAR(WorstDiskLatency(prof, ScheduleMethod::kRoundRobin, 0),
+              Milliseconds(13.4 + 8.33), 1e-9);
+}
+
+TEST(ParamsTest, WorstDiskLatencySweepShrinksWithN) {
+  const auto prof = disk::SeagateBarracuda9LP();
+  const Seconds dl1 = WorstDiskLatency(prof, ScheduleMethod::kSweep, 1);
+  const Seconds dl79 = WorstDiskLatency(prof, ScheduleMethod::kSweep, 79);
+  EXPECT_GT(dl1, dl79);
+  // γ(6000/79) + θ = γ(75.9) + θ.
+  EXPECT_NEAR(dl79,
+              prof.seek.SeekTime(6000.0 / 79.0) + prof.max_rotational_latency,
+              1e-12);
+}
+
+TEST(ParamsTest, WorstDiskLatencyGssUsesGroupSize) {
+  const auto prof = disk::SeagateBarracuda9LP();
+  EXPECT_NEAR(WorstDiskLatency(prof, ScheduleMethod::kGss, 8),
+              prof.seek.SeekTime(750.0) + prof.max_rotational_latency, 1e-12);
+}
+
+TEST(ParamsTest, ScheduleMethodNames) {
+  EXPECT_EQ(ScheduleMethodName(ScheduleMethod::kRoundRobin), "RoundRobin");
+  EXPECT_EQ(ScheduleMethodName(ScheduleMethod::kSweep), "Sweep*");
+  EXPECT_EQ(ScheduleMethodName(ScheduleMethod::kGss), "GSS*");
+}
+
+}  // namespace
+}  // namespace vod::core

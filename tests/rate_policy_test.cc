@@ -1,0 +1,74 @@
+#include "core/rate_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace vod::core {
+namespace {
+
+TEST(RatePolicyTest, MaximalRatePicksMax) {
+  auto cr = EffectiveConsumptionRate({Mbps(1.5), Mbps(4.0), Mbps(2.0)},
+                                     RatePolicy::kMaximalRate);
+  ASSERT_TRUE(cr.ok());
+  EXPECT_DOUBLE_EQ(*cr, Mbps(4.0));
+}
+
+TEST(RatePolicyTest, UnitRateIsGcd) {
+  auto cr = EffectiveConsumptionRate({Mbps(1.5), Mbps(4.5), Mbps(3.0)},
+                                     RatePolicy::kUnitRate);
+  ASSERT_TRUE(cr.ok());
+  EXPECT_NEAR(*cr, Mbps(1.5), 2.0);
+}
+
+TEST(RatePolicyTest, SingleRateIsItselfUnderBothPolicies) {
+  for (RatePolicy p : {RatePolicy::kMaximalRate, RatePolicy::kUnitRate}) {
+    auto cr = EffectiveConsumptionRate({Mbps(1.5)}, p);
+    ASSERT_TRUE(cr.ok());
+    EXPECT_NEAR(*cr, Mbps(1.5), 2.0);
+  }
+}
+
+TEST(RatePolicyTest, RejectsEmptyAndNonPositive) {
+  EXPECT_FALSE(EffectiveConsumptionRate({}, RatePolicy::kMaximalRate).ok());
+  EXPECT_FALSE(
+      EffectiveConsumptionRate({Mbps(1.5), 0.0}, RatePolicy::kUnitRate).ok());
+}
+
+TEST(RatePolicyTest, MaximalRateUsesOneSlot) {
+  auto slots = RequestSlots(Mbps(1.5), Mbps(4.0), RatePolicy::kMaximalRate);
+  ASSERT_TRUE(slots.ok());
+  EXPECT_EQ(*slots, 1);
+}
+
+TEST(RatePolicyTest, MaximalRateRejectsFasterStream) {
+  EXPECT_FALSE(
+      RequestSlots(Mbps(6.0), Mbps(4.0), RatePolicy::kMaximalRate).ok());
+}
+
+TEST(RatePolicyTest, UnitRateSlotsRoundUp) {
+  auto s1 = RequestSlots(Mbps(3.0), Mbps(1.5), RatePolicy::kUnitRate);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(*s1, 2);
+  auto s2 = RequestSlots(Mbps(4.0), Mbps(1.5), RatePolicy::kUnitRate);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, 3);  // 2.67 rounds up.
+  auto s3 = RequestSlots(Mbps(1.5), Mbps(1.5), RatePolicy::kUnitRate);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(*s3, 1);
+}
+
+TEST(RatePolicyTest, UnitRateSlotsConserveThroughput) {
+  // slots · unit >= rate for every stream (the unit decomposition never
+  // under-provisions the stream's bandwidth).
+  const double unit = Mbps(0.5);
+  for (double rate : {Mbps(0.5), Mbps(1.5), Mbps(2.2), Mbps(6.0)}) {
+    auto s = RequestSlots(rate, unit, RatePolicy::kUnitRate);
+    ASSERT_TRUE(s.ok());
+    EXPECT_GE(*s * unit, rate - 1e-6);
+    EXPECT_LT((*s - 1) * unit, rate);
+  }
+}
+
+}  // namespace
+}  // namespace vod::core

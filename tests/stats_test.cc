@@ -1,0 +1,148 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanMinMax) {
+  RunningStats s;
+  for (double x : {3.0, 1.0, 4.0, 1.0, 5.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.8);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 14.0);
+}
+
+TEST(RunningStatsTest, VarianceMatchesTwoPass) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombinedStream) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Merge(b);  // Empty other.
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);  // Empty self.
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(5.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(HistogramTest, CountsAndMean) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 1.6, 9.5}) h.Add(x);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), (0.5 + 1.5 + 1.6 + 9.5) / 4);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBuckets) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(99.0);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(StepTimeSeriesTest, MaxAndValueAt) {
+  StepTimeSeries ts;
+  ts.Record(0.0, 1.0);
+  ts.Record(10.0, 3.0);
+  ts.Record(20.0, 2.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 3.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(9.9), 1.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(25.0), 2.0);
+}
+
+TEST(StepTimeSeriesTest, TimeWeightedMean) {
+  StepTimeSeries ts;
+  ts.Record(0.0, 2.0);
+  ts.Record(10.0, 4.0);
+  // 10s at 2, then 10s at 4 → mean 3.
+  EXPECT_DOUBLE_EQ(ts.TimeWeightedMean(20.0), 3.0);
+}
+
+TEST(StepTimeSeriesTest, MaxInWindow) {
+  StepTimeSeries ts;
+  ts.Record(0.0, 1.0);
+  ts.Record(5.0, 7.0);
+  ts.Record(6.0, 2.0);
+  EXPECT_DOUBLE_EQ(ts.MaxInWindow(0.0, 5.0), 1.0);   // Before the spike.
+  EXPECT_DOUBLE_EQ(ts.MaxInWindow(0.0, 5.5), 7.0);   // Includes the spike.
+  EXPECT_DOUBLE_EQ(ts.MaxInWindow(5.5, 10.0), 7.0);  // Value at window start.
+  EXPECT_DOUBLE_EQ(ts.MaxInWindow(6.0, 10.0), 2.0);
+}
+
+TEST(StepTimeSeriesTest, EmptySeries) {
+  StepTimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.ValueAt(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.TimeWeightedMean(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.MaxInWindow(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vod

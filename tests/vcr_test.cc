@@ -1,0 +1,121 @@
+// VCR semantics (Sec. 1 of the paper): fast-forward and rewind are treated
+// as new user requests. These tests exercise SubmitSession / VcrReposition /
+// Cancel on the facade and CancelRequest / start_position on the simulator.
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "vod/server.h"
+
+namespace vod {
+namespace {
+
+VodServer::Options DynRrOptions() {
+  VodServer::Options opt;
+  opt.config.method = core::ScheduleMethod::kRoundRobin;
+  opt.config.scheme = sim::AllocScheme::kDynamic;
+  opt.config.t_log = Minutes(40);
+  return opt;
+}
+
+TEST(VcrTest, SubmitSessionReturnsUsableId) {
+  auto server = VodServer::Create(DynRrOptions());
+  ASSERT_TRUE(server.ok());
+  auto id = (*server)->SubmitSession(0, Minutes(30));
+  ASSERT_TRUE(id.ok());
+  EXPECT_NE(*id, kInvalidRequestId);
+  EXPECT_EQ((*server)->active_requests(), 1);
+}
+
+TEST(VcrTest, SubmitSessionWithStartPosition) {
+  auto server = VodServer::Create(DynRrOptions());
+  ASSERT_TRUE(server.ok());
+  // Start an hour into a two-hour video; only an hour remains.
+  auto id = (*server)->SubmitSession(0, Hours(2), /*start=*/Hours(1));
+  ASSERT_TRUE(id.ok());
+  (*server)->RunToCompletion();
+  const sim::SimMetrics& m = (*server)->metrics();
+  EXPECT_EQ(m.completed, 1);
+  // Completion takes ~1 h of playback, not 2 (viewing clipped to the tail).
+  EXPECT_LT((*server)->now(), Hours(1) + Minutes(5));
+}
+
+TEST(VcrTest, SubmitBeyondVideoEndRejected) {
+  auto server = VodServer::Create(DynRrOptions());
+  ASSERT_TRUE(server.ok());
+  auto id = (*server)->SubmitSession(0, Minutes(10), /*start=*/Hours(3));
+  EXPECT_FALSE(id.ok());
+}
+
+TEST(VcrTest, CancelStopsPlayback) {
+  auto server = VodServer::Create(DynRrOptions());
+  ASSERT_TRUE(server.ok());
+  auto id = (*server)->SubmitSession(0, Hours(1));
+  ASSERT_TRUE(id.ok());
+  (*server)->RunFor(Minutes(5));
+  ASSERT_TRUE((*server)->Cancel(*id).ok());
+  EXPECT_EQ((*server)->active_requests(), 0);
+  EXPECT_EQ((*server)->metrics().cancelled, 1);
+  // Cancelling again fails cleanly.
+  EXPECT_EQ((*server)->Cancel(*id).code(), StatusCode::kNotFound);
+}
+
+TEST(VcrTest, RepositionIsCancelPlusNewRequest) {
+  auto server = VodServer::Create(DynRrOptions());
+  ASSERT_TRUE(server.ok());
+  auto id = (*server)->SubmitSession(0, Hours(2));
+  ASSERT_TRUE(id.ok());
+  (*server)->RunFor(Minutes(10));
+
+  // Fast-forward to minute 90.
+  auto id2 = (*server)->VcrReposition(*id, 0, Minutes(90), Minutes(30));
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(*id2, *id);
+  EXPECT_EQ((*server)->active_requests(), 1);
+
+  const sim::SimMetrics& m = (*server)->metrics();
+  EXPECT_EQ(m.cancelled, 1);
+  EXPECT_EQ(m.arrivals, 2);  // The reposition counts as a new arrival.
+
+  (*server)->RunToCompletion();
+  EXPECT_EQ((*server)->metrics().completed, 1);
+}
+
+TEST(VcrTest, RepositionPaysInitialLatencyAgain) {
+  // The paper's motivation for minimizing initial latency: every VCR action
+  // incurs it afresh. Two latency samples must exist after one reposition.
+  auto server = VodServer::Create(DynRrOptions());
+  ASSERT_TRUE(server.ok());
+  auto id = (*server)->SubmitSession(0, Hours(1));
+  ASSERT_TRUE(id.ok());
+  (*server)->RunFor(Minutes(2));
+  auto id2 = (*server)->VcrReposition(*id, 0, Minutes(50), Minutes(10));
+  ASSERT_TRUE(id2.ok());
+  (*server)->RunToCompletion();
+  EXPECT_EQ((*server)->metrics().initial_latency.count(), 2u);
+}
+
+TEST(VcrTest, ManyRepositionsKeepSystemConsistent) {
+  auto server = VodServer::Create(DynRrOptions());
+  ASSERT_TRUE(server.ok());
+  auto id = (*server)->SubmitSession(0, Hours(2));
+  ASSERT_TRUE(id.ok());
+  RequestId current = *id;
+  for (int i = 1; i <= 8; ++i) {
+    (*server)->RunFor(Minutes(1));
+    auto next = (*server)->VcrReposition(current, i % 6,
+                                         Minutes(5 + 10 * (i % 3)),
+                                         Minutes(20));
+    ASSERT_TRUE(next.ok()) << "hop " << i;
+    current = *next;
+  }
+  (*server)->RunToCompletion();
+  const sim::SimMetrics& m = (*server)->metrics();
+  EXPECT_EQ(m.cancelled, 8);
+  EXPECT_EQ(m.completed, 1);
+  EXPECT_EQ(m.starvation_events, 0);
+  EXPECT_EQ((*server)->active_requests(), 0);
+}
+
+}  // namespace
+}  // namespace vod

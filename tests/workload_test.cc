@@ -1,0 +1,254 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/rng.h"
+#include "sim/zipf.h"
+
+namespace vod::sim {
+namespace {
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.NextU32(), b.NextU32());
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.NextU32(), c2.NextU32());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, ExponentialHasRightMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+}
+
+// --- ZipfWeights ---
+
+TEST(ZipfTest, Theta1IsUniform) {
+  auto w = ZipfWeights(10, 1.0);
+  ASSERT_TRUE(w.ok());
+  for (double v : *w) EXPECT_NEAR(v, 0.1, 1e-12);
+}
+
+TEST(ZipfTest, Theta0IsClassicZipf) {
+  auto w = ZipfWeights(4, 0.0);
+  ASSERT_TRUE(w.ok());
+  // Weights ∝ 1, 1/2, 1/3, 1/4.
+  const double h = 1.0 + 0.5 + 1.0 / 3 + 0.25;
+  EXPECT_NEAR((*w)[0], 1.0 / h, 1e-12);
+  EXPECT_NEAR((*w)[3], 0.25 / h, 1e-12);
+}
+
+TEST(ZipfTest, WeightsNormalizedAndDecreasing) {
+  for (double theta : {0.0, 0.271, 0.5, 1.0}) {
+    auto w = ZipfWeights(48, theta);
+    ASSERT_TRUE(w.ok());
+    double sum = 0;
+    for (std::size_t i = 0; i < w->size(); ++i) {
+      sum += (*w)[i];
+      if (i > 0) EXPECT_LE((*w)[i], (*w)[i - 1] + 1e-15);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(ZipfTest, RejectsBadArguments) {
+  EXPECT_FALSE(ZipfWeights(0, 0.5).ok());
+  EXPECT_FALSE(ZipfWeights(5, -0.1).ok());
+  EXPECT_FALSE(ZipfWeights(5, 1.1).ok());
+}
+
+// --- ArrivalRateProfile ---
+
+TEST(ArrivalProfileTest, PeakSlotHasMaxRate) {
+  auto p = ArrivalRateProfile::Create(Hours(24), Minutes(30), 0.0, Hours(9),
+                                      1200);
+  ASSERT_TRUE(p.ok());
+  const double peak_rate = p->RateAt(Hours(9) + Minutes(1));
+  EXPECT_DOUBLE_EQ(peak_rate, p->MaxRate());
+  EXPECT_GT(peak_rate, p->RateAt(Hours(23)));
+  EXPECT_GT(peak_rate, p->RateAt(Hours(0)));
+}
+
+TEST(ArrivalProfileTest, UniformThetaGivesFlatProfile) {
+  auto p = ArrivalRateProfile::Create(Hours(24), Minutes(30), 1.0, Hours(9),
+                                      1200);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->RateAt(Hours(1)), p->RateAt(Hours(20)), 1e-12);
+}
+
+TEST(ArrivalProfileTest, RatesIntegrateToTotal) {
+  auto p = ArrivalRateProfile::Create(Hours(24), Minutes(30), 0.5, Hours(9),
+                                      1000);
+  ASSERT_TRUE(p.ok());
+  double total = 0;
+  for (double r : p->slot_rates()) total += r * Minutes(30);
+  EXPECT_NEAR(total, 1000.0, 1e-6);
+}
+
+TEST(ArrivalProfileTest, ZeroOutsideDay) {
+  auto p = ArrivalRateProfile::Create(Hours(24), Minutes(30), 0.5, Hours(9),
+                                      1000);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->RateAt(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(p->RateAt(Hours(25)), 0.0);
+}
+
+// --- GenerateWorkload ---
+
+TEST(WorkloadTest, CountCloseToExpected) {
+  WorkloadConfig cfg;
+  cfg.total_expected_arrivals = 2000;
+  cfg.seed = 3;
+  auto arr = GenerateWorkload(cfg);
+  ASSERT_TRUE(arr.ok());
+  // Poisson(2000): 5σ ≈ 224.
+  EXPECT_NEAR(static_cast<double>(arr->size()), 2000.0, 250.0);
+}
+
+TEST(WorkloadTest, ArrivalsSortedWithinDay) {
+  WorkloadConfig cfg;
+  cfg.seed = 5;
+  auto arr = GenerateWorkload(cfg);
+  ASSERT_TRUE(arr.ok());
+  for (std::size_t i = 1; i < arr->size(); ++i) {
+    EXPECT_LE((*arr)[i - 1].time, (*arr)[i].time);
+  }
+  EXPECT_GE(arr->front().time, 0.0);
+  EXPECT_LT(arr->back().time, cfg.duration);
+}
+
+TEST(WorkloadTest, ViewingTimesWithinBounds) {
+  WorkloadConfig cfg;
+  cfg.seed = 5;
+  auto arr = GenerateWorkload(cfg);
+  ASSERT_TRUE(arr.ok());
+  for (const ArrivalEvent& ev : *arr) {
+    EXPECT_GE(ev.viewing_time, 1.0);
+    EXPECT_LE(ev.viewing_time, cfg.max_viewing_time);
+    EXPECT_GE(ev.video, 0);
+    EXPECT_LT(ev.video, cfg.video_count);
+  }
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  WorkloadConfig cfg;
+  cfg.seed = 9;
+  auto a = GenerateWorkload(cfg);
+  auto b = GenerateWorkload(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].time, (*b)[i].time);
+    EXPECT_EQ((*a)[i].video, (*b)[i].video);
+  }
+}
+
+TEST(WorkloadTest, SkewedDayConcentratesAroundPeak) {
+  WorkloadConfig cfg;
+  cfg.theta = 0.0;
+  cfg.total_expected_arrivals = 3000;
+  cfg.seed = 13;
+  auto arr = GenerateWorkload(cfg);
+  ASSERT_TRUE(arr.ok());
+  long in_peak = 0;
+  for (const ArrivalEvent& ev : *arr) {
+    if (ev.time > Hours(7) && ev.time < Hours(11)) ++in_peak;
+  }
+  // 4 of 24 hours hold well over a third of the arrivals when θ = 0.
+  EXPECT_GT(static_cast<double>(in_peak) / arr->size(), 0.35);
+}
+
+TEST(WorkloadTest, DiskAssignmentFollowsZipf) {
+  WorkloadConfig cfg;
+  cfg.disk_count = 10;
+  cfg.disk_theta = 0.0;
+  cfg.total_expected_arrivals = 5000;
+  cfg.seed = 17;
+  auto arr = GenerateWorkload(cfg);
+  ASSERT_TRUE(arr.ok());
+  auto per = SplitByDisk(*arr, 10);
+  ASSERT_EQ(per.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& v : per) total += v.size();
+  EXPECT_EQ(total, arr->size());
+  // Rank-1 disk receives the most, last disk the least.
+  EXPECT_GT(per[0].size(), per[9].size());
+  EXPECT_GT(per[0].size(), 2 * per[5].size());
+}
+
+TEST(WorkloadTest, ValidatesConfig) {
+  WorkloadConfig cfg;
+  cfg.theta = 2.0;
+  EXPECT_FALSE(GenerateWorkload(cfg).ok());
+  cfg = WorkloadConfig{};
+  cfg.video_count = 0;
+  EXPECT_FALSE(GenerateWorkload(cfg).ok());
+  cfg = WorkloadConfig{};
+  cfg.duration = -1;
+  EXPECT_FALSE(GenerateWorkload(cfg).ok());
+}
+
+// --- OfferedLoad (Fig. 6 helper) ---
+
+TEST(OfferedLoadTest, CountsConcurrencyAndRejections) {
+  std::vector<ArrivalEvent> arr;
+  for (int i = 0; i < 5; ++i) {
+    ArrivalEvent ev;
+    ev.time = i * 10.0;
+    ev.viewing_time = 100.0;
+    arr.push_back(ev);
+  }
+  OfferedLoad load = ComputeOfferedLoad(arr, /*cap=*/3);
+  EXPECT_EQ(load.peak, 3);
+  EXPECT_EQ(load.rejected, 2);
+}
+
+TEST(OfferedLoadTest, UncappedTracksAll) {
+  std::vector<ArrivalEvent> arr;
+  for (int i = 0; i < 4; ++i) {
+    ArrivalEvent ev;
+    ev.time = i * 1.0;
+    ev.viewing_time = 2.5;
+    arr.push_back(ev);
+  }
+  OfferedLoad load = ComputeOfferedLoad(arr, /*cap=*/0);
+  EXPECT_EQ(load.rejected, 0);
+  EXPECT_EQ(load.peak, 3);  // Arrivals at 0,1,2 overlap before 2.5.
+}
+
+}  // namespace
+}  // namespace vod::sim
