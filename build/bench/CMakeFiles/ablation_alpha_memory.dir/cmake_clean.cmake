@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alpha_memory.dir/ablation_alpha_memory.cc.o"
+  "CMakeFiles/ablation_alpha_memory.dir/ablation_alpha_memory.cc.o.d"
+  "ablation_alpha_memory"
+  "ablation_alpha_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alpha_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_workload.dir/fig06_workload.cc.o"
+  "CMakeFiles/fig06_workload.dir/fig06_workload.cc.o.d"
+  "fig06_workload"
+  "fig06_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tlog.dir/fig07_tlog.cc.o"
+  "CMakeFiles/fig07_tlog.dir/fig07_tlog.cc.o.d"
+  "fig07_tlog"
+  "fig07_tlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

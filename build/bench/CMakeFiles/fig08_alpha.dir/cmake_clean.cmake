@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_alpha.dir/fig08_alpha.cc.o"
+  "CMakeFiles/fig08_alpha.dir/fig08_alpha.cc.o.d"
+  "fig08_alpha"
+  "fig08_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

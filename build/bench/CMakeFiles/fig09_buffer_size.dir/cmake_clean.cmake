@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_buffer_size.dir/fig09_buffer_size.cc.o"
+  "CMakeFiles/fig09_buffer_size.dir/fig09_buffer_size.cc.o.d"
+  "fig09_buffer_size"
+  "fig09_buffer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_buffer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

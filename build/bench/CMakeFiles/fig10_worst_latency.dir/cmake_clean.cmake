@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_worst_latency.dir/fig10_worst_latency.cc.o"
+  "CMakeFiles/fig10_worst_latency.dir/fig10_worst_latency.cc.o.d"
+  "fig10_worst_latency"
+  "fig10_worst_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_worst_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_capacity_analysis.dir/fig13_capacity_analysis.cc.o"
+  "CMakeFiles/fig13_capacity_analysis.dir/fig13_capacity_analysis.cc.o.d"
+  "fig13_capacity_analysis"
+  "fig13_capacity_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_capacity_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

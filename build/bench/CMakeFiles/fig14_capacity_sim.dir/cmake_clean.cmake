@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_capacity_sim.dir/fig14_capacity_sim.cc.o"
+  "CMakeFiles/fig14_capacity_sim.dir/fig14_capacity_sim.cc.o.d"
+  "fig14_capacity_sim"
+  "fig14_capacity_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_capacity_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_buffer_size.dir/micro_buffer_size.cc.o"
+  "CMakeFiles/micro_buffer_size.dir/micro_buffer_size.cc.o.d"
+  "micro_buffer_size"
+  "micro_buffer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_buffer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_latency_ratio.dir/table4_latency_ratio.cc.o"
+  "CMakeFiles/table4_latency_ratio.dir/table4_latency_ratio.cc.o.d"
+  "table4_latency_ratio"
+  "table4_latency_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_latency_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

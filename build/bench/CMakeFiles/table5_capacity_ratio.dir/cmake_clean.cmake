@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_capacity_ratio.dir/table5_capacity_ratio.cc.o"
+  "CMakeFiles/table5_capacity_ratio.dir/table5_capacity_ratio.cc.o.d"
+  "table5_capacity_ratio"
+  "table5_capacity_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_capacity_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodb_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/vodb_bench_common.dir/bench_common.cc.o.d"
+  "libvodb_bench_common.a"
+  "libvodb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

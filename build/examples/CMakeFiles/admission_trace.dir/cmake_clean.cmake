@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_trace.dir/admission_trace.cpp.o"
+  "CMakeFiles/admission_trace.dir/admission_trace.cpp.o.d"
+  "admission_trace"
+  "admission_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodb_common.dir/stats.cc.o"
+  "CMakeFiles/vodb_common.dir/stats.cc.o.d"
+  "CMakeFiles/vodb_common.dir/status.cc.o"
+  "CMakeFiles/vodb_common.dir/status.cc.o.d"
+  "libvodb_common.a"
+  "libvodb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

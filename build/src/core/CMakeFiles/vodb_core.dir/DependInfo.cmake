@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cc" "src/core/CMakeFiles/vodb_core.dir/allocator.cc.o" "gcc" "src/core/CMakeFiles/vodb_core.dir/allocator.cc.o.d"
+  "/root/repo/src/core/arrival_estimator.cc" "src/core/CMakeFiles/vodb_core.dir/arrival_estimator.cc.o" "gcc" "src/core/CMakeFiles/vodb_core.dir/arrival_estimator.cc.o.d"
+  "/root/repo/src/core/buffer_size_table.cc" "src/core/CMakeFiles/vodb_core.dir/buffer_size_table.cc.o" "gcc" "src/core/CMakeFiles/vodb_core.dir/buffer_size_table.cc.o.d"
+  "/root/repo/src/core/closed_form.cc" "src/core/CMakeFiles/vodb_core.dir/closed_form.cc.o" "gcc" "src/core/CMakeFiles/vodb_core.dir/closed_form.cc.o.d"
+  "/root/repo/src/core/latency_model.cc" "src/core/CMakeFiles/vodb_core.dir/latency_model.cc.o" "gcc" "src/core/CMakeFiles/vodb_core.dir/latency_model.cc.o.d"
+  "/root/repo/src/core/memory_model.cc" "src/core/CMakeFiles/vodb_core.dir/memory_model.cc.o" "gcc" "src/core/CMakeFiles/vodb_core.dir/memory_model.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/vodb_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/vodb_core.dir/params.cc.o.d"
+  "/root/repo/src/core/rate_policy.cc" "src/core/CMakeFiles/vodb_core.dir/rate_policy.cc.o" "gcc" "src/core/CMakeFiles/vodb_core.dir/rate_policy.cc.o.d"
+  "/root/repo/src/core/recurrence.cc" "src/core/CMakeFiles/vodb_core.dir/recurrence.cc.o" "gcc" "src/core/CMakeFiles/vodb_core.dir/recurrence.cc.o.d"
+  "/root/repo/src/core/static_alloc.cc" "src/core/CMakeFiles/vodb_core.dir/static_alloc.cc.o" "gcc" "src/core/CMakeFiles/vodb_core.dir/static_alloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vodb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/vodb_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

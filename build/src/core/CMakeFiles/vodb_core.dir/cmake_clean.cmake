@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodb_core.dir/allocator.cc.o"
+  "CMakeFiles/vodb_core.dir/allocator.cc.o.d"
+  "CMakeFiles/vodb_core.dir/arrival_estimator.cc.o"
+  "CMakeFiles/vodb_core.dir/arrival_estimator.cc.o.d"
+  "CMakeFiles/vodb_core.dir/buffer_size_table.cc.o"
+  "CMakeFiles/vodb_core.dir/buffer_size_table.cc.o.d"
+  "CMakeFiles/vodb_core.dir/closed_form.cc.o"
+  "CMakeFiles/vodb_core.dir/closed_form.cc.o.d"
+  "CMakeFiles/vodb_core.dir/latency_model.cc.o"
+  "CMakeFiles/vodb_core.dir/latency_model.cc.o.d"
+  "CMakeFiles/vodb_core.dir/memory_model.cc.o"
+  "CMakeFiles/vodb_core.dir/memory_model.cc.o.d"
+  "CMakeFiles/vodb_core.dir/params.cc.o"
+  "CMakeFiles/vodb_core.dir/params.cc.o.d"
+  "CMakeFiles/vodb_core.dir/rate_policy.cc.o"
+  "CMakeFiles/vodb_core.dir/rate_policy.cc.o.d"
+  "CMakeFiles/vodb_core.dir/recurrence.cc.o"
+  "CMakeFiles/vodb_core.dir/recurrence.cc.o.d"
+  "CMakeFiles/vodb_core.dir/static_alloc.cc.o"
+  "CMakeFiles/vodb_core.dir/static_alloc.cc.o.d"
+  "libvodb_core.a"
+  "libvodb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

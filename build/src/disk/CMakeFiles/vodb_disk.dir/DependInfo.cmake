@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/chunked_store.cc" "src/disk/CMakeFiles/vodb_disk.dir/chunked_store.cc.o" "gcc" "src/disk/CMakeFiles/vodb_disk.dir/chunked_store.cc.o.d"
+  "/root/repo/src/disk/disk_profile.cc" "src/disk/CMakeFiles/vodb_disk.dir/disk_profile.cc.o" "gcc" "src/disk/CMakeFiles/vodb_disk.dir/disk_profile.cc.o.d"
+  "/root/repo/src/disk/seek_model.cc" "src/disk/CMakeFiles/vodb_disk.dir/seek_model.cc.o" "gcc" "src/disk/CMakeFiles/vodb_disk.dir/seek_model.cc.o.d"
+  "/root/repo/src/disk/simulated_disk.cc" "src/disk/CMakeFiles/vodb_disk.dir/simulated_disk.cc.o" "gcc" "src/disk/CMakeFiles/vodb_disk.dir/simulated_disk.cc.o.d"
+  "/root/repo/src/disk/video_layout.cc" "src/disk/CMakeFiles/vodb_disk.dir/video_layout.cc.o" "gcc" "src/disk/CMakeFiles/vodb_disk.dir/video_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodb_disk.dir/chunked_store.cc.o"
+  "CMakeFiles/vodb_disk.dir/chunked_store.cc.o.d"
+  "CMakeFiles/vodb_disk.dir/disk_profile.cc.o"
+  "CMakeFiles/vodb_disk.dir/disk_profile.cc.o.d"
+  "CMakeFiles/vodb_disk.dir/seek_model.cc.o"
+  "CMakeFiles/vodb_disk.dir/seek_model.cc.o.d"
+  "CMakeFiles/vodb_disk.dir/simulated_disk.cc.o"
+  "CMakeFiles/vodb_disk.dir/simulated_disk.cc.o.d"
+  "CMakeFiles/vodb_disk.dir/video_layout.cc.o"
+  "CMakeFiles/vodb_disk.dir/video_layout.cc.o.d"
+  "libvodb_disk.a"
+  "libvodb_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodb_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

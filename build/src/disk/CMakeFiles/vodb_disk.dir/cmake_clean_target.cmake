@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvodb_disk.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for vodb_disk.
+# This may be replaced when dependencies are built.

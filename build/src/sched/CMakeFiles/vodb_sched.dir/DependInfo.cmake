@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/gss.cc" "src/sched/CMakeFiles/vodb_sched.dir/gss.cc.o" "gcc" "src/sched/CMakeFiles/vodb_sched.dir/gss.cc.o.d"
+  "/root/repo/src/sched/round_robin.cc" "src/sched/CMakeFiles/vodb_sched.dir/round_robin.cc.o" "gcc" "src/sched/CMakeFiles/vodb_sched.dir/round_robin.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/vodb_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/vodb_sched.dir/scheduler.cc.o.d"
+  "/root/repo/src/sched/sweep.cc" "src/sched/CMakeFiles/vodb_sched.dir/sweep.cc.o" "gcc" "src/sched/CMakeFiles/vodb_sched.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

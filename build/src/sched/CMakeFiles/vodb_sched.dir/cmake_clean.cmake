@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodb_sched.dir/gss.cc.o"
+  "CMakeFiles/vodb_sched.dir/gss.cc.o.d"
+  "CMakeFiles/vodb_sched.dir/round_robin.cc.o"
+  "CMakeFiles/vodb_sched.dir/round_robin.cc.o.d"
+  "CMakeFiles/vodb_sched.dir/scheduler.cc.o"
+  "CMakeFiles/vodb_sched.dir/scheduler.cc.o.d"
+  "CMakeFiles/vodb_sched.dir/sweep.cc.o"
+  "CMakeFiles/vodb_sched.dir/sweep.cc.o.d"
+  "libvodb_sched.a"
+  "libvodb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

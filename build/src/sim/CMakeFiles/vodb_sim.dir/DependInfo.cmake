@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/memory_broker.cc" "src/sim/CMakeFiles/vodb_sim.dir/memory_broker.cc.o" "gcc" "src/sim/CMakeFiles/vodb_sim.dir/memory_broker.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/vodb_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/vodb_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/multi_disk.cc" "src/sim/CMakeFiles/vodb_sim.dir/multi_disk.cc.o" "gcc" "src/sim/CMakeFiles/vodb_sim.dir/multi_disk.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/vodb_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/vodb_sim.dir/rng.cc.o.d"
+  "/root/repo/src/sim/vod_simulator.cc" "src/sim/CMakeFiles/vodb_sim.dir/vod_simulator.cc.o" "gcc" "src/sim/CMakeFiles/vodb_sim.dir/vod_simulator.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/vodb_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/vodb_sim.dir/workload.cc.o.d"
+  "/root/repo/src/sim/zipf.cc" "src/sim/CMakeFiles/vodb_sim.dir/zipf.cc.o" "gcc" "src/sim/CMakeFiles/vodb_sim.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vodb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/vodb_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vodb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vodb_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodb_sim.dir/memory_broker.cc.o"
+  "CMakeFiles/vodb_sim.dir/memory_broker.cc.o.d"
+  "CMakeFiles/vodb_sim.dir/metrics.cc.o"
+  "CMakeFiles/vodb_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/vodb_sim.dir/multi_disk.cc.o"
+  "CMakeFiles/vodb_sim.dir/multi_disk.cc.o.d"
+  "CMakeFiles/vodb_sim.dir/rng.cc.o"
+  "CMakeFiles/vodb_sim.dir/rng.cc.o.d"
+  "CMakeFiles/vodb_sim.dir/vod_simulator.cc.o"
+  "CMakeFiles/vodb_sim.dir/vod_simulator.cc.o.d"
+  "CMakeFiles/vodb_sim.dir/workload.cc.o"
+  "CMakeFiles/vodb_sim.dir/workload.cc.o.d"
+  "CMakeFiles/vodb_sim.dir/zipf.cc.o"
+  "CMakeFiles/vodb_sim.dir/zipf.cc.o.d"
+  "libvodb_sim.a"
+  "libvodb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodb_vod.dir/analysis.cc.o"
+  "CMakeFiles/vodb_vod.dir/analysis.cc.o.d"
+  "CMakeFiles/vodb_vod.dir/server.cc.o"
+  "CMakeFiles/vodb_vod.dir/server.cc.o.d"
+  "libvodb_vod.a"
+  "libvodb_vod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodb_vod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

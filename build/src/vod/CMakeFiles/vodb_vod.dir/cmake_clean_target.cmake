@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvodb_vod.a"
+)

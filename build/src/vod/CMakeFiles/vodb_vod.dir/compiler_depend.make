@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vodb_vod.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for vodb_vod.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_estimator_test.dir/arrival_estimator_test.cc.o"
+  "CMakeFiles/arrival_estimator_test.dir/arrival_estimator_test.cc.o.d"
+  "arrival_estimator_test"
+  "arrival_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_size_table_test.dir/buffer_size_table_test.cc.o"
+  "CMakeFiles/buffer_size_table_test.dir/buffer_size_table_test.cc.o.d"
+  "buffer_size_table_test"
+  "buffer_size_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_size_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

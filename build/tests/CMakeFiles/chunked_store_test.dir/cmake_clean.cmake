@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunked_store_test.dir/chunked_store_test.cc.o"
+  "CMakeFiles/chunked_store_test.dir/chunked_store_test.cc.o.d"
+  "chunked_store_test"
+  "chunked_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunked_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_form_test.dir/closed_form_test.cc.o"
+  "CMakeFiles/closed_form_test.dir/closed_form_test.cc.o.d"
+  "closed_form_test"
+  "closed_form_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

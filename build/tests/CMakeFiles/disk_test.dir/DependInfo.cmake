@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/disk_test.cc" "tests/CMakeFiles/disk_test.dir/disk_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vod/CMakeFiles/vodb_vod.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vodb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vodb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vodb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/vodb_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_disk_test.dir/multi_disk_test.cc.o"
+  "CMakeFiles/multi_disk_test.dir/multi_disk_test.cc.o.d"
+  "multi_disk_test"
+  "multi_disk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

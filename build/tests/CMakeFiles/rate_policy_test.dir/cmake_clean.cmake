@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_policy_test.dir/rate_policy_test.cc.o"
+  "CMakeFiles/rate_policy_test.dir/rate_policy_test.cc.o.d"
+  "rate_policy_test"
+  "rate_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

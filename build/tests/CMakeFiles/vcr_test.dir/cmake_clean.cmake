@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcr_test.dir/vcr_test.cc.o"
+  "CMakeFiles/vcr_test.dir/vcr_test.cc.o.d"
+  "vcr_test"
+  "vcr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
