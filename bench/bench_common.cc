@@ -4,8 +4,6 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "common/check.h"
-
 namespace vod::bench {
 
 BenchOptions BenchOptions::Parse(int argc, char** argv) {
@@ -15,43 +13,13 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       opt.full = true;
     } else if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
       opt.seeds = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      opt.threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json = true;
     }
   }
   return opt;
-}
-
-Seconds PaperTLog(core::ScheduleMethod method) {
-  return method == core::ScheduleMethod::kRoundRobin ? Minutes(40)
-                                                     : Minutes(20);
-}
-
-int PaperK(core::ScheduleMethod method) {
-  return method == core::ScheduleMethod::kRoundRobin ? 4 : 3;
-}
-
-sim::SimMetrics RunDay(const DayRunConfig& cfg) {
-  sim::SimConfig sc;
-  sc.method = cfg.method;
-  sc.scheme = cfg.scheme;
-  sc.t_log = cfg.t_log;
-  sc.alpha = cfg.alpha;
-  sc.seed = cfg.seed;
-
-  sim::WorkloadConfig w;
-  w.duration = cfg.duration;
-  w.theta = cfg.theta;
-  w.peak_time = cfg.duration * 9.0 / 24.0;  // Peak after 9 of 24 "hours".
-  w.total_expected_arrivals = cfg.total_arrivals;
-  w.seed = cfg.seed * 7919 + 13;
-
-  auto arrivals = sim::GenerateWorkload(w);
-  VOD_CHECK(arrivals.ok());
-  auto simulator = sim::VodSimulator::Create(sc, nullptr);
-  VOD_CHECK(simulator.ok());
-  VOD_CHECK((*simulator)->AddArrivals(*arrivals).ok());
-  (*simulator)->RunToCompletion();
-  (*simulator)->Finalize();
-  return (*simulator)->metrics();
 }
 
 void PrintCsvHeader(const std::string& columns) {

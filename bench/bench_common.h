@@ -6,6 +6,7 @@
 
 #include "common/units.h"
 #include "core/params.h"
+#include "exp/day_run.h"
 #include "sim/vod_simulator.h"
 #include "sim/workload.h"
 
@@ -13,36 +14,28 @@ namespace vod::bench {
 
 /// Shared command-line handling for the figure/table harnesses.
 /// Every harness accepts:
-///   --full    paper-scale sweep (24 h days, 5 seeds, full grids)
-///   --seeds=K override the seed count
+///   --full       paper-scale sweep (24 h days, 5 seeds, full grids)
+///   --seeds=K    override the seed count
+///   --threads=N  worker threads for the experiment runner
+///                (default hardware_concurrency; 1 = serial legacy path)
+///   --json       emit JSON instead of CSV (runner-based harnesses)
 /// Default configurations are scaled to finish in seconds-to-a-minute.
 struct BenchOptions {
   bool full = false;
-  int seeds = 0;  ///< 0 = per-bench default.
+  int seeds = 0;    ///< 0 = per-bench default.
+  int threads = 0;  ///< 0 = hardware_concurrency.
+  bool json = false;
 
   static BenchOptions Parse(int argc, char** argv);
 };
 
-/// The paper's per-method T_log choices (Sec. 5.1): 40 min for Round-Robin,
-/// 20 min for Sweep*/GSS*.
-Seconds PaperTLog(core::ScheduleMethod method);
-
-/// The paper's per-method worst-average k (fn. 9): 4 for Round-Robin,
-/// 3 for Sweep*/GSS*.
-int PaperK(core::ScheduleMethod method);
-
-/// Runs one single-disk simulated day and returns the finalized metrics.
-struct DayRunConfig {
-  core::ScheduleMethod method = core::ScheduleMethod::kRoundRobin;
-  sim::AllocScheme scheme = sim::AllocScheme::kDynamic;
-  Seconds t_log = Minutes(40);
-  int alpha = 1;
-  double theta = 0.5;
-  Seconds duration = Hours(24);
-  double total_arrivals = 1200;
-  std::uint64_t seed = 1;
-};
-sim::SimMetrics RunDay(const DayRunConfig& cfg);
+/// The day-run unit and the paper's per-method constants now live in the
+/// exp library (src/exp/day_run.h) so the parallel runner and the tests can
+/// use them without linking bench code; aliased here for the harnesses.
+using exp::DayRunConfig;
+using exp::PaperK;
+using exp::PaperTLog;
+using exp::RunDay;
 
 /// Prints a CSV header + rows helper.
 void PrintCsvHeader(const std::string& columns);

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Sanitized verification pass: configures build-asan/ with VODB_SANITIZE=ON
+# (ASan + UBSan, no recovery), builds everything, and runs the tier-1 ctest
+# suite. Usage: scripts/verify_asan.sh [extra ctest args...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${ROOT}/build-asan"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DVODB_SANITIZE=ON
+cmake --build "${BUILD}" -j"${JOBS}"
+ctest --test-dir "${BUILD}" --output-on-failure -j"${JOBS}" "$@"

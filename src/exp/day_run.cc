@@ -1,0 +1,42 @@
+#include "exp/day_run.h"
+
+#include "common/check.h"
+#include "sim/workload.h"
+
+namespace vod::exp {
+
+Seconds PaperTLog(core::ScheduleMethod method) {
+  return method == core::ScheduleMethod::kRoundRobin ? Minutes(40)
+                                                     : Minutes(20);
+}
+
+int PaperK(core::ScheduleMethod method) {
+  return method == core::ScheduleMethod::kRoundRobin ? 4 : 3;
+}
+
+sim::SimMetrics RunDay(const DayRunConfig& cfg) {
+  sim::SimConfig sc;
+  sc.method = cfg.method;
+  sc.scheme = cfg.scheme;
+  sc.t_log = cfg.t_log;
+  sc.alpha = cfg.alpha;
+  sc.seed = cfg.seed;
+
+  sim::WorkloadConfig w;
+  w.duration = cfg.duration;
+  w.theta = cfg.theta;
+  w.peak_time = cfg.duration * 9.0 / 24.0;  // Peak after 9 of 24 "hours".
+  w.total_expected_arrivals = cfg.total_arrivals;
+  w.seed = cfg.seed * 7919 + 13;
+
+  auto arrivals = sim::GenerateWorkload(w);
+  VOD_CHECK(arrivals.ok());
+  auto simulator = sim::VodSimulator::Create(sc, nullptr);
+  VOD_CHECK(simulator.ok());
+  VOD_CHECK((*simulator)->AddArrivals(*arrivals).ok());
+  (*simulator)->RunToCompletion();
+  (*simulator)->Finalize();
+  return (*simulator)->metrics();
+}
+
+}  // namespace vod::exp

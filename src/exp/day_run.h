@@ -1,0 +1,41 @@
+#ifndef VODB_EXP_DAY_RUN_H_
+#define VODB_EXP_DAY_RUN_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "core/params.h"
+#include "sim/metrics.h"
+#include "sim/vod_simulator.h"
+
+namespace vod::exp {
+
+/// The paper's per-method T_log choices (Sec. 5.1): 40 min for Round-Robin,
+/// 20 min for Sweep*/GSS*.
+Seconds PaperTLog(core::ScheduleMethod method);
+
+/// The paper's per-method worst-average k (fn. 9): 4 for Round-Robin,
+/// 3 for Sweep*/GSS*.
+int PaperK(core::ScheduleMethod method);
+
+/// One single-disk simulated day: the unit of work every figure/table sweep
+/// fans out over. A config fully determines its run — RunDay is a pure
+/// function (no global state), so configs can execute on any thread in any
+/// order and still produce identical metrics.
+struct DayRunConfig {
+  core::ScheduleMethod method = core::ScheduleMethod::kRoundRobin;
+  sim::AllocScheme scheme = sim::AllocScheme::kDynamic;
+  Seconds t_log = Minutes(40);
+  int alpha = 1;
+  double theta = 0.5;
+  Seconds duration = Hours(24);
+  double total_arrivals = 1200;
+  std::uint64_t seed = 1;
+};
+
+/// Runs one simulated day and returns the finalized metrics.
+sim::SimMetrics RunDay(const DayRunConfig& cfg);
+
+}  // namespace vod::exp
+
+#endif  // VODB_EXP_DAY_RUN_H_

@@ -1,0 +1,132 @@
+#include "exp/grid.h"
+
+#include <cmath>
+#include <utility>
+
+#include "sim/rng.h"
+
+namespace vod::exp {
+
+Grid& Grid::WithBase(const DayRunConfig& base) {
+  base_ = base;
+  return *this;
+}
+
+Grid& Grid::OverMethods(std::vector<core::ScheduleMethod> methods) {
+  methods_ = std::move(methods);
+  return *this;
+}
+
+Grid& Grid::OverSchemes(std::vector<sim::AllocScheme> schemes) {
+  schemes_ = std::move(schemes);
+  return *this;
+}
+
+Grid& Grid::OverTLogs(std::vector<Seconds> t_logs) {
+  t_logs_ = std::move(t_logs);
+  paper_t_log_ = false;
+  return *this;
+}
+
+Grid& Grid::UsePaperTLog() {
+  t_logs_.clear();
+  paper_t_log_ = true;
+  return *this;
+}
+
+Grid& Grid::OverAlphas(std::vector<int> alphas) {
+  alphas_ = std::move(alphas);
+  return *this;
+}
+
+Grid& Grid::WithSeeds(std::vector<std::uint64_t> seeds) {
+  seeds_ = std::move(seeds);
+  explicit_seeds_ = true;
+  replications_ = static_cast<int>(seeds_.size());
+  return *this;
+}
+
+Grid& Grid::WithReplications(int n) {
+  seeds_.clear();
+  explicit_seeds_ = false;
+  replications_ = n < 0 ? 0 : n;
+  return *this;
+}
+
+int Grid::replications() const { return replications_; }
+
+std::size_t Grid::size() const {
+  // Unset axes default to one value from the base config; an empty grid is
+  // expressed through the seed axis (WithSeeds({}) / WithReplications(0)).
+  const std::size_t methods = methods_.empty() ? 1 : methods_.size();
+  const std::size_t schemes = schemes_.empty() ? 1 : schemes_.size();
+  const std::size_t t_logs =
+      paper_t_log_ ? 1 : (t_logs_.empty() ? 1 : t_logs_.size());
+  const std::size_t alphas = alphas_.empty() ? 1 : alphas_.size();
+  if (explicit_seeds_ && seeds_.empty()) return 0;
+  return methods * schemes * t_logs * alphas *
+         static_cast<std::size_t>(replications_);
+}
+
+std::uint64_t Grid::SeedFor(const RunSpec& spec) const {
+  if (explicit_seeds_) {
+    return seeds_[static_cast<std::size_t>(spec.replication)];
+  }
+  // hash(grid point, replication): hash the *values*, not the axis indices,
+  // so a point keeps its seed when an axis is extended or reordered.
+  std::uint64_t h = 0x76f0d0b8c0a5e1dULL;  // Arbitrary domain tag.
+  h = sim::MixSeed(h, static_cast<std::uint64_t>(spec.config.method));
+  h = sim::MixSeed(h, static_cast<std::uint64_t>(spec.config.scheme));
+  h = sim::MixSeed(h, static_cast<std::uint64_t>(
+                          std::llround(spec.config.t_log * 1000.0)));
+  h = sim::MixSeed(h, static_cast<std::uint64_t>(spec.config.alpha));
+  h = sim::MixSeed(h, static_cast<std::uint64_t>(spec.replication));
+  return h;
+}
+
+std::vector<RunSpec> Grid::Expand() const {
+  std::vector<RunSpec> specs;
+  specs.reserve(size());
+
+  const std::vector<core::ScheduleMethod> methods =
+      methods_.empty() ? std::vector<core::ScheduleMethod>{base_.method}
+                       : methods_;
+  const std::vector<sim::AllocScheme> schemes =
+      schemes_.empty() ? std::vector<sim::AllocScheme>{base_.scheme}
+                       : schemes_;
+  const std::vector<int> alphas =
+      alphas_.empty() ? std::vector<int>{base_.alpha} : alphas_;
+
+  std::size_t index = 0;
+  for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+    const std::vector<Seconds> t_logs =
+        paper_t_log_ ? std::vector<Seconds>{PaperTLog(methods[mi])}
+                     : (t_logs_.empty() ? std::vector<Seconds>{base_.t_log}
+                                        : t_logs_);
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      for (std::size_t ti = 0; ti < t_logs.size(); ++ti) {
+        for (std::size_t ai = 0; ai < alphas.size(); ++ai) {
+          for (int rep = 0; rep < replications_; ++rep) {
+            RunSpec spec;
+            spec.index = index++;
+            spec.method_index = static_cast<int>(mi);
+            spec.scheme_index = static_cast<int>(si);
+            spec.t_log_index = static_cast<int>(ti);
+            spec.alpha_index = static_cast<int>(ai);
+            spec.replication = rep;
+            spec.config = base_;
+            spec.config.method = methods[mi];
+            spec.config.scheme = schemes[si];
+            spec.config.t_log = t_logs[ti];
+            spec.config.alpha = alphas[ai];
+            spec.config.seed = SeedFor(spec);
+            specs.push_back(spec);
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace vod::exp

@@ -1,0 +1,146 @@
+#include "exp/runner.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+#include "exp/thread_pool.h"
+
+namespace vod::exp {
+
+Runner::Runner(const RunnerOptions& options)
+    : threads_(options.threads > 0 ? options.threads
+                                   : ThreadPool::DefaultThreads()) {}
+
+std::vector<RunResult> Runner::Run(const Grid& grid) const {
+  return Run(grid, [](const DayRunConfig& cfg) { return RunDay(cfg); });
+}
+
+std::vector<RunResult> Runner::Run(const Grid& grid, const RunFn& fn) const {
+  const std::vector<RunSpec> specs = grid.Expand();
+  std::vector<RunResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  if (threads_ == 1 || specs.size() == 1) {
+    // Inline: no pool setup, exceptions propagate directly. Results are
+    // identical to the pooled path by construction (pure per-run seeding,
+    // index-ordered collection).
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      results[i].spec = specs[i];
+      results[i].metrics = fn(specs[i].config);
+    }
+    return results;
+  }
+
+  ThreadPool pool(threads_);
+  pool.ParallelFor(specs.size(), [&](std::size_t i) {
+    results[i].spec = specs[i];
+    results[i].metrics = fn(specs[i].config);
+  });
+  return results;
+}
+
+MetricSummary MetricSummary::FromStats(const RunningStats& stats) {
+  MetricSummary s;
+  s.runs = stats.count();
+  s.mean = stats.mean();
+  s.stddev = stats.stddev();
+  s.ci95_half = stats.count() > 1
+                    ? 1.96 * stats.stddev() /
+                          std::sqrt(static_cast<double>(stats.count()))
+                    : 0.0;
+  s.min = stats.min();
+  s.max = stats.max();
+  return s;
+}
+
+std::vector<AggregateRow> AggregateReplications(
+    const std::vector<RunResult>& results, int replications,
+    const std::function<double(const RunResult&)>& metric) {
+  VOD_CHECK(replications > 0);
+  VOD_CHECK(results.size() % static_cast<std::size_t>(replications) == 0);
+  std::vector<AggregateRow> rows;
+  rows.reserve(results.size() / static_cast<std::size_t>(replications));
+  for (std::size_t base = 0; base < results.size();
+       base += static_cast<std::size_t>(replications)) {
+    RunningStats stats;
+    for (int r = 0; r < replications; ++r) {
+      stats.Add(metric(results[base + static_cast<std::size_t>(r)]));
+    }
+    rows.push_back({results[base].spec, MetricSummary::FromStats(stats)});
+  }
+  return rows;
+}
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  VOD_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += ',';
+    out += columns_[c];
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+bool IsNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Table::ToJson() const {
+  std::string out = "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += "  {";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += ", ";
+      AppendJsonString(out, columns_[c]);
+      out += ": ";
+      if (IsNumeric(rows_[r][c])) {
+        out += rows_[r][c];
+      } else {
+        AppendJsonString(out, rows_[r][c]);
+      }
+    }
+    out += r + 1 < rows_.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+void Table::Write(std::FILE* out, bool json) const {
+  const std::string text = json ? ToJson() : ToCsv();
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+}  // namespace vod::exp

@@ -1,0 +1,108 @@
+#include "exp/thread_pool.h"
+
+#include <exception>
+#include <utility>
+
+#include "common/check.h"
+
+namespace vod::exp {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = DefaultThreads();
+  queues_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this, i]() { WorkerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  const std::size_t idx =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[idx]->mu);
+    queues_[idx]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++unclaimed_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopOwn(std::size_t idx, std::function<void()>& task) {
+  WorkQueue& q = *queues_[idx];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  task = std::move(q.tasks.back());  // LIFO on the owner: cache-warm.
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::StealAny(std::size_t idx, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
+  for (std::size_t off = 1; off <= n; ++off) {
+    WorkQueue& q = *queues_[(idx + off) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
+    task = std::move(q.tasks.front());  // FIFO on victims: oldest work first.
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(std::size_t idx) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [this]() { return stop_ || unclaimed_ > 0; });
+      if (unclaimed_ == 0) return;  // stop_ set and nothing left to drain.
+      --unclaimed_;
+    }
+    // A claim guarantees a task exists in some queue; hunt until found.
+    std::function<void()> task;
+    while (!PopOwn(idx, task) && !StealAny(idx, task)) {
+      std::this_thread::yield();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(Submit([&fn, i]() { fn(i); }));
+  }
+  std::exception_ptr first;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace vod::exp

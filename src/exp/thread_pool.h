@@ -1,0 +1,86 @@
+#ifndef VODB_EXP_THREAD_POOL_H_
+#define VODB_EXP_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace vod::exp {
+
+/// Work-stealing thread pool for fanning independent simulation runs across
+/// cores. Each worker owns a deque: it pops its own work LIFO (cache-warm)
+/// and steals FIFO from the other workers when its deque drains, so a few
+/// long runs (e.g. `--full` 24 h days) cannot strand idle cores behind a
+/// round-robin assignment.
+///
+/// Tasks may throw; the exception is captured in the task's future and
+/// rethrown from `get()` (or from ParallelFor), never on the worker thread.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects DefaultThreads().
+  explicit ThreadPool(int threads = 0);
+
+  /// Drains already-submitted work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// hardware_concurrency(), or 1 when the runtime cannot report it.
+  static int DefaultThreads();
+
+  /// Enqueues `fn` for execution and returns its future. An exception
+  /// escaping `fn` surfaces from future::get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all complete. If any
+  /// invocation throws, the lowest-index exception is rethrown here after
+  /// every task has finished (no task is abandoned mid-run).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct WorkQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void Enqueue(std::function<void()> task);
+  bool PopOwn(std::size_t idx, std::function<void()>& task);
+  bool StealAny(std::size_t idx, std::function<void()>& task);
+  void WorkerLoop(std::size_t idx);
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Every enqueued task bumps unclaimed_; every consumer claims exactly one
+  // under wake_mu_ before hunting the queues, so wakeups cannot be lost and
+  // a claimed task is guaranteed to exist somewhere.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::size_t unclaimed_ = 0;
+  bool stop_ = false;
+
+  std::atomic<std::size_t> next_queue_{0};
+};
+
+}  // namespace vod::exp
+
+#endif  // VODB_EXP_THREAD_POOL_H_

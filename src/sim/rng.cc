@@ -38,6 +38,17 @@ double Rng::Exponential(double rate) {
   return -std::log(u) / rate;
 }
 
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t MixSeed(std::uint64_t h, std::uint64_t v) {
+  return SplitMix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
 std::uint32_t Rng::NextBelow(std::uint32_t n) {
   VOD_DCHECK(n > 0);
   // Lemire's rejection-free-ish bounded sampling (bias negligible here).

@@ -31,6 +31,16 @@ class Rng {
   std::uint64_t inc_;
 };
 
+/// SplitMix64 (Steele et al.): a single avalanche step. Used to derive
+/// independent seeds from structured inputs — the experiment runner seeds
+/// every run as a hash of its grid coordinates and replication number, so
+/// results are a pure function of the grid point, independent of execution
+/// order or thread count.
+std::uint64_t SplitMix64(std::uint64_t x);
+
+/// Folds `v` into the running seed hash `h` (order-sensitive combine).
+std::uint64_t MixSeed(std::uint64_t h, std::uint64_t v);
+
 }  // namespace vod::sim
 
 #endif  // VODB_SIM_RNG_H_

@@ -2,15 +2,19 @@
 // random churn, simulator determinism, and closed-form behaviour across
 // random parameterizations.
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/stats.h"
 #include "common/units.h"
 #include "core/closed_form.h"
 #include "core/recurrence.h"
+#include "core/static_alloc.h"
 #include "sched/gss.h"
 #include "sched/round_robin.h"
 #include "sched/sweep.h"
@@ -189,6 +193,84 @@ TEST(ClosedFormPropertyTest, RandomRateConfigurationsStayConsistent) {
     ASSERT_TRUE(direct.ok());
     EXPECT_NEAR(*closed / *direct, 1.0, 1e-9)
         << "trial " << trial << " n=" << n << " k=" << k;
+  }
+}
+
+TEST(ClosedFormPropertyTest, DynamicNeverExceedsStaticSchemeAllocation) {
+  // The dynamic scheme's raison d'être: the per-request buffer BS_k(n) from
+  // the Theorem-1 closed form never exceeds the static scheme's BS(N),
+  // for any load n, estimate k, and random disk/rate parameterization.
+  sim::Rng rng(123);
+  for (int trial = 0; trial < 60; ++trial) {
+    core::AllocParams p;
+    p.tr = Mbps(rng.Uniform(40, 400));
+    p.cr = Mbps(rng.Uniform(0.5, 6.0));
+    p.dl = Milliseconds(rng.Uniform(2, 40));
+    p.n_max = core::MaxConcurrentRequests(p.tr, p.cr);
+    p.alpha = 1 + static_cast<int>(rng.NextBelow(3));
+    if (p.n_max < 2 || !p.Validate().ok()) continue;
+    auto static_bs = core::StaticSchemeBufferSize(p);
+    ASSERT_TRUE(static_bs.ok());
+    const int n = 1 + static_cast<int>(
+                          rng.NextBelow(static_cast<std::uint32_t>(p.n_max)));
+    // k deliberately allowed past N − n: the closed form must saturate at
+    // BS(N) rather than overshoot it.
+    const int k = static_cast<int>(rng.NextBelow(16));
+    auto dynamic_bs = core::DynamicBufferSize(p, n, k);
+    ASSERT_TRUE(dynamic_bs.ok());
+    EXPECT_LE(*dynamic_bs, *static_bs * (1.0 + 1e-9))
+        << "trial " << trial << " n=" << n << " k=" << k
+        << " N=" << p.n_max;
+  }
+}
+
+TEST(StatsPropertyTest, RunningStatsMatchesTwoPassReferenceOnRandomInputs) {
+  // Welford accumulation (and its parallel Merge) against a naive two-pass
+  // mean/variance, across sizes and scales.
+  sim::Rng rng(321);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.NextBelow(400);
+    const double scale = std::pow(10.0, rng.Uniform(-3, 6));
+    const double offset = rng.Uniform(-5, 5) * scale;
+    std::vector<double> xs(n);
+    RunningStats streaming;
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] = offset + scale * rng.NextDouble();
+      streaming.Add(xs[i]);
+    }
+    // Two-pass reference.
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    const double mean = sum / static_cast<double>(n);
+    double ss = 0.0, lo = xs[0], hi = xs[0];
+    for (double x : xs) {
+      ss += (x - mean) * (x - mean);
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    const double variance = ss / static_cast<double>(n - 1);
+
+    ASSERT_EQ(streaming.count(), n);
+    EXPECT_NEAR(streaming.mean(), mean, 1e-9 * std::abs(mean) + 1e-12);
+    EXPECT_NEAR(streaming.variance(), variance,
+                1e-8 * variance + 1e-12 * scale * scale);
+    EXPECT_DOUBLE_EQ(streaming.min(), lo);
+    EXPECT_DOUBLE_EQ(streaming.max(), hi);
+
+    // Merge of a random split must agree with the whole (the experiment
+    // runner's cross-replication reduction relies on this).
+    const std::size_t cut = 1 + rng.NextBelow(static_cast<std::uint32_t>(n));
+    RunningStats left, right;
+    for (std::size_t i = 0; i < n; ++i) {
+      (i < cut ? left : right).Add(xs[i]);
+    }
+    left.Merge(right);
+    ASSERT_EQ(left.count(), n);
+    EXPECT_NEAR(left.mean(), mean, 1e-9 * std::abs(mean) + 1e-12);
+    EXPECT_NEAR(left.variance(), variance,
+                1e-8 * variance + 1e-12 * scale * scale);
+    EXPECT_DOUBLE_EQ(left.min(), lo);
+    EXPECT_DOUBLE_EQ(left.max(), hi);
   }
 }
 
