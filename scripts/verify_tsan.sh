@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# ThreadSanitizer verification pass: configures build-tsan/ with
+# VODB_TSAN=ON, builds everything, and runs the tier-1 ctest suite (which
+# includes thread_pool_stress_test and the 8-thread exp_runner_test runs —
+# the submit/steal/drain traffic TSan needs to detect races).
+# Usage: scripts/verify_tsan.sh [extra ctest args...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${ROOT}/build-tsan"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DVODB_TSAN=ON
+cmake --build "${BUILD}" -j"${JOBS}"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "${BUILD}" --output-on-failure -j"${JOBS}" "$@"

@@ -1,0 +1,361 @@
+#!/usr/bin/env python3
+"""Repo-specific lint invariants clang-tidy cannot express.
+
+Rules (suppress a finding with a trailing  // vodb-lint: allow(<rule>)  on
+the offending line, stating why in a nearby comment):
+
+  raw-double-unit
+      Public headers under src/ must not pass raw `double` seconds/bits/
+      rates across their API where the common/units.h aliases (Seconds,
+      Bits, BitsPerSecond) exist: the alias is the documentation, and
+      mixing raw doubles with unit aliases is how ms/s and bit/byte slips
+      enter. Applies to declarations whose identifier names a physical
+      quantity (time, bits, rate, ...).
+
+  check-in-hot-loop
+      VOD_CHECK aborts are always-on and the simulator's per-event loops
+      are the hot path; inside a loop body in src/sim or src/sched the
+      check must either be VOD_DCHECK (compiled out under NDEBUG) or sit
+      in an explicit `#ifndef NDEBUG` region.
+
+  unconsumed-status
+      Every call to a function returning vod::Status or vod::Result must
+      consume the result (assign, return, test, VOD_RETURN_IF_ERROR, or an
+      explicit void cast). The [[nodiscard]] attributes enforce this at
+      compile time for -Werror targets (src/); this rule extends the net
+      over tests/, bench/, and examples/, which build without -Werror.
+
+Exit status: 0 when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+ALLOW_RE = re.compile(r"//\s*vodb-lint:\s*allow\(([a-z-]+)\)")
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments and string literals, preserving
+    line structure so reported line numbers stay valid."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | "line" | "block" | "str" | "chr"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                mode = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        else:
+            if c == "\n":
+                if mode == "line":
+                    mode = None
+                out.append(c)
+            elif mode == "block" and c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            elif mode == "str" and c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            elif mode == "str" and c == '"':
+                mode = None
+                out.append(c)
+            elif mode == "chr" and c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            elif mode == "chr" and c == "'":
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        i += 1
+    return "".join(out)
+
+
+def allowed(lines: list[str], lineno: int, rule: str) -> bool:
+    m = ALLOW_RE.search(lines[lineno - 1])
+    return bool(m and m.group(1) == rule)
+
+
+def iter_files(root: str, subdirs: list[str], exts: tuple[str, ...]):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(exts):
+                    yield os.path.join(dirpath, name)
+
+
+class Findings:
+    def __init__(self) -> None:
+        self.count = 0
+
+    def report(self, path: str, lineno: int, rule: str, msg: str) -> None:
+        self.count += 1
+        print(f"{path}:{lineno}: [{rule}] {msg}")
+
+
+# ---------------------------------------------------------------------------
+# Rule: raw-double-unit
+# ---------------------------------------------------------------------------
+
+# Identifier fragments that name a physical quantity with a units.h alias.
+UNIT_HINTS = [
+    (re.compile(r"(?:^|_)(time|seconds|secs|deadline|latenc\w*|duration|"
+                r"period|t_log|timeout)(?:_|$)", re.IGNORECASE), "Seconds"),
+    (re.compile(r"(?:^|_)(bits|bytes|memory|capacity)(?:_|$)",
+                re.IGNORECASE), "Bits"),
+    (re.compile(r"(?:^|_)(rate|bandwidth|throughput|bps)(?:_|$)",
+                re.IGNORECASE), "BitsPerSecond"),
+]
+
+DOUBLE_DECL_RE = re.compile(r"\bdouble\s+(\w+)")
+
+
+def check_raw_double_units(root: str, findings: Findings) -> None:
+    for path in iter_files(root, ["src"], (".h",)):
+        rel = os.path.relpath(path, root)
+        # units.h is where the aliases are *defined* in terms of double.
+        if rel.endswith(os.path.join("common", "units.h")):
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.splitlines()
+        clean = strip_comments(text)
+        for lineno, line in enumerate(clean.splitlines(), start=1):
+            for m in DOUBLE_DECL_RE.finditer(line):
+                ident = m.group(1)
+                for hint_re, alias in UNIT_HINTS:
+                    if hint_re.search(ident):
+                        if allowed(lines, lineno, "raw-double-unit"):
+                            break
+                        findings.report(
+                            rel, lineno, "raw-double-unit",
+                            f"`double {ident}` names a physical quantity; "
+                            f"use vod::{alias} from common/units.h")
+                        break
+
+
+# ---------------------------------------------------------------------------
+# Rule: check-in-hot-loop
+# ---------------------------------------------------------------------------
+
+LOOP_HEAD_RE = re.compile(r"\b(for|while)\s*\(")
+CHECK_RE = re.compile(r"\bVOD_CHECK\s*\(")
+
+
+def loop_body_depths(clean: str) -> list[set[int]]:
+    """For each line (0-based), the set of brace depths that belong to a
+    loop body enclosing that line."""
+    depth = 0
+    loop_depths: list[int] = []     # brace depths whose block is a loop body
+    pending_loops: list[int] = []   # paren depth of unclosed loop heads
+    paren = 0
+    result: list[set[int]] = []
+    line_sets: set[int] = set()
+    i, n = 0, len(clean)
+    while i < n:
+        c = clean[i]
+        if c == "\n":
+            result.append(set(loop_depths))
+            line_sets = set()
+            i += 1
+            continue
+        m = LOOP_HEAD_RE.match(clean, i)
+        if m:
+            pending_loops.append(paren)
+            paren += 1
+            i = m.end()
+            continue
+        if c == "(":
+            paren += 1
+        elif c == ")":
+            paren -= 1
+            if pending_loops and paren == pending_loops[-1]:
+                pending_loops.pop()
+                # The next '{' (or single statement) opens the loop body.
+                j = i + 1
+                while j < n and clean[j] in " \t\n":
+                    j += 1
+                if j < n and clean[j] == "{":
+                    loop_depths.append(depth)
+        elif c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            while loop_depths and loop_depths[-1] >= depth:
+                loop_depths.pop()
+        i += 1
+    result.append(set(loop_depths))
+    del line_sets
+    return result
+
+
+def ndebug_guarded(lines: list[str], lineno: int) -> bool:
+    """True when line `lineno` (1-based) sits inside an #ifndef NDEBUG
+    region (flat scan; nested conditionals resolve to the nearest guard)."""
+    stack: list[bool] = []
+    for i in range(lineno):
+        stripped = lines[i].strip()
+        if stripped.startswith("#ifndef") and "NDEBUG" in stripped:
+            stack.append(True)
+        elif stripped.startswith(("#if", "#ifdef")):
+            stack.append(False)
+        elif stripped.startswith("#else") and stack:
+            stack[-1] = not stack[-1]
+        elif stripped.startswith("#endif") and stack:
+            stack.pop()
+    return any(stack)
+
+
+def check_hot_loop_checks(root: str, findings: Findings) -> None:
+    for path in iter_files(root, [os.path.join("src", "sim"),
+                                  os.path.join("src", "sched")], (".cc",)):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.splitlines()
+        clean = strip_comments(text)
+        depths = loop_body_depths(clean)
+        for lineno, line in enumerate(clean.splitlines(), start=1):
+            if not CHECK_RE.search(line):
+                continue
+            if not depths[lineno - 1]:
+                continue  # Not inside any loop body.
+            if ndebug_guarded(lines, lineno):
+                continue
+            if allowed(lines, lineno, "check-in-hot-loop"):
+                continue
+            findings.report(
+                rel, lineno, "check-in-hot-loop",
+                "VOD_CHECK inside a simulator loop: use VOD_DCHECK or wrap "
+                "the check in #ifndef NDEBUG")
+
+
+# ---------------------------------------------------------------------------
+# Rule: unconsumed-status
+# ---------------------------------------------------------------------------
+
+STATUS_DECL_RE = re.compile(
+    r"(?:^|\s)(?:virtual\s+|static\s+|\[\[nodiscard\]\]\s+)*"
+    r"(?:::)?(?:vod::)?(?:Status|Result<[^;=]*?>)\s+"
+    r"(\w+)\s*\(", re.MULTILINE)
+
+# A bare statement-level call: optional receiver chain, then the call, then
+# the end of the statement on the same line.
+def bare_call_re(names: set[str]) -> re.Pattern[str]:
+    alt = "|".join(sorted(re.escape(n) for n in names))
+    return re.compile(
+        r"^\s*(?:[\w\)\]]+(?:\.|->))*(" + alt + r")\s*\(.*\)\s*;\s*$")
+
+
+CONSUMED_HINT_RE = re.compile(
+    r"\b(return|VOD_RETURN_IF_ERROR|VOD_CHECK|VOD_DCHECK|EXPECT_|ASSERT_|"
+    r"static_cast<void>)|=|\(void\)")
+
+# A line ending like this means the next line continues the same statement
+# (assignment/argument/operator context), so a call there is consumed.
+CONTINUATION_TAIL_RE = re.compile(
+    r"([=(,+\-*/<{?:]|&&|\|\||return|<<)\s*$")
+
+
+def collect_status_returning_names(root: str) -> set[str]:
+    names: set[str] = set()
+    for path in iter_files(root, ["src"], (".h",)):
+        with open(path, encoding="utf-8") as f:
+            clean = strip_comments(f.read())
+        for m in STATUS_DECL_RE.finditer(clean):
+            names.add(m.group(1))
+    # Factory names that *construct* rather than report; and overly generic
+    # names that would drown the signal.
+    names -= {"OK", "InvalidArgument", "OutOfRange", "CapacityExceeded",
+              "Deferred", "FailedPrecondition", "NotFound", "Internal",
+              "status"}
+    return names
+
+
+def check_unconsumed_status(root: str, findings: Findings) -> None:
+    names = collect_status_returning_names(root)
+    if not names:
+        return
+    call_re = bare_call_re(names)
+    for path in iter_files(root, ["src", "tests", "bench", "examples"],
+                           (".cc", ".cpp")):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.splitlines()
+        clean_lines = strip_comments(text).splitlines()
+        for lineno, line in enumerate(clean_lines, start=1):
+            m = call_re.match(line)
+            if not m:
+                continue
+            if CONSUMED_HINT_RE.search(line):
+                continue
+            # Continuation of a statement begun on an earlier line: the
+            # value flows into that statement's context.
+            prev = ""
+            for j in range(lineno - 2, -1, -1):
+                if clean_lines[j].strip():
+                    prev = clean_lines[j].rstrip()
+                    break
+            if prev and CONTINUATION_TAIL_RE.search(prev):
+                continue
+            if allowed(lines, lineno, "unconsumed-status"):
+                continue
+            findings.report(
+                rel, lineno, "unconsumed-status",
+                f"result of Status/Result-returning `{m.group(1)}(...)` is "
+                "discarded; consume it or cast to void explicitly")
+
+
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else os.getcwd()
+    findings = Findings()
+    check_raw_double_units(root, findings)
+    check_hot_loop_checks(root, findings)
+    check_unconsumed_status(root, findings)
+    if findings.count:
+        print(f"vodb-lint: {findings.count} finding(s)")
+        return 1
+    print("vodb-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

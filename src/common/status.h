@@ -30,7 +30,11 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// The OK status carries no message and allocates nothing. Error statuses
 /// carry a code and a free-form message describing the failure.
-class Status {
+///
+/// [[nodiscard]] on the class makes every function returning a Status by
+/// value warn when the caller drops the result on the floor — errors must
+/// be propagated, checked, or discarded explicitly with a void cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -83,9 +87,10 @@ class Status {
 };
 
 /// Holds either a value of type T or an error Status. Inspect with ok();
-/// value() must only be called when ok() is true.
+/// value() must only be called when ok() is true. [[nodiscard]] as with
+/// Status: a dropped Result silently swallows both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return computed_value;`.
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -61,10 +61,10 @@ class BufferAllocator {
   virtual Result<AllocationDecision> Preview(Seconds now) const = 0;
 
   /// Requests currently admitted (the paper's n).
-  virtual int active_count() const = 0;
+  [[nodiscard]] virtual int active_count() const = 0;
 
   /// The parameter set the allocator sizes against.
-  virtual const AllocParams& params() const = 0;
+  [[nodiscard]] virtual const AllocParams& params() const = 0;
 };
 
 /// The static baseline: every buffer is BS(N); admission is capped at N.
@@ -79,8 +79,8 @@ class StaticBufferAllocator final : public BufferAllocator {
   void MarkDrained(RequestId /*id*/) override {}
   Result<AllocationDecision> Allocate(RequestId id, Seconds now) override;
   Result<AllocationDecision> Preview(Seconds now) const override;
-  int active_count() const override { return active_; }
-  const AllocParams& params() const override { return params_; }
+  [[nodiscard]] int active_count() const override { return active_; }
+  [[nodiscard]] const AllocParams& params() const override { return params_; }
 
  private:
   StaticBufferAllocator(const AllocParams& params, Bits bs);
@@ -107,10 +107,10 @@ class DynamicBufferAllocator final : public BufferAllocator {
   void MarkDrained(RequestId id) override;
   Result<AllocationDecision> Allocate(RequestId id, Seconds now) override;
   Result<AllocationDecision> Preview(Seconds now) const override;
-  int active_count() const override {
+  [[nodiscard]] int active_count() const override {
     return static_cast<int>(snapshots_.size());
   }
-  const AllocParams& params() const override { return params_; }
+  [[nodiscard]] const AllocParams& params() const override { return params_; }
 
   /// The (n_i, k_i) snapshot the allocator recorded for `id` at its last
   /// allocation (for tests and invariant checks).

@@ -1,0 +1,294 @@
+#include "sim/invariant_auditor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "core/closed_form.h"
+#include "core/static_alloc.h"
+
+namespace vod::sim {
+
+namespace {
+
+constexpr Seconds kTimeEps = 1e-9;
+/// Relative tolerance for analytic-form comparisons. The simulator and the
+/// closed forms evaluate the same expressions in different orders, so only
+/// rounding noise separates them.
+constexpr double kRelTol = 1e-6;
+/// Absolute slack for bit ledgers (values are O(1e6..1e9) bits).
+constexpr Bits kBitsEps = 1e-3;
+
+bool NearlyEqual(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= kRelTol * scale;
+}
+
+void AbortingHandler(const InvariantViolation& v) {
+  std::fprintf(stderr,
+               "InvariantAuditor: [%s] violated at t=%.9f\n  %s\n",
+               v.invariant.c_str(), v.time, v.detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor() : InvariantAuditor(Handler()) {}
+
+InvariantAuditor::InvariantAuditor(Handler handler)
+    : handler_(std::move(handler)),
+      last_event_time_(-std::numeric_limits<double>::infinity()) {}
+
+void InvariantAuditor::set_handler(Handler handler) {
+  handler_ = std::move(handler);
+}
+
+void InvariantAuditor::Report(const char* invariant, Seconds time,
+                              std::string detail) {
+  ++violations_;
+  InvariantViolation v;
+  v.invariant = invariant;
+  v.time = time;
+  v.detail = std::move(detail);
+  if (handler_) {
+    handler_(v);
+  } else {
+    AbortingHandler(v);
+  }
+}
+
+void InvariantAuditor::CheckEventTime(Seconds event_time) {
+  ++checks_;
+  if (event_time < last_event_time_ - kTimeEps) {
+    Report("event-time-monotonicity", event_time,
+           "event at t=" + std::to_string(event_time) +
+               " precedes already-processed t=" +
+               std::to_string(last_event_time_));
+  }
+  last_event_time_ = std::max(last_event_time_, event_time);
+}
+
+void InvariantAuditor::CheckMemoryConservation(Seconds now, Bits allocated,
+                                               Bits free_mem, Bits total) {
+  ++checks_;
+  const Bits slack = kBitsEps + kRelTol * std::max(total, 1.0);
+  if (allocated < -slack) {
+    Report("memory-conservation", now,
+           "allocated share is negative: " + std::to_string(allocated));
+    return;
+  }
+  if (free_mem < -slack) {
+    Report("memory-conservation", now,
+           "free share is negative: " + std::to_string(free_mem) +
+               " (allocated=" + std::to_string(allocated) +
+               ", total=" + std::to_string(total) + ")");
+    return;
+  }
+  if (std::fabs(allocated + free_mem - total) > slack) {
+    Report("memory-conservation", now,
+           "allocated+free != total: " + std::to_string(allocated) + " + " +
+               std::to_string(free_mem) +
+               " != " + std::to_string(total));
+  }
+}
+
+void InvariantAuditor::CheckBrokerReservation(Seconds now, Bits reserved,
+                                              Bits capacity,
+                                              bool capacity_enforced) {
+  if (capacity_enforced) {
+    CheckMemoryConservation(now, reserved, capacity - reserved, capacity);
+    return;
+  }
+  ++checks_;
+  const Bits slack = kBitsEps + kRelTol * std::max(capacity, 1.0);
+  if (reserved < -slack) {
+    Report("memory-conservation", now,
+           "broker reservation is negative: " + std::to_string(reserved));
+  }
+}
+
+void InvariantAuditor::CheckRequestAccounting(Seconds now, RequestId id,
+                                              Bits delivered, Bits consumed) {
+  ++checks_;
+  if (consumed > delivered + kBitsEps) {
+    Report("request-accounting", now,
+           "request " + std::to_string(id) + " consumed " +
+               std::to_string(consumed) + " bits > delivered " +
+               std::to_string(delivered));
+  }
+  if (consumed < -kBitsEps || delivered < -kBitsEps) {
+    Report("request-accounting", now,
+           "request " + std::to_string(id) + " has a negative ledger");
+  }
+  auto it = ledger_.find(id);
+  if (it != ledger_.end()) {
+    const auto& [prev_delivered, prev_consumed] = it->second;
+    if (delivered < prev_delivered - kBitsEps ||
+        consumed < prev_consumed - kBitsEps) {
+      Report("request-accounting", now,
+             "request " + std::to_string(id) +
+                 " ledger ran backwards: delivered " +
+                 std::to_string(prev_delivered) + " -> " +
+                 std::to_string(delivered) + ", consumed " +
+                 std::to_string(prev_consumed) + " -> " +
+                 std::to_string(consumed));
+    }
+  }
+  ledger_[id] = {delivered, consumed};
+}
+
+void InvariantAuditor::ForgetRequest(RequestId id) { ledger_.erase(id); }
+
+void InvariantAuditor::CheckAllocation(const core::AllocParams& params,
+                                       core::ScheduleMethod method,
+                                       const disk::DiskProfile& profile,
+                                       bool dynamic_scheme,
+                                       const AllocationRecord& rec) {
+  ++checks_;
+  // Eq. (8): a minimal buffer holds exactly one usage period of data.
+  if (!NearlyEqual(rec.usage_period, rec.buffer_size / params.cr)) {
+    Report("usage-period", rec.time,
+           "usage_period " + std::to_string(rec.usage_period) +
+               " != BS/CR = " +
+               std::to_string(rec.buffer_size / params.cr));
+    return;
+  }
+
+  Result<Bits> expected = Status::Internal("unset");
+  if (!dynamic_scheme) {
+    // The static scheme hands every request BS(N) (Sec. 2.3, Eq. 5).
+    expected = core::StaticSchemeBufferSize(params);
+  } else {
+    // Theorem 1's closed form, with Sweep*'s DL varying with the in-service
+    // count n (Table 2) and k clamped to the structural headroom N - n the
+    // way BufferSizeTable clamps it.
+    core::AllocParams p = params;
+    if (method == core::ScheduleMethod::kSweep) {
+      p.dl = core::WorstDiskLatency(profile, method, std::max(1, rec.n));
+    }
+    const int k = rec.n >= p.n_max
+                      ? 0
+                      : std::min(rec.k, p.n_max - rec.n);
+    expected = core::DynamicBufferSize(p, rec.n, k);
+  }
+  if (!expected.ok()) {
+    Report("theorem1-buffer-size", rec.time,
+           "closed form failed for (n=" + std::to_string(rec.n) +
+               ", k=" + std::to_string(rec.k) +
+               "): " + expected.status().ToString());
+    return;
+  }
+  if (!NearlyEqual(rec.buffer_size, expected.value())) {
+    Report("theorem1-buffer-size", rec.time,
+           "allocated " + std::to_string(rec.buffer_size) +
+               " bits at (n=" + std::to_string(rec.n) +
+               ", k=" + std::to_string(rec.k) + "), analytic form gives " +
+               std::to_string(expected.value()));
+  }
+}
+
+void InvariantAuditor::CheckServiceSequence(const sched::SchedulerContext& ctx,
+                                            const std::vector<RequestId>& seq,
+                                            Seconds now) {
+  ++checks_;
+  std::set<RequestId> seen;
+  for (RequestId id : seq) {
+    if (!seen.insert(id).second) {
+      Report("service-sequence", now,
+             "request " + std::to_string(id) +
+                 " appears twice in the service sequence");
+      return;
+    }
+    if (!ctx.NeedsService(id)) {
+      Report("service-sequence", now,
+             "request " + std::to_string(id) +
+                 " is in the service sequence but needs no service");
+      return;
+    }
+  }
+}
+
+void InvariantAuditor::CheckServiceDecision(
+    const sched::SchedulerContext& ctx, const std::vector<RequestId>& seq,
+    const sched::ServiceDecision& decision, Seconds now) {
+  ++checks_;
+  if (seq.empty()) {
+    Report("bubbleup-ordering", now,
+           "a decision was produced from an empty sequence");
+    return;
+  }
+  if (std::find(seq.begin(), seq.end(), decision.id) == seq.end()) {
+    Report("bubbleup-ordering", now,
+           "decision serves request " + std::to_string(decision.id) +
+               " which is not in the service sequence");
+    return;
+  }
+
+  if (ctx.NeverServiced(seq.front())) {
+    // BubbleUp front-newcomer rule: serve the newcomer unless worst-case
+    // accounting shows the first established buffer would miss its
+    // deadline; then that buffer must be caught up first.
+    Seconds elapsed = 0;
+    std::size_t first_established = seq.size();
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      elapsed += ctx.WorstServiceTime(seq[i]);
+      if (!ctx.NeverServiced(seq[i])) {
+        first_established = i;
+        break;
+      }
+    }
+    const bool newcomer_safe =
+        first_established == seq.size() ||
+        ctx.BufferDeadline(seq[first_established]) - now >= elapsed;
+    const RequestId expected =
+        newcomer_safe ? seq.front() : seq[first_established];
+    if (decision.id != expected) {
+      Report("bubbleup-ordering", now,
+             "front newcomer " + std::to_string(seq.front()) +
+                 (newcomer_safe ? " is safe to serve"
+                                : " would displace an established deadline") +
+                 "; expected request " + std::to_string(expected) +
+                 " but the decision serves " + std::to_string(decision.id));
+    }
+    if (decision.not_before > now + kTimeEps) {
+      Report("bubbleup-ordering", now,
+             "newcomer service delayed to t=" +
+                 std::to_string(decision.not_before));
+    }
+    return;
+  }
+
+  const bool has_fresh =
+      std::any_of(seq.begin(), seq.end(),
+                  [&ctx](RequestId id) { return ctx.NeverServiced(id); });
+  if (decision.id != seq.front()) {
+    Report("bubbleup-ordering", now,
+           "established-front sequence must serve its head " +
+               std::to_string(seq.front()) + ", decision serves " +
+               std::to_string(decision.id));
+    return;
+  }
+  if (has_fresh) {
+    if (decision.not_before > now + kTimeEps) {
+      Report("bubbleup-ordering", now,
+             "a newcomer is queued but service is delayed to t=" +
+                 std::to_string(decision.not_before));
+    }
+    return;
+  }
+  // Lazy pacing: as late as safely possible minus one newcomer reserve.
+  const Seconds latest = std::max(
+      now, sched::LatestSafeStart(ctx, seq) - ctx.NewcomerReserve());
+  if (!NearlyEqual(decision.not_before, latest) &&
+      decision.not_before > latest + kTimeEps) {
+    Report("bubbleup-ordering", now,
+           "lazy start t=" + std::to_string(decision.not_before) +
+               " exceeds the latest safe start " + std::to_string(latest));
+  }
+}
+
+}  // namespace vod::sim

@@ -1,10 +1,15 @@
 #include "sim/memory_broker.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.h"
 
 namespace vod::sim {
+
+Bits UnlimitedMemoryBroker::Capacity() const {
+  return std::numeric_limits<double>::infinity();
+}
 
 AnalyticMemoryBroker::AnalyticMemoryBroker(core::AllocParams params,
                                            core::ScheduleMethod method,

@@ -20,21 +20,27 @@ class MemoryBroker {
 
   /// May `disk` grow to `new_n` in-service requests (its current estimate
   /// being `k`)? Pure — does not change state.
-  virtual bool CanAdmit(int disk, int new_n, int k) const = 0;
+  [[nodiscard]] virtual bool CanAdmit(int disk, int new_n, int k) const = 0;
 
   /// Disk state update (after admission, departure, or allocation).
   virtual void OnState(int disk, int n, int k) = 0;
 
   /// Total memory the broker currently prices the system at.
-  virtual Bits ReservedMemory() const = 0;
+  [[nodiscard]] virtual Bits ReservedMemory() const = 0;
+
+  /// Total memory budget the broker admits against; +infinity when
+  /// unconstrained. ReservedMemory() <= Capacity() is the conservation
+  /// invariant sim::InvariantAuditor checks per event.
+  [[nodiscard]] virtual Bits Capacity() const = 0;
 };
 
 /// No memory constraint (single-disk latency experiments).
 class UnlimitedMemoryBroker final : public MemoryBroker {
  public:
-  bool CanAdmit(int, int, int) const override { return true; }
+  [[nodiscard]] bool CanAdmit(int, int, int) const override { return true; }
   void OnState(int, int, int) override {}
-  Bits ReservedMemory() const override { return 0; }
+  [[nodiscard]] Bits ReservedMemory() const override { return 0; }
+  [[nodiscard]] Bits Capacity() const override;
 };
 
 /// Prices each disk with the scheme's analytic minimum memory requirement
@@ -47,12 +53,13 @@ class AnalyticMemoryBroker final : public MemoryBroker {
                        bool use_dynamic, int g, int disk_count,
                        Bits capacity);
 
-  bool CanAdmit(int disk, int new_n, int k) const override;
+  [[nodiscard]] bool CanAdmit(int disk, int new_n, int k) const override;
   void OnState(int disk, int n, int k) override;
-  Bits ReservedMemory() const override;
+  [[nodiscard]] Bits ReservedMemory() const override;
+  [[nodiscard]] Bits Capacity() const override { return capacity_; }
 
   /// Memory the model assigns to one disk at (n, k); 0 when n == 0.
-  Bits PriceDisk(int n, int k) const;
+  [[nodiscard]] Bits PriceDisk(int n, int k) const;
 
  private:
   core::AllocParams params_;

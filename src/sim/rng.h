@@ -21,7 +21,9 @@ class Rng {
   double Uniform(double lo, double hi);
 
   /// Exponential with the given rate (mean 1/rate); rate must be > 0.
-  double Exponential(double rate);
+  /// The rate is a dimensionless distribution parameter (events per unit of
+  /// whatever the caller measures), not a bits-per-second quantity.
+  double Exponential(double rate);  // vodb-lint: allow(raw-double-unit)
 
   /// Uniform integer in [0, n).
   std::uint32_t NextBelow(std::uint32_t n);

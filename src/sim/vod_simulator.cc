@@ -17,6 +17,13 @@ constexpr Seconds kEps = 1e-9;
 constexpr Seconds kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
+// The invariant-audit hooks below compile to nothing unless the tree is
+// configured with VODB_AUDIT=ON (see the root CMakeLists). Every hook is a
+// pure observer: auditing on/off cannot change a single metric.
+#ifndef VODB_AUDIT_ENABLED
+#define VODB_AUDIT_ENABLED 0
+#endif
+
 std::string_view AllocSchemeName(AllocScheme s) {
   return s == AllocScheme::kStatic ? "static" : "dynamic";
 }
@@ -159,6 +166,9 @@ bool VodSimulator::Step() {
   const Event ev = events_.top();
   events_.pop();
   VOD_DCHECK(ev.time >= now_ - kEps);
+#if VODB_AUDIT_ENABLED
+  auditor_.CheckEventTime(ev.time);
+#endif
   now_ = std::max(now_, ev.time);
   switch (ev.kind) {
     case EventKind::kArrival:
@@ -326,16 +336,32 @@ void VodSimulator::RecordConcurrency() {
   metrics_.peak_concurrency = std::max(metrics_.peak_concurrency, n);
 }
 
-void VodSimulator::ReportBrokerState(int k_estimate) {
+void VodSimulator::ReportBrokerState(int k_estimate, bool at_admission) {
   last_k_estimate_ = k_estimate;
   if (broker_ != nullptr) {
     broker_->OnState(config_.disk_id, allocator_->active_count(), k_estimate);
     metrics_.memory_reserved.Record(now_, broker_->ReservedMemory());
+#if VODB_AUDIT_ENABLED
+    // The reservation must partition the capacity at admission points (the
+    // CanAdmit gate just approved this exact state); between admissions the
+    // k estimate drifts and repricing may transiently exceed capacity by
+    // design, so only non-negativity is enforced there.
+    const Bits capacity = broker_->Capacity();
+    if (std::isfinite(capacity)) {
+      auditor_.CheckBrokerReservation(now_, broker_->ReservedMemory(),
+                                      capacity, at_admission);
+    }
+#else
+    static_cast<void>(at_admission);
+#endif
   }
 }
 
 void VodSimulator::HandleArrival(const Event& ev) {
-  ProcessArrival(arrivals_[ev.arrival_index]);
+  // A scheduled arrival has no caller to hand the request id (or the
+  // rejection) back to; both outcomes are fully recorded in the metrics.
+  const Result<RequestId> outcome = ProcessArrival(arrivals_[ev.arrival_index]);
+  static_cast<void>(outcome);
 }
 
 Result<RequestId> VodSimulator::SubmitNow(const ArrivalEvent& arrival) {
@@ -407,6 +433,9 @@ Status VodSimulator::CancelRequest(RequestId id) {
   // A cancellation mid-service lets the read finish; HandleServiceComplete
   // tolerates the missing request.
   requests_.erase(it);
+#if VODB_AUDIT_ENABLED
+  auditor_.ForgetRequest(id);
+#endif
   ++metrics_.cancelled;
   RecordConcurrency();
   ReportBrokerState(last_k_estimate_);
@@ -463,7 +492,7 @@ void VodSimulator::TryAdmitPending() {
     ++metrics_.admitted;
     scheduler_->Add(id, now_);
     RecordConcurrency();
-    ReportBrokerState(last_k_estimate_);
+    ReportBrokerState(last_k_estimate_, /*at_admission=*/true);
   }
 }
 
@@ -472,6 +501,16 @@ void VodSimulator::MaybeScheduleService() {
   TryAdmitPending();
   std::optional<sched::ServiceDecision> dec = scheduler_->Next(*this, now_);
   if (!dec.has_value()) return;
+#if VODB_AUDIT_ENABLED
+  // Service-order audits (BubbleUp displacement rule, lazy-start pacing).
+  // Skipped under failure injection: with the Assumption-1 gate disabled,
+  // deadlines are *expected* to become infeasible.
+  if (!config_.disable_admission_control) {
+    const std::vector<RequestId> seq = scheduler_->ServiceSequence(*this, now_);
+    auditor_.CheckServiceSequence(*this, seq, now_);
+    auditor_.CheckServiceDecision(*this, seq, *dec, now_);
+  }
+#endif
   if (dec->not_before <= now_ + kEps) {
     BeginService(dec->id);
     return;
@@ -512,6 +551,10 @@ void VodSimulator::BeginService(RequestId id) {
   rec.buffer_size = d->buffer_size;
   rec.usage_period = d->usage_period;
   metrics_.allocations.push_back(rec);
+#if VODB_AUDIT_ENABLED
+  auditor_.CheckAllocation(alloc_params_, config_.method, config_.profile,
+                           config_.scheme == AllocScheme::kDynamic, rec);
+#endif
   metrics_.estimated_k.Add(d->k);
   metrics_.memory_usage.Record(now_, TotalBufferedBits(now_));
   ++metrics_.services;
@@ -555,6 +598,9 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
     SyncConsumption(r, now_);
     r.delivered += in_service_bits_;
     ++r.fill_count;
+#if VODB_AUDIT_ENABLED
+    auditor_.CheckRequestAccounting(now_, id, r.delivered, r.consumed);
+#endif
     if (r.first_data < 0) {
       r.first_data = now_;
       const Seconds il = now_ - r.arrival;
@@ -601,6 +647,9 @@ void VodSimulator::HandleDeparture(const Event& ev) {
   allocator_->Remove(id);
   scheduler_->Remove(id);
   requests_.erase(it);
+#if VODB_AUDIT_ENABLED
+  auditor_.ForgetRequest(id);
+#endif
   ++metrics_.completed;
   RecordConcurrency();
   ReportBrokerState(last_k_estimate_);

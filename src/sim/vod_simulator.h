@@ -16,6 +16,7 @@
 #include "disk/simulated_disk.h"
 #include "disk/video_layout.h"
 #include "sched/scheduler.h"
+#include "sim/invariant_auditor.h"
 #include "sim/memory_broker.h"
 #include "sim/metrics.h"
 #include "sim/rng.h"
@@ -100,6 +101,13 @@ class VodSimulator : public sched::SchedulerContext {
   void Finalize();
 
   Seconds now() const { return now_; }
+
+  /// The runtime invariant auditor. Its checks run only when the tree is
+  /// built with VODB_AUDIT=ON (the default); the object itself is always
+  /// present so tests can install a collecting handler unconditionally.
+  InvariantAuditor& auditor() { return auditor_; }
+  const InvariantAuditor& auditor() const { return auditor_; }
+
   const SimMetrics& metrics() const { return metrics_; }
   const SimConfig& config() const { return config_; }
   const core::AllocParams& alloc_params() const { return alloc_params_; }
@@ -181,7 +189,9 @@ class VodSimulator : public sched::SchedulerContext {
 
   void DetectStarvation();
   void RecordConcurrency();
-  void ReportBrokerState(int k_estimate);
+  // `at_admission` marks calls made right after a CanAdmit-gated admission,
+  // where the audited capacity partition is guaranteed to hold exactly.
+  void ReportBrokerState(int k_estimate, bool at_admission = false);
 
   const Req& GetReq(RequestId id) const;
   Req& GetReq(RequestId id);
@@ -220,6 +230,7 @@ class VodSimulator : public sched::SchedulerContext {
   mutable std::uint64_t preview_cache_version_ = ~0ULL;
   std::uint64_t state_version_ = 0;
 
+  InvariantAuditor auditor_;
   SimMetrics metrics_;
 };
 

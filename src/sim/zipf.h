@@ -44,7 +44,8 @@ class ArrivalRateProfile {
   Seconds duration_;
   Seconds slot_len_;
   std::vector<double> rates_;
-  double max_rate_ = 0;
+  // Arrival rate in requests/second — not a units.h BitsPerSecond quantity.
+  double max_rate_ = 0;  // vodb-lint: allow(raw-double-unit)
 };
 
 }  // namespace vod::sim

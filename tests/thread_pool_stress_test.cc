@@ -1,0 +1,171 @@
+// Stress tests for exp::ThreadPool aimed at the submit/steal/drain paths.
+// Their job is to give ThreadSanitizer (cmake -DVODB_TSAN=ON, or
+// scripts/verify_tsan.sh) enough concurrent traffic to bite on: external
+// producers racing the workers, tasks spawning tasks (cross-queue steals),
+// destructor-time drains, and exceptions under contention. The functional
+// assertions (exact task counts) double as lost-wakeup detectors.
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/thread_pool.h"
+
+namespace vod::exp {
+namespace {
+
+constexpr int kThreads = 8;
+
+TEST(ThreadPoolStressTest, ConcurrentExternalProducers) {
+  // Several external threads hammer Submit() at once: exercises the
+  // round-robin queue assignment, the per-queue mutexes, and the
+  // wake/claim protocol from outside the pool.
+  ThreadPool pool(kThreads);
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 500;
+  std::atomic<int> executed{0};
+
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<void>>> futures(kProducers);
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &executed, &futures, p]() {
+      futures[static_cast<std::size_t>(p)].reserve(kTasksPerProducer);
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        futures[static_cast<std::size_t>(p)].push_back(pool.Submit(
+            [&executed]() { executed.fetch_add(1, std::memory_order_relaxed); }));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (auto& fs : futures) {
+    for (std::future<void>& f : fs) f.get();
+  }
+  EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStressTest, TinyTasksForceStealing) {
+  // Tasks far cheaper than a steal round-trip: workers spend most of their
+  // time raiding each other's deques, hitting PopOwn/StealAny constantly.
+  ThreadPool pool(kThreads);
+  constexpr std::size_t kTasks = 20000;
+  std::atomic<std::size_t> executed{0};
+  pool.ParallelFor(kTasks, [&executed](std::size_t) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPoolStressTest, TasksSpawningTasks) {
+  // Every task fans out children from a worker thread, so Submit() races
+  // with the workers' own pop/steal cycle on the same queues.
+  ThreadPool pool(kThreads);
+  constexpr int kRoots = 64;
+  constexpr int kChildren = 32;
+  std::atomic<int> executed{0};
+
+  std::vector<std::future<std::vector<std::future<void>>>> roots;
+  roots.reserve(kRoots);
+  for (int r = 0; r < kRoots; ++r) {
+    roots.push_back(pool.Submit([&pool, &executed]() {
+      std::vector<std::future<void>> children;
+      children.reserve(kChildren);
+      for (int c = 0; c < kChildren; ++c) {
+        children.push_back(pool.Submit([&executed]() {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        }));
+      }
+      return children;
+    }));
+  }
+  for (auto& root : roots) {
+    for (std::future<void>& child : root.get()) child.get();
+  }
+  EXPECT_EQ(executed.load(), kRoots * kChildren);
+}
+
+TEST(ThreadPoolStressTest, DestructorDrainsSubmittedWork) {
+  // The destructor promises to drain already-submitted work. Submitting a
+  // burst and destroying the pool immediately races stop_ against the
+  // workers' claim loop; a lost task would deadlock a future below.
+  for (int round = 0; round < 20; ++round) {
+    constexpr int kTasks = 200;
+    auto executed = std::make_shared<std::atomic<int>>(0);
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    {
+      ThreadPool pool(kThreads);
+      for (int i = 0; i < kTasks; ++i) {
+        futures.push_back(pool.Submit(
+            [executed]() { executed->fetch_add(1, std::memory_order_relaxed); }));
+      }
+      // Pool destroyed here with most tasks still queued.
+    }
+    for (std::future<void>& f : futures) f.get();
+    EXPECT_EQ(executed->load(), kTasks) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolStressTest, ExceptionsUnderContention) {
+  // Exceptions must travel through the futures without disturbing the
+  // other in-flight tasks, even when many throw at once.
+  ThreadPool pool(kThreads);
+  constexpr std::size_t kTasks = 2000;
+  std::atomic<std::size_t> completed{0};
+  std::size_t thrown = 0;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&completed, i]() {
+      if (i % 7 == 0) throw std::runtime_error("injected");
+      completed.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    try {
+      futures[i].get();
+    } catch (const std::runtime_error&) {
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, (kTasks + 6) / 7);
+  EXPECT_EQ(completed.load(), kTasks - thrown);
+}
+
+TEST(ThreadPoolStressTest, ParallelForExceptionPropagatesLowestIndex) {
+  ThreadPool pool(kThreads);
+  std::atomic<std::size_t> executed{0};
+  try {
+    pool.ParallelFor(1000, [&executed](std::size_t i) {
+      if (i == 13 || i == 700) throw std::invalid_argument(std::to_string(i));
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "13");
+  }
+  // No task is abandoned: everything except the two throwers ran.
+  EXPECT_EQ(executed.load(), 998u);
+}
+
+TEST(ThreadPoolStressTest, RapidConstructDestroyCycles) {
+  // Churn pool lifetimes: worker startup racing immediate shutdown.
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    pool.ParallelFor(16, [&executed](std::size_t) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(executed.load(), 16);
+  }
+}
+
+}  // namespace
+}  // namespace vod::exp

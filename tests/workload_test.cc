@@ -78,7 +78,9 @@ TEST(ZipfTest, WeightsNormalizedAndDecreasing) {
     double sum = 0;
     for (std::size_t i = 0; i < w->size(); ++i) {
       sum += (*w)[i];
-      if (i > 0) EXPECT_LE((*w)[i], (*w)[i - 1] + 1e-15);
+      if (i > 0) {
+        EXPECT_LE((*w)[i], (*w)[i - 1] + 1e-15);
+      }
     }
     EXPECT_NEAR(sum, 1.0, 1e-9);
   }
