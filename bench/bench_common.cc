@@ -4,6 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
+#include "obs/trace_export.h"
+#include "sim/metrics.h"
+
 namespace vod::bench {
 
 BenchOptions BenchOptions::Parse(int argc, char** argv) {
@@ -17,9 +22,94 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       opt.threads = std::atoi(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opt.json = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      opt.trace = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opt.trace = "trace.json";
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      opt.metrics = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      opt.progress = true;
     }
   }
   return opt;
+}
+
+std::string SpecLabel(const exp::RunSpec& spec) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s/%s/t%.0f/a%d/r%d",
+                std::string(core::ScheduleMethodName(spec.config.method))
+                    .c_str(),
+                std::string(sim::AllocSchemeName(spec.config.scheme)).c_str(),
+                ToMinutes(spec.config.t_log), spec.config.alpha,
+                spec.replication);
+  return buf;
+}
+
+void WriteMetricsArtifacts(const std::string& path,
+                           const std::vector<exp::RunResult>& results) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (const exp::RunResult& r : results) r.metrics.PublishTo(registry);
+
+  std::string out = "{\n\"runs\": ";
+  out += exp::RunLogJson(results);
+  out += ",\n\"registry\": ";
+  out += registry.ToJson();
+  out += ",\n\"profile\": ";
+  out += obs::Profiler::Global().ToJson();
+  out += "\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write metrics file %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+
+  const std::string table = obs::Profiler::Global().ReportTable();
+  if (!table.empty()) std::fprintf(stderr, "%s", table.c_str());
+}
+
+ObsSession::ObsSession(const BenchOptions& opt, std::size_t total_runs)
+    : trace_path_(opt.trace), metrics_path_(opt.metrics) {
+  if (trace_path_.empty()) return;
+  if (!obs::kTraceHooksCompiledIn) {
+    std::fprintf(stderr,
+                 "warning: --trace set but this build has no trace hooks; "
+                 "reconfigure with -DVODB_TRACE=ON for events\n");
+  }
+  tracers_.reserve(total_runs);
+  for (std::size_t i = 0; i < total_runs; ++i) {
+    tracers_.push_back(std::make_unique<obs::EventTracer>());
+  }
+}
+
+exp::Runner::RunSpecFn ObsSession::MakeRunFn() const {
+  return [this](const exp::RunSpec& spec) {
+    exp::DayRunConfig cfg = spec.config;
+    if (!tracers_.empty()) cfg.tracer = tracers_[spec.index].get();
+    return exp::RunDay(cfg);
+  };
+}
+
+void ObsSession::Finish(const std::vector<exp::RunResult>& results) const {
+  if (!trace_path_.empty()) {
+    std::vector<obs::TraceRun> runs;
+    runs.reserve(results.size());
+    for (const exp::RunResult& r : results) {
+      obs::TraceRun tr;
+      tr.label = SpecLabel(r.spec);
+      tr.pid = static_cast<int>(r.spec.index);
+      tr.events = tracers_[r.spec.index]->Snapshot();
+      runs.push_back(std::move(tr));
+    }
+    const Status st = obs::WriteTraceFile(trace_path_, runs);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+    }
+  }
+  if (!metrics_path_.empty()) WriteMetricsArtifacts(metrics_path_, results);
 }
 
 void PrintCsvHeader(const std::string& columns) {

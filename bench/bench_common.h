@@ -1,12 +1,15 @@
 #ifndef VODB_BENCH_BENCH_COMMON_H_
 #define VODB_BENCH_BENCH_COMMON_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
 #include "core/params.h"
 #include "exp/day_run.h"
+#include "exp/runner.h"
+#include "obs/event_tracer.h"
 #include "sim/vod_simulator.h"
 #include "sim/workload.h"
 
@@ -14,17 +17,30 @@ namespace vod::bench {
 
 /// Shared command-line handling for the figure/table harnesses.
 /// Every harness accepts:
-///   --full       paper-scale sweep (24 h days, 5 seeds, full grids)
-///   --seeds=K    override the seed count
-///   --threads=N  worker threads for the experiment runner
-///                (default hardware_concurrency; 1 = serial legacy path)
-///   --json       emit JSON instead of CSV (runner-based harnesses)
+///   --full          paper-scale sweep (24 h days, 5 seeds, full grids)
+///   --seeds=K       override the seed count
+///   --threads=N     worker threads for the experiment runner
+///                   (default hardware_concurrency; 1 = serial legacy path)
+///   --json          emit JSON instead of CSV (runner-based harnesses)
+///   --trace=FILE    write a structured event trace of every run (.jsonl =
+///                   line-delimited records; anything else = Chrome
+///                   trace-event JSON loadable in Perfetto). Needs a tree
+///                   built with -DVODB_TRACE=ON to carry events.
+///   --metrics=FILE  write a JSON metrics dump: per-run log (seed + grid
+///                   coordinates + headline metrics), the accumulated
+///                   counter/histogram registry, and the profiling table
+///   --progress      live stderr progress line (completed/total, runs/s, ETA)
 /// Default configurations are scaled to finish in seconds-to-a-minute.
+/// All three observability flags are pure observers: the stdout CSV/JSON is
+/// byte-identical with or without them.
 struct BenchOptions {
   bool full = false;
   int seeds = 0;    ///< 0 = per-bench default.
   int threads = 0;  ///< 0 = hardware_concurrency.
   bool json = false;
+  std::string trace;    ///< Empty = no trace file.
+  std::string metrics;  ///< Empty = no metrics dump.
+  bool progress = false;
 
   static BenchOptions Parse(int argc, char** argv);
 };
@@ -36,6 +52,36 @@ using exp::DayRunConfig;
 using exp::PaperK;
 using exp::PaperTLog;
 using exp::RunDay;
+
+/// Short run label for trace tracks: "rr/dynamic/t40/a1/r0".
+std::string SpecLabel(const exp::RunSpec& spec);
+
+/// Writes the --metrics JSON artifact: {"runs": [...], "registry": {...},
+/// "profile": [...]}. Publishes every result's SimMetrics into the global
+/// registry first, and prints the profiling table to stderr.
+void WriteMetricsArtifacts(const std::string& path,
+                           const std::vector<exp::RunResult>& results);
+
+/// Observability wiring shared by the runner-based harnesses: one
+/// EventTracer per run when --trace is set (the tracer is single-producer,
+/// so parallel sweeps need per-run instances), a spec-aware RunDay wrapper
+/// that attaches them, and artifact writing after the sweep.
+class ObsSession {
+ public:
+  ObsSession(const BenchOptions& opt, std::size_t total_runs);
+
+  /// RunDay wrapper for Runner::RunWithSpecs that attaches this session's
+  /// tracer for the run's grid index.
+  exp::Runner::RunSpecFn MakeRunFn() const;
+
+  /// Writes the --trace and --metrics artifacts (no-ops for unset flags).
+  void Finish(const std::vector<exp::RunResult>& results) const;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::vector<std::unique_ptr<obs::EventTracer>> tracers_;
+};
 
 /// Prints a CSV header + rows helper.
 void PrintCsvHeader(const std::string& columns);

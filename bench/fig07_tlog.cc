@@ -59,8 +59,10 @@ int main(int argc, char** argv) {
       .OverTLogs(t_logs)
       .WithSeeds(seed_list);
 
-  const exp::Runner runner({.threads = opt.threads});
-  const std::vector<exp::RunResult> results = runner.Run(grid);
+  const ObsSession obs_session(opt, grid.size());
+  const exp::Runner runner({.threads = opt.threads, .progress = opt.progress});
+  const std::vector<exp::RunResult> results =
+      runner.RunWithSpecs(grid, obs_session.MakeRunFn());
   const auto k_rows = exp::AggregateReplications(
       results, seeds,
       [](const exp::RunResult& r) { return r.metrics.estimated_k.mean(); });
@@ -88,5 +90,6 @@ int main(int argc, char** argv) {
   }
   if (!opt.json) std::printf("# Fig. 7: estimation vs T_log (alpha=1)\n");
   table.Write(stdout, opt.json);
+  obs_session.Finish(results);
   return 0;
 }

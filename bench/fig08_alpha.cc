@@ -55,8 +55,10 @@ int main(int argc, char** argv) {
       .OverAlphas(alphas)
       .WithSeeds(seed_list);
 
-  const exp::Runner runner({.threads = opt.threads});
-  const std::vector<exp::RunResult> results = runner.Run(grid);
+  const ObsSession obs_session(opt, grid.size());
+  const exp::Runner runner({.threads = opt.threads, .progress = opt.progress});
+  const std::vector<exp::RunResult> results =
+      runner.RunWithSpecs(grid, obs_session.MakeRunFn());
   const auto k_rows = exp::AggregateReplications(
       results, seeds,
       [](const exp::RunResult& r) { return r.metrics.estimated_k.mean(); });
@@ -86,5 +88,6 @@ int main(int argc, char** argv) {
     std::printf("# Fig. 8: estimation vs alpha (paper T_log per method)\n");
   }
   table.Write(stdout, opt.json);
+  obs_session.Finish(results);
   return 0;
 }

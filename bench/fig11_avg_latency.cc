@@ -63,8 +63,10 @@ int main(int argc, char** argv) {
       .UsePaperTLog()
       .WithSeeds(seed_list);
 
-  const exp::Runner runner({.threads = opt.threads});
-  const std::vector<exp::RunResult> results = runner.Run(grid);
+  const ObsSession obs_session(opt, grid.size());
+  const exp::Runner runner({.threads = opt.threads, .progress = opt.progress});
+  const std::vector<exp::RunResult> results =
+      runner.RunWithSpecs(grid, obs_session.MakeRunFn());
 
   exp::Table table({"method", "n_bucket", "static_s", "dynamic_s", "samples"});
   // Per method, the grid's slice is scheme-major / seed-minor — the same
@@ -102,5 +104,6 @@ int main(int argc, char** argv) {
                 "seeds)\n", seeds);
   }
   table.Write(stdout, opt.json);
+  obs_session.Finish(results);
   return 0;
 }

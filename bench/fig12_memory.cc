@@ -67,5 +67,10 @@ int main(int argc, char** argv) {
         "# Fig. 12: minimum memory requirement (MB) vs n, per method\n");
   }
   table.Write(stdout, opt.json);
+  if (!opt.trace.empty()) {
+    std::fprintf(stderr,
+                 "warning: --trace ignored (analysis-only harness)\n");
+  }
+  if (!opt.metrics.empty()) WriteMetricsArtifacts(opt.metrics, {});
   return 0;
 }

@@ -18,6 +18,14 @@ the offending line, stating why in a nearby comment):
       check must either be VOD_DCHECK (compiled out under NDEBUG) or sit
       in an explicit `#ifndef NDEBUG` region.
 
+  raw-timing
+      All host-clock access in src/ goes through src/obs/clock.h
+      (obs::MonotonicNanos / obs::Stopwatch): one clock source means traces,
+      profiles, and pool stats are mutually comparable, and keeps wall-clock
+      reads out of code that must depend only on *simulated* time. Direct
+      std::chrono / clock_gettime / gettimeofday use is flagged everywhere
+      under src/ except src/obs/ itself.
+
   unconsumed-status
       Every call to a function returning vod::Status or vod::Result must
       consume the result (assign, return, test, VOD_RETURN_IF_ERROR, or an
@@ -265,6 +273,36 @@ def check_hot_loop_checks(root: str, findings: Findings) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Rule: raw-timing
+# ---------------------------------------------------------------------------
+
+RAW_TIMING_RE = re.compile(
+    r"\bstd::chrono\b|\bclock_gettime\b|\bgettimeofday\b")
+
+
+def check_raw_timing(root: str, findings: Findings) -> None:
+    for path in iter_files(root, ["src"], (".h", ".cc")):
+        rel = os.path.relpath(path, root)
+        parts = rel.split(os.sep)
+        # src/obs is the sanctioned clock site.
+        if len(parts) >= 2 and parts[1] == "obs":
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.splitlines()
+        clean = strip_comments(text)
+        for lineno, line in enumerate(clean.splitlines(), start=1):
+            if not RAW_TIMING_RE.search(line):
+                continue
+            if allowed(lines, lineno, "raw-timing"):
+                continue
+            findings.report(
+                rel, lineno, "raw-timing",
+                "raw host-clock access outside src/obs; use "
+                "obs::MonotonicNanos()/obs::Stopwatch from obs/clock.h")
+
+
+# ---------------------------------------------------------------------------
 # Rule: unconsumed-status
 # ---------------------------------------------------------------------------
 
@@ -349,6 +387,7 @@ def main() -> int:
     findings = Findings()
     check_raw_double_units(root, findings)
     check_hot_loop_checks(root, findings)
+    check_raw_timing(root, findings)
     check_unconsumed_status(root, findings)
     if findings.count:
         print(f"vodb-lint: {findings.count} finding(s)")

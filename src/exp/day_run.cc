@@ -1,6 +1,7 @@
 #include "exp/day_run.h"
 
 #include "common/check.h"
+#include "obs/profile.h"
 #include "sim/workload.h"
 
 namespace vod::exp {
@@ -15,6 +16,7 @@ int PaperK(core::ScheduleMethod method) {
 }
 
 sim::SimMetrics RunDay(const DayRunConfig& cfg) {
+  VODB_PROF_SCOPE("exp.run");
   sim::SimConfig sc;
   sc.method = cfg.method;
   sc.scheme = cfg.scheme;
@@ -33,6 +35,7 @@ sim::SimMetrics RunDay(const DayRunConfig& cfg) {
   VOD_CHECK(arrivals.ok());
   auto simulator = sim::VodSimulator::Create(sc, nullptr);
   VOD_CHECK(simulator.ok());
+  (*simulator)->set_tracer(cfg.tracer);
   VOD_CHECK((*simulator)->AddArrivals(*arrivals).ok());
   (*simulator)->RunToCompletion();
   (*simulator)->Finalize();

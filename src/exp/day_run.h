@@ -8,6 +8,10 @@
 #include "sim/metrics.h"
 #include "sim/vod_simulator.h"
 
+namespace vod::obs {
+class EventTracer;
+}  // namespace vod::obs
+
 namespace vod::exp {
 
 /// The paper's per-method T_log choices (Sec. 5.1): 40 min for Round-Robin,
@@ -31,6 +35,11 @@ struct DayRunConfig {
   Seconds duration = Hours(24);
   double total_arrivals = 1200;
   std::uint64_t seed = 1;
+  /// Optional structured event tracer attached to the run's simulator (one
+  /// tracer per run — the tracer is single-producer). Pure observer: results
+  /// are identical with or without it. Excluded from grid seeding (seeds
+  /// hash simulation parameters by value, never this pointer).
+  obs::EventTracer* tracer = nullptr;
 };
 
 /// Runs one simulated day and returns the finalized metrics.

@@ -1,16 +1,23 @@
 #include "exp/runner.h"
 
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
 #include "exp/thread_pool.h"
+#include "obs/clock.h"
+#include "obs/metrics_registry.h"
+#include "obs/progress.h"
 
 namespace vod::exp {
 
 Runner::Runner(const RunnerOptions& options)
-    : threads_(options.threads > 0 ? options.threads
+    : options_(options),
+      threads_(options.threads > 0 ? options.threads
                                    : ThreadPool::DefaultThreads()) {}
 
 std::vector<RunResult> Runner::Run(const Grid& grid) const {
@@ -18,27 +25,80 @@ std::vector<RunResult> Runner::Run(const Grid& grid) const {
 }
 
 std::vector<RunResult> Runner::Run(const Grid& grid, const RunFn& fn) const {
+  return RunWithSpecs(grid,
+                      [&fn](const RunSpec& spec) { return fn(spec.config); });
+}
+
+std::vector<RunResult> Runner::RunWithSpecs(const Grid& grid,
+                                            const RunSpecFn& fn) const {
   const std::vector<RunSpec> specs = grid.Expand();
   std::vector<RunResult> results(specs.size());
   if (specs.empty()) return results;
+
+  std::unique_ptr<obs::ProgressReporter> progress;
+  if (options_.progress) {
+    progress = std::make_unique<obs::ProgressReporter>(
+        specs.size(), options_.progress_label);
+  }
+  const auto run_one = [&](std::size_t i) {
+    const obs::Stopwatch watch;
+    results[i].spec = specs[i];
+    results[i].metrics = fn(specs[i]);
+    results[i].wall_seconds = watch.Elapsed();
+    if (progress != nullptr) progress->OnComplete();
+  };
 
   if (threads_ == 1 || specs.size() == 1) {
     // Inline: no pool setup, exceptions propagate directly. Results are
     // identical to the pooled path by construction (pure per-run seeding,
     // index-ordered collection).
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      results[i].spec = specs[i];
-      results[i].metrics = fn(specs[i].config);
-    }
-    return results;
+    for (std::size_t i = 0; i < specs.size(); ++i) run_one(i);
+  } else {
+    ThreadPool pool(threads_);
+    pool.ParallelFor(specs.size(), run_one);
+    pool.PublishStats(obs::MetricsRegistry::Global());
   }
-
-  ThreadPool pool(threads_);
-  pool.ParallelFor(specs.size(), [&](std::size_t i) {
-    results[i].spec = specs[i];
-    results[i].metrics = fn(specs[i].config);
-  });
+  if (progress != nullptr) progress->Finish();
   return results;
+}
+
+std::string RunLogJson(const std::vector<RunResult>& results) {
+  std::string out = "[\n";
+  char buf[512];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    const sim::SimMetrics& m = r.metrics;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"index\": %zu, \"method\": \"%s\", \"scheme\": \"%s\", "
+        "\"t_log_min\": %.3f, \"alpha\": %d, \"replication\": %d, "
+        "\"seed\": \"%" PRIu64 "\", \"wall_ms\": %.3f,",
+        r.spec.index,
+        std::string(core::ScheduleMethodName(r.spec.config.method)).c_str(),
+        std::string(sim::AllocSchemeName(r.spec.config.scheme)).c_str(),
+        r.spec.config.t_log / 60.0, r.spec.config.alpha, r.spec.replication,
+        r.spec.config.seed, r.wall_seconds * 1e3);
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        " \"arrivals\": %ld, \"admitted\": %ld, \"rejected\": %ld, "
+        "\"rejected_capacity\": %ld, \"rejected_memory\": %ld, "
+        "\"rejected_invalid\": %ld, \"deferred\": %ld, \"completed\": %ld, "
+        "\"cancelled\": %ld, \"starvations\": %ld, \"services\": %ld,",
+        m.arrivals, m.admitted, m.rejected, m.rejected_capacity,
+        m.rejected_memory, m.rejected_invalid, m.deferred_admissions,
+        m.completed, m.cancelled, m.starvation_events, m.services);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  " \"avg_latency_s\": %.6f, \"success_prob\": %.6f, "
+                  "\"peak_memory_mb\": %.3f, \"peak_concurrency\": %d}%s\n",
+                  m.initial_latency.mean(), m.SuccessProbability(),
+                  ToMegabytes(m.memory_usage.max_value()),
+                  m.peak_concurrency, i + 1 < results.size() ? "," : "");
+    out += buf;
+  }
+  out += "]\n";
+  return out;
 }
 
 MetricSummary MetricSummary::FromStats(const RunningStats& stats) {

@@ -17,12 +17,18 @@ struct RunnerOptions {
   /// Worker threads; <= 0 selects ThreadPool::DefaultThreads()
   /// (hardware_concurrency). 1 runs inline on the caller.
   int threads = 0;
+  /// Live stderr progress line (completed/total, runs/s, ETA) while the
+  /// sweep executes. Purely cosmetic: results are identical either way.
+  bool progress = false;
+  /// Label shown in front of the progress counts.
+  std::string progress_label = "runs";
 };
 
 /// One completed run: the spec that produced it plus its metrics.
 struct RunResult {
   RunSpec spec;
   sim::SimMetrics metrics;
+  Seconds wall_seconds = 0;  ///< Host wall time this run took.
 };
 
 /// Fans a grid's runs out across a work-stealing thread pool and returns the
@@ -37,6 +43,11 @@ class Runner {
   /// Replaces RunDay for a grid point (tests, analysis-only sweeps).
   using RunFn = std::function<sim::SimMetrics(const DayRunConfig&)>;
 
+  /// Like RunFn but handed the whole RunSpec, so the callback can key
+  /// per-run side channels (e.g. one EventTracer per spec.index) off the
+  /// grid coordinates instead of just the config.
+  using RunSpecFn = std::function<sim::SimMetrics(const RunSpec&)>;
+
   /// Executes every grid point through RunDay.
   std::vector<RunResult> Run(const Grid& grid) const;
 
@@ -45,11 +56,24 @@ class Runner {
   /// index wins when several throw).
   std::vector<RunResult> Run(const Grid& grid, const RunFn& fn) const;
 
+  /// Spec-aware variant; the other overloads delegate here.
+  std::vector<RunResult> RunWithSpecs(const Grid& grid,
+                                      const RunSpecFn& fn) const;
+
   int threads() const { return threads_; }
 
  private:
+  RunnerOptions options_;
   int threads_;
 };
+
+/// Per-run JSON log: one object per RunResult carrying the grid coordinates
+/// (method, scheme, t_log_min, alpha, replication), the derived seed, the
+/// host wall time, and the run's headline metrics (admission counts with the
+/// rejection-cause breakdown, latency, estimation success, peak memory).
+/// Joins external artifacts — trace files, registry dumps — back to grid
+/// points. Deterministic except for the wall_ms field.
+std::string RunLogJson(const std::vector<RunResult>& results);
 
 /// Mean/stddev/CI summary of one metric across a grid point's replications.
 /// ci95_half is the normal-approximation half-width 1.96·s/√n (0 for a

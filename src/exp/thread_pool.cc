@@ -1,17 +1,23 @@
 #include "exp/thread_pool.h"
 
+#include <algorithm>
 #include <exception>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/clock.h"
+#include "obs/metrics_registry.h"
 
 namespace vod::exp {
 
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = DefaultThreads();
   queues_.reserve(static_cast<std::size_t>(threads));
+  counters_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     queues_.push_back(std::make_unique<WorkQueue>());
+    counters_.push_back(std::make_unique<WorkerCounters>());
   }
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
@@ -40,6 +46,8 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(queues_[idx]->mu);
     queues_[idx]->tasks.push_back(std::move(task));
+    queues_[idx]->max_depth =
+        std::max(queues_[idx]->max_depth, queues_[idx]->tasks.size());
   }
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
@@ -80,11 +88,62 @@ void ThreadPool::WorkerLoop(std::size_t idx) {
     }
     // A claim guarantees a task exists in some queue; hunt until found.
     std::function<void()> task;
-    while (!PopOwn(idx, task) && !StealAny(idx, task)) {
+    bool stolen = false;
+    for (;;) {
+      if (PopOwn(idx, task)) break;
+      if (StealAny(idx, task)) {
+        stolen = true;
+        break;
+      }
       std::this_thread::yield();
     }
+    WorkerCounters& wc = *counters_[idx];
+    if (stolen) wc.steals.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t t0 = obs::MonotonicNanos();
     task();
+    wc.busy_nanos.fetch_add(obs::MonotonicNanos() - t0,
+                            std::memory_order_relaxed);
+    wc.tasks.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+ThreadPool::PoolStats ThreadPool::Stats() const {
+  PoolStats stats;
+  stats.workers.reserve(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    WorkerStats w;
+    w.tasks = counters_[i]->tasks.load(std::memory_order_relaxed);
+    w.steals = counters_[i]->steals.load(std::memory_order_relaxed);
+    w.busy = static_cast<double>(
+                 counters_[i]->busy_nanos.load(std::memory_order_relaxed)) *
+             1e-9;
+    {
+      std::lock_guard<std::mutex> lock(queues_[i]->mu);
+      w.max_queue_depth = queues_[i]->max_depth;
+    }
+    stats.total_tasks += w.tasks;
+    stats.total_steals += w.steals;
+    stats.workers.push_back(w);
+  }
+  return stats;
+}
+
+void ThreadPool::PublishStats(obs::MetricsRegistry& registry,
+                              std::string_view prefix) const {
+  const PoolStats stats = Stats();
+  const std::string p = std::string(prefix) + ".";
+  registry.counter(p + "tasks").Increment(stats.total_tasks);
+  registry.counter(p + "steals").Increment(stats.total_steals);
+  registry.gauge(p + "threads")
+      .Set(static_cast<double>(stats.workers.size()));
+  obs::Histogram& busy =
+      registry.histogram(p + "worker_busy_s", {.lo = 1e-3});
+  std::size_t max_depth = 0;
+  for (const WorkerStats& w : stats.workers) {
+    busy.Add(w.busy);
+    max_depth = std::max(max_depth, w.max_queue_depth);
+  }
+  registry.gauge(p + "max_queue_depth").Set(static_cast<double>(max_depth));
 }
 
 void ThreadPool::ParallelFor(std::size_t n,

@@ -4,14 +4,22 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/units.h"
+
+namespace vod::obs {
+class MetricsRegistry;
+}  // namespace vod::obs
 
 namespace vod::exp {
 
@@ -56,10 +64,48 @@ class ThreadPool {
   /// every task has finished (no task is abandoned mid-run).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Per-worker execution statistics (observability). `busy` is host wall
+  /// time spent inside tasks; `steals` counts tasks this worker took from
+  /// another worker's deque; `max_queue_depth` is the deepest this worker's
+  /// own deque ever grew.
+  struct WorkerStats {
+    std::int64_t tasks = 0;
+    std::int64_t steals = 0;
+    Seconds busy = 0;
+    std::size_t max_queue_depth = 0;
+  };
+
+  struct PoolStats {
+    std::vector<WorkerStats> workers;
+    std::int64_t total_tasks = 0;
+    std::int64_t total_steals = 0;
+  };
+
+  /// Snapshot of the counters so far. Safe to call while tasks run (relaxed
+  /// reads; per-worker values may be mid-update but never torn).
+  PoolStats Stats() const;
+
+  /// Publishes the snapshot into `registry` under `<prefix>.`: counters
+  /// `tasks` and `steals`, a gauge `threads` and `max_queue_depth`, and a
+  /// per-worker histogram `worker_busy_s` (one sample per worker, so the
+  /// spread exposes load imbalance).
+  void PublishStats(obs::MetricsRegistry& registry,
+                    std::string_view prefix = "exp.pool") const;
+
  private:
   struct WorkQueue {
     std::mutex mu;
     std::deque<std::function<void()>> tasks;
+    std::size_t max_depth = 0;  ///< Guarded by mu.
+  };
+
+  /// Cache-line padded so workers bumping their own counters do not false-
+  /// share; relaxed atomics because Stats() only needs eventually-consistent
+  /// totals, never ordering.
+  struct alignas(64) WorkerCounters {
+    std::atomic<std::int64_t> tasks{0};
+    std::atomic<std::int64_t> steals{0};
+    std::atomic<std::int64_t> busy_nanos{0};
   };
 
   void Enqueue(std::function<void()> task);
@@ -68,6 +114,7 @@ class ThreadPool {
   void WorkerLoop(std::size_t idx);
 
   std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::unique_ptr<WorkerCounters>> counters_;
   std::vector<std::thread> workers_;
 
   // Every enqueued task bumps unclaimed_; every consumer claims exactly one

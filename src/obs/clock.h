@@ -1,0 +1,40 @@
+#ifndef VODB_OBS_CLOCK_H_
+#define VODB_OBS_CLOCK_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace vod::obs {
+
+/// Host wall-clock access for the observability layer. This header's
+/// implementation is the ONE place the library reads std::chrono (enforced
+/// by the `raw-timing` vodb-lint rule): simulation code measures *simulated*
+/// time and must never touch the host clock, and every host-side measurement
+/// (profiling scopes, runner progress/ETA, per-run timing) goes through the
+/// helpers below so it can be found, audited, and mocked in one place.
+
+/// Monotonic nanoseconds since an arbitrary fixed epoch.
+std::int64_t MonotonicNanos();
+
+/// Monotonic seconds since the same epoch.
+Seconds MonotonicSeconds();
+
+/// Restartable interval timer over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicNanos()) {}
+
+  void Restart() { start_ = MonotonicNanos(); }
+  std::int64_t ElapsedNanos() const { return MonotonicNanos() - start_; }
+  Seconds Elapsed() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace vod::obs
+
+#endif  // VODB_OBS_CLOCK_H_

@@ -1,0 +1,60 @@
+#include "obs/event_tracer.h"
+
+namespace vod::obs {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kArrival:
+      return "arrival";
+    case TraceEventKind::kAdmit:
+      return "admit";
+    case TraceEventKind::kDefer:
+      return "defer";
+    case TraceEventKind::kRejectCapacity:
+      return "reject_capacity";
+    case TraceEventKind::kRejectMemory:
+      return "reject_memory";
+    case TraceEventKind::kRejectInvalid:
+      return "reject_invalid";
+    case TraceEventKind::kAllocation:
+      return "allocation";
+    case TraceEventKind::kServiceStart:
+      return "service_start";
+    case TraceEventKind::kServiceEnd:
+      return "service_end";
+    case TraceEventKind::kStarvation:
+      return "starvation";
+    case TraceEventKind::kDeparture:
+      return "departure";
+    case TraceEventKind::kCancel:
+      return "cancel";
+  }
+  return "unknown";
+}
+
+EventTracer::EventTracer(std::size_t capacity)
+    : ring_(RoundUpPow2(capacity < 2 ? 2 : capacity)),
+      mask_(ring_.size() - 1) {}
+
+std::vector<TraceEvent> EventTracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = head_ - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(first + i) & mask_]);
+  }
+  return out;
+}
+
+}  // namespace vod::obs

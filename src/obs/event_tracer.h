@@ -1,0 +1,62 @@
+#ifndef VODB_OBS_EVENT_TRACER_H_
+#define VODB_OBS_EVENT_TRACER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace vod::obs {
+
+/// Fixed-capacity ring buffer of structured trace events.
+///
+/// Single-producer by design: one tracer instance belongs to one simulator
+/// (the simulator itself is single-threaded; parallel sweeps give every run
+/// its own tracer), so the hot path is lock-free and allocation-free — one
+/// struct store plus one index increment per event, no branches beyond the
+/// wrap mask. When the buffer wraps, the oldest events are overwritten and
+/// counted in dropped(); the retained window is always the most recent
+/// `capacity()` events in emission order.
+class EventTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  /// `capacity` is rounded up to a power of two (index masking).
+  explicit EventTracer(std::size_t capacity = kDefaultCapacity);
+
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  void Emit(const TraceEvent& ev) {
+    ring_[static_cast<std::size_t>(head_) & mask_] = ev;
+    ++head_;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Events currently retained (≤ capacity).
+  std::size_t size() const {
+    return head_ < ring_.size() ? static_cast<std::size_t>(head_)
+                                : ring_.size();
+  }
+  /// Total events ever emitted, including overwritten ones.
+  std::uint64_t total_emitted() const { return head_; }
+  /// Events lost to wraparound.
+  std::uint64_t dropped() const {
+    return head_ > ring_.size() ? head_ - ring_.size() : 0;
+  }
+
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  void Clear() { head_ = 0; }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t mask_;
+  std::uint64_t head_ = 0;  ///< Next write position (monotonic; masked).
+};
+
+}  // namespace vod::obs
+
+#endif  // VODB_OBS_EVENT_TRACER_H_

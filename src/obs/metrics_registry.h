@@ -1,0 +1,128 @@
+#ifndef VODB_OBS_METRICS_REGISTRY_H_
+#define VODB_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vod::obs {
+
+/// Monotonic named counter. Increment is one relaxed atomic add, safe from
+/// any thread (the experiment runner's workers all bump the same counters).
+class Counter {
+ public:
+  void Increment(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram with lock-free concurrent Add.
+///
+/// Bucket 0 holds values ≤ `lo` (and any non-positive/NaN input); bucket i
+/// (1 ≤ i < buckets−1) holds (lo·g^(i−1), lo·g^i]; the last bucket is the
+/// overflow. Quantiles are bucket upper bounds, so an estimate overshoots
+/// the true sample quantile by at most one growth factor — the right
+/// trade-off for latency percentiles spanning microseconds to minutes.
+class Histogram {
+ public:
+  struct Options {
+    double lo = 1e-6;         ///< Upper bound of the first bucket.
+    double growth = 2.0;      ///< Geometric bucket growth factor (> 1).
+    std::size_t buckets = 64; ///< Total buckets including under/overflow.
+  };
+
+  // Two overloads (not one defaulted argument): GCC cannot use the nested
+  // aggregate's member initializers in a default argument inside this class.
+  Histogram() : Histogram(Options()) {}
+  explicit Histogram(const Options& options);
+
+  void Add(double v);
+
+  std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// q in [0,1]. Returns the upper bound of the bucket containing the
+  /// rank-⌈q·count⌉ sample (the exact observed max for the overflow bucket
+  /// and for q = 1). Returns 0 when empty.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+
+  /// Inclusive upper bound of bucket `i` (+inf for the overflow bucket).
+  double UpperBound(std::size_t i) const;
+  /// Which bucket `v` lands in.
+  std::size_t BucketFor(double v) const;
+  std::vector<std::int64_t> BucketCounts() const;
+  const Options& options() const { return opt_; }
+
+ private:
+  Options opt_;
+  double log_growth_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Thread-safe name → metric registry. Lookup takes a mutex once; the
+/// returned references are stable for the registry's lifetime, so hot paths
+/// resolve a metric once and then touch only its atomics. `Global()` is the
+/// process-wide instance the bench harnesses dump with --metrics=out.json.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       const Histogram::Options& options = Histogram::Options());
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {count, mean, p50, p95, p99, max}}} — keys sorted, deterministic.
+  std::string ToJson() const;
+
+  /// Drops every registered metric (test isolation). Invalidates references
+  /// previously returned — callers must re-resolve.
+  void Clear();
+
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace vod::obs
+
+#endif  // VODB_OBS_METRICS_REGISTRY_H_

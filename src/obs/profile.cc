@@ -1,0 +1,92 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vod::obs {
+
+Profiler& Profiler::Global() {
+  static Profiler* const kGlobal = new Profiler();
+  return *kGlobal;
+}
+
+ProfSite* Profiler::Register(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_.emplace(name, std::make_unique<ProfSite>(name)).first;
+  }
+  return it->second.get();
+}
+
+std::vector<ProfSiteStats> Profiler::Snapshot() const {
+  std::vector<ProfSiteStats> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(sites_.size());
+    for (const auto& [name, site] : sites_) {
+      const std::int64_t calls = site->calls.load(std::memory_order_relaxed);
+      if (calls == 0) continue;
+      ProfSiteStats s;
+      s.name = name;
+      s.calls = calls;
+      s.total = static_cast<double>(
+                    site->nanos.load(std::memory_order_relaxed)) *
+                1e-9;
+      s.mean = s.total / static_cast<double>(calls);
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfSiteStats& a, const ProfSiteStats& b) {
+              return a.total > b.total;
+            });
+  return out;
+}
+
+std::string Profiler::ReportTable() const {
+  const std::vector<ProfSiteStats> stats = Snapshot();
+  if (stats.empty()) return "";
+  std::size_t width = 5;
+  for (const ProfSiteStats& s : stats) width = std::max(width, s.name.size());
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-*s %12s %12s %12s\n",
+                static_cast<int>(width), "phase", "calls", "total_s",
+                "mean_us");
+  out += buf;
+  for (const ProfSiteStats& s : stats) {
+    std::snprintf(buf, sizeof(buf), "%-*s %12lld %12.4f %12.2f\n",
+                  static_cast<int>(width), s.name.c_str(),
+                  static_cast<long long>(s.calls), s.total, s.mean * 1e6);
+    out += buf;
+  }
+  return out;
+}
+
+std::string Profiler::ToJson() const {
+  const std::vector<ProfSiteStats> stats = Snapshot();
+  std::string out = "[";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"calls\": %lld, "
+                  "\"total_s\": %.6f, \"mean_us\": %.3f}",
+                  i > 0 ? "," : "", stats[i].name.c_str(),
+                  static_cast<long long>(stats[i].calls), stats[i].total,
+                  stats[i].mean * 1e6);
+    out += buf;
+  }
+  out += stats.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) {
+    site->calls.store(0, std::memory_order_relaxed);
+    site->nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace vod::obs

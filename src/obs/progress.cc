@@ -1,0 +1,51 @@
+#include "obs/progress.h"
+
+#include <utility>
+
+namespace vod::obs {
+
+ProgressReporter::ProgressReporter(std::size_t total, std::string label,
+                                   std::FILE* out, Seconds min_interval)
+    : total_(total), label_(std::move(label)), out_(out),
+      min_interval_(min_interval) {}
+
+void ProgressReporter::OnComplete() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (done_ < total_) ++done_;
+  const Seconds now = watch_.Elapsed();
+  if (done_ == total_ || last_draw_ < 0 ||
+      now - last_draw_ >= min_interval_) {
+    last_draw_ = now;
+    Draw(/*final_line=*/false);
+  }
+}
+
+void ProgressReporter::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  Draw(/*final_line=*/true);
+}
+
+std::size_t ProgressReporter::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void ProgressReporter::Draw(bool final_line) {
+  const Seconds elapsed = watch_.Elapsed();
+  const double rate =
+      elapsed > 0 ? static_cast<double>(done_) / elapsed : 0.0;
+  const double pct =
+      total_ > 0 ? 100.0 * static_cast<double>(done_) /
+                       static_cast<double>(total_)
+                 : 100.0;
+  const double eta =
+      rate > 0 ? static_cast<double>(total_ - done_) / rate : 0.0;
+  std::fprintf(out_, "\r%s %zu/%zu (%.1f%%) | %.1f runs/s | ETA %.1fs ",
+               label_.c_str(), done_, total_, pct, rate, eta);
+  if (final_line) std::fprintf(out_, "\n");
+  std::fflush(out_);
+}
+
+}  // namespace vod::obs

@@ -1,0 +1,49 @@
+#ifndef VODB_OBS_PROGRESS_H_
+#define VODB_OBS_PROGRESS_H_
+
+#include <cstddef>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/units.h"
+#include "obs/clock.h"
+
+namespace vod::obs {
+
+/// Live progress line for long fan-out jobs (the experiment runner's grid
+/// sweeps): completed/total, throughput, and a naive linear ETA, redrawn in
+/// place on stderr with carriage returns. Thread-safe — the runner's
+/// workers call OnComplete() from any thread; redraws are throttled to
+/// `min_interval` so thousands of sub-millisecond runs do not turn the
+/// reporter into the bottleneck it is meant to expose.
+class ProgressReporter {
+ public:
+  ProgressReporter(std::size_t total, std::string label,
+                   std::FILE* out = stderr, Seconds min_interval = 0.2);
+
+  /// One unit of work finished.
+  void OnComplete();
+
+  /// Draws the final 100% line and a newline. Idempotent.
+  void Finish();
+
+  std::size_t completed() const;
+
+ private:
+  void Draw(bool final_line);  // Caller holds mu_.
+
+  mutable std::mutex mu_;
+  const std::size_t total_;
+  const std::string label_;
+  std::FILE* const out_;
+  const Seconds min_interval_;
+  Stopwatch watch_;
+  std::size_t done_ = 0;
+  Seconds last_draw_ = -1.0;
+  bool finished_ = false;
+};
+
+}  // namespace vod::obs
+
+#endif  // VODB_OBS_PROGRESS_H_

@@ -1,0 +1,48 @@
+#ifndef VODB_OBS_TRACE_EXPORT_H_
+#define VODB_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace_event.h"
+
+namespace vod::obs {
+
+/// One traced run for export: a label ("rr/dynamic tlog=40 seed=1"), the
+/// Chrome process id it maps to (one process per run; grid sweeps use the
+/// run's grid index), and its time-ordered events (EventTracer::Snapshot()).
+struct TraceRun {
+  std::string label;
+  int pid = 0;
+  std::vector<TraceEvent> events;
+};
+
+/// JSONL export: one JSON object per line —
+///   {"run":0,"label":...,"time":...,"kind":"service_start","disk":0,
+///    "request":17, <kind-specific payload>}
+/// Time is simulated seconds. Events keep tracer order (time-monotonic per
+/// run), so consumers can stream without sorting.
+std::string ToJsonl(const std::vector<TraceRun>& runs);
+
+/// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+/// Layout per run (= Chrome process):
+///   - one named track per disk carrying B/E "service" slices whose args
+///     hold the seek/rotation/transfer breakdown,
+///   - a "requests" track with instants for arrival/admit/defer/reject/
+///     allocation/starvation/cancel/departure,
+///   - an async "request r<id>" span from admission to departure,
+///   - flow arrows (s/t/f) chaining each request's service slices.
+/// Timestamps are simulated microseconds. Orphan events at the ring
+/// buffer's wrap point (an end whose begin was overwritten) are dropped so
+/// every emitted B has a matching E.
+std::string ToChromeTraceJson(const std::vector<TraceRun>& runs);
+
+/// Writes `runs` to `path`; picks JSONL when the path ends in ".jsonl",
+/// Chrome JSON otherwise.
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<TraceRun>& runs);
+
+}  // namespace vod::obs
+
+#endif  // VODB_OBS_TRACE_EXPORT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/profile.h"
 
 namespace vod::sched {
 
@@ -69,6 +70,7 @@ void GssScheduler::Remove(RequestId id) {
 
 std::vector<RequestId> GssScheduler::ServiceSequence(
     const SchedulerContext& ctx, Seconds /*now*/) {
+  VODB_PROF_SCOPE("sched.gss.sequence");
   if (!roster_active_) {
     // Open the turn of the first group that has work; rotate duty-free
     // groups to the back (each group inspected at most once).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/profile.h"
 
 namespace vod::sched {
 
@@ -21,6 +22,7 @@ void RoundRobinScheduler::Remove(RequestId id) {
 
 std::vector<RequestId> RoundRobinScheduler::ServiceSequence(
     const SchedulerContext& ctx, Seconds /*now*/) {
+  VODB_PROF_SCOPE("sched.round_robin.sequence");
   std::vector<RequestId> seq;
   seq.reserve(fresh_.size() + ring_.size());
   for (RequestId id : fresh_) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/profile.h"
 
 namespace vod::sched {
 
@@ -18,6 +19,7 @@ void SweepScheduler::Remove(RequestId id) {
 
 std::vector<RequestId> SweepScheduler::ServiceSequence(
     const SchedulerContext& ctx, Seconds /*now*/) {
+  VODB_PROF_SCOPE("sched.sweep.sequence");
   if (roster_.empty()) {
     // Start a new period: everyone needing service, in cylinder order
     // (one-directional scan; the data positions advance monotonically so

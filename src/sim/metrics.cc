@@ -1,6 +1,9 @@
 #include "sim/metrics.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics_registry.h"
 
 namespace vod::sim {
 
@@ -19,6 +22,48 @@ void SimMetrics::ResolveEstimation(
     ++estimation_checks;
     if (actual <= rec.k) ++estimation_successes;
   }
+}
+
+void SimMetrics::PublishTo(obs::MetricsRegistry& registry,
+                           std::string_view prefix) const {
+  const std::string p = std::string(prefix) + ".";
+  const auto count = [&registry, &p](const char* name, long v) {
+    registry.counter(p + name).Increment(static_cast<std::int64_t>(v));
+  };
+  count("arrivals", arrivals);
+  count("admitted", admitted);
+  count("rejected", rejected);
+  count("rejected_capacity", rejected_capacity);
+  count("rejected_memory", rejected_memory);
+  count("rejected_invalid", rejected_invalid);
+  count("deferred_admissions", deferred_admissions);
+  count("completed", completed);
+  count("cancelled", cancelled);
+  count("starvation_events", starvation_events);
+  count("services", services);
+  count("estimation_checks", estimation_checks);
+  count("estimation_successes", estimation_successes);
+
+  // Real per-allocation samples -> log-bucketed distributions.
+  obs::Histogram& buffer_mbit =
+      registry.histogram(p + "alloc.buffer_mbit", {.lo = 0.1});
+  obs::Histogram& usage_s =
+      registry.histogram(p + "alloc.usage_period_s", {.lo = 1e-3});
+  obs::Histogram& est_k =
+      registry.histogram(p + "alloc.k", {.lo = 1.0, .growth = 1.5});
+  for (const AllocationRecord& rec : allocations) {
+    buffer_mbit.Add(rec.buffer_size * 1e-6);
+    usage_s.Add(rec.usage_period);
+    est_k.Add(static_cast<double>(rec.k));
+  }
+
+  // One sample per run: distribution across a sweep's runs.
+  registry.histogram(p + "run.initial_latency_mean_s", {.lo = 1e-3})
+      .Add(initial_latency.mean());
+  registry.histogram(p + "run.peak_memory_mb", {.lo = 1.0})
+      .Add(ToMegabytes(memory_usage.max_value()));
+  registry.histogram(p + "run.peak_concurrency", {.lo = 1.0, .growth = 1.5})
+      .Add(static_cast<double>(peak_concurrency));
 }
 
 }  // namespace vod::sim

@@ -1,11 +1,16 @@
 #ifndef VODB_SIM_METRICS_H_
 #define VODB_SIM_METRICS_H_
 
+#include <string_view>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
 #include "common/units.h"
+
+namespace vod::obs {
+class MetricsRegistry;
+}  // namespace vod::obs
 
 namespace vod::sim {
 
@@ -26,7 +31,13 @@ struct SimMetrics {
   // --- Requests ---
   long arrivals = 0;
   long admitted = 0;
-  long rejected = 0;          ///< Turned away (n == N or memory).
+  /// Turned away, total. Always the sum of the three cause counters below
+  /// (kept as its own field so legacy consumers and golden CSVs are
+  /// untouched by the breakdown).
+  long rejected = 0;
+  long rejected_capacity = 0;  ///< Cause: fully loaded disk (n == N).
+  long rejected_memory = 0;    ///< Cause: shared memory budget exhausted.
+  long rejected_invalid = 0;   ///< Cause: nothing to play at that position.
   long deferred_admissions = 0;  ///< Assumption-1 deferrals that later got in.
   long completed = 0;
   long cancelled = 0;  ///< VCR cancellations (Sec. 1: reposition = cancel+new).
@@ -67,6 +78,17 @@ struct SimMetrics {
                      static_cast<double>(estimation_checks)
                : 1.0;
   }
+
+  /// Publishes this run's metrics into an obs::MetricsRegistry under
+  /// `<prefix>.`: the request counters (including the rejection-cause
+  /// breakdown) accumulate into registry counters; the per-allocation
+  /// records feed log-bucketed histograms (`alloc.buffer_mbit`,
+  /// `alloc.usage_period_s`, `alloc.k`); and one sample per run lands in
+  /// the `run.*` histograms (mean initial latency, peak memory, peak
+  /// concurrency). Accumulating — publishing several runs yields grid-sweep
+  /// totals (the bench harnesses' --metrics dump).
+  void PublishTo(obs::MetricsRegistry& registry,
+                 std::string_view prefix = "sim") const;
 };
 
 }  // namespace vod::sim

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/event_tracer.h"
+#include "obs/profile.h"
 #include "sched/gss.h"
 #include "sched/round_robin.h"
 #include "sched/sweep.h"
@@ -22,6 +24,20 @@ constexpr Seconds kInf = std::numeric_limits<double>::infinity();
 // pure observer: auditing on/off cannot change a single metric.
 #ifndef VODB_AUDIT_ENABLED
 #define VODB_AUDIT_ENABLED 0
+#endif
+
+// The trace-emission blocks follow the same compile-time gating discipline
+// under VODB_TRACE=ON (OFF by default; obs/trace_event.h defines the macro
+// to 0 when unset). Emission is likewise a pure observer: it reads state the
+// handler already computed and never feeds anything back. VODB_TRACE_INIT
+// seeds an event with the fields every kind carries.
+#if VODB_TRACE_ENABLED
+#define VODB_TRACE_INIT(ev_, kind_, request_)      \
+  obs::TraceEvent ev_;                             \
+  ev_.time = now_;                                 \
+  ev_.kind = obs::TraceEventKind::kind_;           \
+  ev_.disk = config_.disk_id;                      \
+  ev_.request = request_
 #endif
 
 std::string_view AllocSchemeName(AllocScheme s) {
@@ -162,6 +178,7 @@ Seconds VodSimulator::NextEventTime() const {
 }
 
 bool VodSimulator::Step() {
+  VODB_PROF_SCOPE("sim.step");
   if (events_.empty()) return false;
   const Event ev = events_.top();
   events_.pop();
@@ -392,8 +409,21 @@ Result<RequestId> VodSimulator::ProcessArrival(const ArrivalEvent& a) {
       std::clamp(a.start_position * alloc_params_.cr, 0.0, info->size);
   r.total_bits = std::min(a.viewing_time * alloc_params_.cr,
                           info->size - r.start_offset);
+#if VODB_TRACE_ENABLED
+  if (tracer_ != nullptr) {
+    VODB_TRACE_INIT(ev, kArrival, r.id);
+    tracer_->Emit(ev);
+  }
+#endif
   if (r.total_bits <= 0) {
     ++metrics_.rejected;
+    ++metrics_.rejected_invalid;
+#if VODB_TRACE_ENABLED
+    if (tracer_ != nullptr) {
+      VODB_TRACE_INIT(ev, kRejectInvalid, r.id);
+      tracer_->Emit(ev);
+    }
+#endif
     return Status::InvalidArgument("nothing to play at that position");
   }
 
@@ -402,12 +432,28 @@ Result<RequestId> VodSimulator::ProcessArrival(const ArrivalEvent& a) {
   // instead (handled in TryAdmitPending).
   if (allocator_->active_count() >= alloc_params_.n_max) {
     ++metrics_.rejected;
+    ++metrics_.rejected_capacity;
+#if VODB_TRACE_ENABLED
+    if (tracer_ != nullptr) {
+      VODB_TRACE_INIT(ev, kRejectCapacity, r.id);
+      ev.n = allocator_->active_count();
+      tracer_->Emit(ev);
+    }
+#endif
     return Status::CapacityExceeded("fully loaded (n == N)");
   }
   if (broker_ != nullptr &&
       !broker_->CanAdmit(config_.disk_id, allocator_->active_count() + 1,
                          last_k_estimate_)) {
     ++metrics_.rejected;
+    ++metrics_.rejected_memory;
+#if VODB_TRACE_ENABLED
+    if (tracer_ != nullptr) {
+      VODB_TRACE_INIT(ev, kRejectMemory, r.id);
+      ev.n = allocator_->active_count();
+      tracer_->Emit(ev);
+    }
+#endif
     return Status::CapacityExceeded("memory budget exhausted");
   }
 
@@ -437,6 +483,12 @@ Status VodSimulator::CancelRequest(RequestId id) {
   auditor_.ForgetRequest(id);
 #endif
   ++metrics_.cancelled;
+#if VODB_TRACE_ENABLED
+  if (tracer_ != nullptr) {
+    VODB_TRACE_INIT(ev, kCancel, id);
+    tracer_->Emit(ev);
+  }
+#endif
   RecordConcurrency();
   ReportBrokerState(last_k_estimate_);
   MaybeScheduleService();
@@ -444,6 +496,7 @@ Status VodSimulator::CancelRequest(RequestId id) {
 }
 
 void VodSimulator::TryAdmitPending() {
+  VODB_PROF_SCOPE("sim.admit");
   while (!pending_.empty()) {
     // Sweep* never admits mid-period: the newcomer would perturb the sweep
     // order. Every other method admits whenever the allocator agrees.
@@ -459,6 +512,14 @@ void VodSimulator::TryAdmitPending() {
       pending_.pop_front();
       requests_.erase(id);
       ++metrics_.rejected;
+      ++metrics_.rejected_capacity;
+#if VODB_TRACE_ENABLED
+      if (tracer_ != nullptr) {
+        VODB_TRACE_INIT(ev, kRejectCapacity, id);
+        ev.n = allocator_->active_count();
+        tracer_->Emit(ev);
+      }
+#endif
       continue;
     }
     if (broker_ != nullptr &&
@@ -467,6 +528,14 @@ void VodSimulator::TryAdmitPending() {
       pending_.pop_front();
       requests_.erase(id);
       ++metrics_.rejected;
+      ++metrics_.rejected_memory;
+#if VODB_TRACE_ENABLED
+      if (tracer_ != nullptr) {
+        VODB_TRACE_INIT(ev, kRejectMemory, id);
+        ev.n = allocator_->active_count();
+        tracer_->Emit(ev);
+      }
+#endif
       continue;
     }
 
@@ -475,13 +544,29 @@ void VodSimulator::TryAdmitPending() {
       if (!r.was_deferred) {
         r.was_deferred = true;
         ++metrics_.deferred_admissions;
+#if VODB_TRACE_ENABLED
+        if (tracer_ != nullptr) {
+          VODB_TRACE_INIT(ev, kDefer, id);
+          ev.n = allocator_->active_count();
+          tracer_->Emit(ev);
+        }
+#endif
       }
       break;  // FIFO: later arrivals wait behind the deferred one.
     }
     if (!st.ok()) {
+      // The allocator itself refused (non-deferred): a capacity condition.
       pending_.pop_front();
       requests_.erase(id);
       ++metrics_.rejected;
+      ++metrics_.rejected_capacity;
+#if VODB_TRACE_ENABLED
+      if (tracer_ != nullptr) {
+        VODB_TRACE_INIT(ev, kRejectCapacity, id);
+        ev.n = allocator_->active_count();
+        tracer_->Emit(ev);
+      }
+#endif
       continue;
     }
 
@@ -490,6 +575,13 @@ void VodSimulator::TryAdmitPending() {
     r.admitted = true;
     r.n_at_admit = allocator_->active_count();
     ++metrics_.admitted;
+#if VODB_TRACE_ENABLED
+    if (tracer_ != nullptr) {
+      VODB_TRACE_INIT(ev, kAdmit, id);
+      ev.n = allocator_->active_count();
+      tracer_->Emit(ev);
+    }
+#endif
     scheduler_->Add(id, now_);
     RecordConcurrency();
     ReportBrokerState(last_k_estimate_, /*at_admission=*/true);
@@ -497,6 +589,7 @@ void VodSimulator::TryAdmitPending() {
 }
 
 void VodSimulator::MaybeScheduleService() {
+  VODB_PROF_SCOPE("sim.schedule");
   if (disk_busy_) return;
   TryAdmitPending();
   std::optional<sched::ServiceDecision> dec = scheduler_->Next(*this, now_);
@@ -541,6 +634,7 @@ void VodSimulator::BeginService(RequestId id) {
   disk_busy_ = true;
   in_service_ = id;
   in_service_bits_ = bits;
+  in_service_timing_ = *timing;
   Push(now_ + timing->total(), EventKind::kServiceComplete, id);
 
   AllocationRecord rec;
@@ -551,6 +645,22 @@ void VodSimulator::BeginService(RequestId id) {
   rec.buffer_size = d->buffer_size;
   rec.usage_period = d->usage_period;
   metrics_.allocations.push_back(rec);
+#if VODB_TRACE_ENABLED
+  if (tracer_ != nullptr) {
+    VODB_TRACE_INIT(alloc_ev, kAllocation, id);
+    alloc_ev.n = d->n;
+    alloc_ev.k = d->k;
+    alloc_ev.bits = d->buffer_size;
+    alloc_ev.usage_period = d->usage_period;
+    tracer_->Emit(alloc_ev);
+    VODB_TRACE_INIT(start_ev, kServiceStart, id);
+    start_ev.bits = bits;
+    start_ev.seek = timing->seek;
+    start_ev.rotation = timing->rotation;
+    start_ev.transfer = timing->transfer;
+    tracer_->Emit(start_ev);
+  }
+#endif
 #if VODB_AUDIT_ENABLED
   auditor_.CheckAllocation(alloc_params_, config_.method, config_.profile,
                            config_.scheme == AllocScheme::kDynamic, rec);
@@ -576,6 +686,12 @@ void VodSimulator::DetectStarvation() {
     if (starving && !r.starved) {
       r.starved = true;
       ++metrics_.starvation_events;
+#if VODB_TRACE_ENABLED
+      if (tracer_ != nullptr) {
+        VODB_TRACE_INIT(ev, kStarvation, id);
+        tracer_->Emit(ev);
+      }
+#endif
     } else if (!starving) {
       r.starved = false;
     }
@@ -588,6 +704,16 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
   ++state_version_;
   disk_busy_ = false;
   in_service_ = kInvalidRequestId;
+#if VODB_TRACE_ENABLED
+  if (tracer_ != nullptr) {
+    VODB_TRACE_INIT(end_ev, kServiceEnd, id);
+    end_ev.bits = in_service_bits_;
+    end_ev.seek = in_service_timing_.seek;
+    end_ev.rotation = in_service_timing_.rotation;
+    end_ev.transfer = in_service_timing_.transfer;
+    tracer_->Emit(end_ev);
+  }
+#endif
 
   // A request can depart mid-service only if viewing ended exactly at the
   // boundary; it may also have been removed — guard.
@@ -651,6 +777,12 @@ void VodSimulator::HandleDeparture(const Event& ev) {
   auditor_.ForgetRequest(id);
 #endif
   ++metrics_.completed;
+#if VODB_TRACE_ENABLED
+  if (tracer_ != nullptr) {
+    VODB_TRACE_INIT(trace_ev, kDeparture, id);
+    tracer_->Emit(trace_ev);
+  }
+#endif
   RecordConcurrency();
   ReportBrokerState(last_k_estimate_);
   MaybeScheduleService();

@@ -22,6 +22,10 @@
 #include "sim/rng.h"
 #include "sim/workload.h"
 
+namespace vod::obs {
+class EventTracer;
+}  // namespace vod::obs
+
 namespace vod::sim {
 
 /// Which buffer-allocation scheme the server runs.
@@ -107,6 +111,13 @@ class VodSimulator : public sched::SchedulerContext {
   /// present so tests can install a collecting handler unconditionally.
   InvariantAuditor& auditor() { return auditor_; }
   const InvariantAuditor& auditor() const { return auditor_; }
+
+  /// Attaches a structured event tracer (nullptr detaches). The tracer must
+  /// outlive the simulator. Events flow only when the tree is built with
+  /// VODB_TRACE=ON; either way the tracer is a pure observer — no metric or
+  /// golden CSV changes by attaching one.
+  void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
+  obs::EventTracer* tracer() const { return tracer_; }
 
   const SimMetrics& metrics() const { return metrics_; }
   const SimConfig& config() const { return config_; }
@@ -218,6 +229,7 @@ class VodSimulator : public sched::SchedulerContext {
   bool disk_busy_ = false;
   RequestId in_service_ = kInvalidRequestId;
   Bits in_service_bits_ = 0;
+  disk::ServiceTiming in_service_timing_;  ///< Breakdown for the trace end event.
   int last_k_estimate_ = 0;
   Seconds scheduled_wakeup_ = 0;
   bool wakeup_pending_ = false;
@@ -232,6 +244,7 @@ class VodSimulator : public sched::SchedulerContext {
 
   InvariantAuditor auditor_;
   SimMetrics metrics_;
+  obs::EventTracer* tracer_ = nullptr;  ///< Not owned; may be nullptr.
 };
 
 /// Sums several step time series (per-disk concurrency, memory, ...).

@@ -23,6 +23,7 @@
 
 #include "common/units.h"
 #include "exp/day_run.h"
+#include "obs/event_tracer.h"
 #include "sim/metrics.h"
 
 namespace vod::exp {
@@ -102,6 +103,55 @@ TEST(GoldenMetricsTest, AllMethodSchemeCombinationsMatchGoldenValues) {
     if (golden.scheme == sim::AllocScheme::kDynamic) {
       EXPECT_GT(m.estimation_checks, 0);
     }
+  }
+}
+
+/// Attaching an event tracer must not change a single metric: the tracer is
+/// a pure observer whether the build compiles emission hooks in
+/// (-DVODB_TRACE=ON) or not. Exact equality, not bands — any drift means an
+/// emission site leaked into simulation behaviour, which would also break
+/// the golden CSVs' byte-stability guarantee.
+TEST(GoldenMetricsTest, TracerIsPureObserver) {
+  const DayRunConfig base =
+      GoldenConfig(core::ScheduleMethod::kSweep, sim::AllocScheme::kDynamic);
+  const sim::SimMetrics plain = RunDay(base);
+
+  obs::EventTracer tracer;
+  DayRunConfig traced_cfg = base;
+  traced_cfg.tracer = &tracer;
+  const sim::SimMetrics traced = RunDay(traced_cfg);
+
+  EXPECT_EQ(plain.arrivals, traced.arrivals);
+  EXPECT_EQ(plain.admitted, traced.admitted);
+  EXPECT_EQ(plain.rejected, traced.rejected);
+  EXPECT_EQ(plain.rejected_capacity, traced.rejected_capacity);
+  EXPECT_EQ(plain.rejected_memory, traced.rejected_memory);
+  EXPECT_EQ(plain.rejected_invalid, traced.rejected_invalid);
+  EXPECT_EQ(plain.deferred_admissions, traced.deferred_admissions);
+  EXPECT_EQ(plain.completed, traced.completed);
+  EXPECT_EQ(plain.services, traced.services);
+  EXPECT_EQ(plain.starvation_events, traced.starvation_events);
+  EXPECT_EQ(plain.initial_latency.mean(), traced.initial_latency.mean());
+  EXPECT_EQ(plain.memory_usage.max_value(), traced.memory_usage.max_value());
+  EXPECT_EQ(plain.allocations.size(), traced.allocations.size());
+
+  if (obs::kTraceHooksCompiledIn) {
+    // A busy 4 h day must have produced events (admits + services at least).
+    EXPECT_GT(tracer.total_emitted(), 0u);
+  } else {
+    EXPECT_EQ(tracer.total_emitted(), 0u);
+  }
+}
+
+/// `rejected` is documented as the exact sum of the per-cause counters.
+TEST(GoldenMetricsTest, RejectionBreakdownSumsToTotal) {
+  for (const GoldenRow& golden : kGolden) {
+    const DayRunConfig cfg = GoldenConfig(golden.method, golden.scheme);
+    const sim::SimMetrics m = RunDay(cfg);
+    SCOPED_TRACE(std::string(core::ScheduleMethodName(golden.method)) + "/" +
+                 std::string(sim::AllocSchemeName(golden.scheme)));
+    EXPECT_EQ(m.rejected,
+              m.rejected_capacity + m.rejected_memory + m.rejected_invalid);
   }
 }
 

@@ -1,0 +1,372 @@
+// Unit tests for the observability layer (src/obs): event-tracer ring
+// semantics, histogram bucketing and quantile estimates against a
+// sorted-vector reference, registry thread-safety under contention, the
+// profiler's accumulation, and the two trace exporters' structural
+// guarantees (line-per-event JSONL, balanced B/E in Chrome JSON).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/event_tracer.h"
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
+#include "obs/progress.h"
+#include "obs/trace_export.h"
+
+namespace vod::obs {
+namespace {
+
+TraceEvent Ev(TraceEventKind kind, Seconds time, RequestId request,
+              std::int32_t disk = 0) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.time = time;
+  ev.request = request;
+  ev.disk = disk;
+  return ev;
+}
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// EventTracer
+// ---------------------------------------------------------------------------
+
+TEST(EventTracerTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventTracer(1).capacity(), 2u);  // Minimum capacity is 2.
+  EXPECT_EQ(EventTracer(2).capacity(), 2u);
+  EXPECT_EQ(EventTracer(3).capacity(), 4u);
+  EXPECT_EQ(EventTracer(100).capacity(), 128u);
+  EXPECT_EQ(EventTracer().capacity(), EventTracer::kDefaultCapacity);
+}
+
+TEST(EventTracerTest, RetainsAllEventsBelowCapacity) {
+  EventTracer tracer(8);
+  for (RequestId id = 1; id <= 5; ++id) {
+    tracer.Emit(Ev(TraceEventKind::kAdmit, static_cast<double>(id), id));
+  }
+  EXPECT_EQ(tracer.size(), 5u);
+  EXPECT_EQ(tracer.total_emitted(), 5u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].request, i + 1);  // Oldest first.
+  }
+}
+
+TEST(EventTracerTest, WraparoundKeepsMostRecentWindowInOrder) {
+  EventTracer tracer(8);
+  ASSERT_EQ(tracer.capacity(), 8u);
+  const std::uint64_t total = 3 * 8 + 5;  // Wraps several times.
+  for (std::uint64_t i = 1; i <= total; ++i) {
+    tracer.Emit(Ev(TraceEventKind::kServiceStart, static_cast<double>(i), i));
+  }
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.total_emitted(), total);
+  EXPECT_EQ(tracer.dropped(), total - 8);
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    // The retained window is exactly the last 8 emissions, oldest first.
+    EXPECT_EQ(events[i].request, total - 8 + 1 + i);
+  }
+}
+
+TEST(EventTracerTest, ClearResets) {
+  EventTracer tracer(8);
+  tracer.Emit(Ev(TraceEventKind::kArrival, 0.0, 1));
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.total_emitted(), 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(TraceEventTest, KindNamesAreStableAndDistinct) {
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kServiceStart),
+            "service_start");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kRejectMemory),
+            "reject_memory");
+  std::vector<std::string> names;
+  for (int i = 0; i < kTraceEventKindCount; ++i) {
+    names.emplace_back(TraceEventKindName(static_cast<TraceEventKind>(i)));
+    EXPECT_FALSE(names.back().empty());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesAreLeftOpenRightClosed) {
+  // Bucket 0 = (-inf, 1]; bucket i = (2^(i-1), 2^i].
+  Histogram h({.lo = 1.0, .growth = 2.0, .buckets = 8});
+  EXPECT_EQ(h.BucketFor(-3.0), 0u);
+  EXPECT_EQ(h.BucketFor(0.0), 0u);
+  EXPECT_EQ(h.BucketFor(1.0), 0u);   // Exactly lo: inclusive in bucket 0.
+  EXPECT_EQ(h.BucketFor(1.5), 1u);
+  EXPECT_EQ(h.BucketFor(2.0), 1u);   // Exact boundary: right-closed.
+  EXPECT_EQ(h.BucketFor(2.0001), 2u);
+  EXPECT_EQ(h.BucketFor(4.0), 2u);
+  EXPECT_EQ(h.BucketFor(64.0), 6u);
+  EXPECT_EQ(h.BucketFor(64.0001), 7u);  // Overflow bucket.
+  EXPECT_EQ(h.BucketFor(1e18), 7u);
+  EXPECT_EQ(h.UpperBound(0), 1.0);
+  EXPECT_EQ(h.UpperBound(6), 64.0);
+  EXPECT_TRUE(std::isinf(h.UpperBound(7)));
+}
+
+TEST(HistogramTest, ExactBoundaryValuesSatisfyBucketInvariant) {
+  // log() rounding must not misplace exact powers of the growth factor.
+  Histogram h({.lo = 1e-3, .growth = 2.0, .buckets = 40});
+  for (std::size_t i = 1; i + 1 < 40; ++i) {
+    const double ub = h.UpperBound(i);
+    EXPECT_EQ(h.BucketFor(ub), i) << "upper bound of bucket " << i;
+    const double above = ub * (1.0 + 1e-12);
+    EXPECT_EQ(h.BucketFor(above), i + 1) << "just above bucket " << i;
+  }
+}
+
+TEST(HistogramTest, CountSumMeanMinMaxAreExact) {
+  Histogram h({.lo = 1.0, .growth = 2.0, .buckets = 16});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  h.Add(3.0);
+  h.Add(5.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.sum(), 108.0);
+  EXPECT_EQ(h.mean(), 36.0);
+  EXPECT_EQ(h.min(), 3.0);
+  EXPECT_EQ(h.max(), 100.0);
+}
+
+TEST(HistogramTest, QuantilesMatchSortedVectorReferenceWithinOneBucket) {
+  // Log-normal-ish deterministic sample spanning several decades.
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const Histogram::Options opt{.lo = 1e-4, .growth = 1.5, .buckets = 64};
+  Histogram h(opt);
+  std::vector<double> samples;
+  samples.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = std::exp(8.0 * uniform(rng) - 4.0);  // e^-4 .. e^4.
+    samples.push_back(v);
+    h.Add(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const double exact = samples[rank - 1];
+    const double est = h.Quantile(q);
+    // The estimate is the containing bucket's upper bound: never below the
+    // true sample quantile, and at most one growth factor above it.
+    EXPECT_GE(est, exact) << "q=" << q;
+    EXPECT_LE(est, exact * opt.growth * (1.0 + 1e-9)) << "q=" << q;
+  }
+  EXPECT_EQ(h.Quantile(0.0), samples.front());
+  EXPECT_EQ(h.Quantile(1.0), samples.back());
+  // The overflow path reports the observed max, not infinity.
+  EXPECT_LE(h.Quantile(0.999999), samples.back());
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, LookupIsIdempotentAndStable) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(reg.counter("x").value(), 3);
+  Histogram& h = reg.histogram("lat", {.lo = 0.5});
+  EXPECT_EQ(&h, &reg.histogram("lat"));  // Options only apply on creation.
+  EXPECT_EQ(h.options().lo, 0.5);
+}
+
+TEST(MetricsRegistryTest, ThreadSafeUnderEightThreadStress) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t]() {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Re-resolve by name every time: stresses the map lookup path, not
+        // just the atomics.
+        reg.counter("shared.count").Increment();
+        reg.histogram("shared.hist", {.lo = 1.0})
+            .Add(static_cast<double>(i % 100));
+        reg.gauge("shared.gauge").Set(static_cast<double>(t));
+        reg.counter("per." + std::to_string(t)).Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared.count").value(), kThreads * kOpsPerThread);
+  EXPECT_EQ(reg.histogram("shared.hist").count(), kThreads * kOpsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("per." + std::to_string(t)).value(), kOpsPerThread);
+  }
+  const double g = reg.gauge("shared.gauge").value();
+  EXPECT_GE(g, 0.0);
+  EXPECT_LT(g, kThreads);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsDeterministicAndSorted) {
+  MetricsRegistry reg;
+  reg.counter("b.count").Increment(2);
+  reg.counter("a.count").Increment(1);
+  reg.gauge("g").Set(1.5);
+  reg.histogram("h").Add(3.0);
+  const std::string json = reg.ToJson();
+  EXPECT_EQ(json, reg.ToJson());
+  EXPECT_LT(json.find("a.count"), json.find("b.count"));  // Keys sorted.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  reg.Clear();
+  EXPECT_EQ(reg.counter("a.count").value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+// ---------------------------------------------------------------------------
+
+TEST(ProfilerTest, RegisterIsIdempotentAndScopesAccumulate) {
+  Profiler& prof = Profiler::Global();
+  ProfSite* site = prof.Register("obs_test.site");
+  EXPECT_EQ(site, prof.Register("obs_test.site"));
+  const std::int64_t calls_before =
+      site->calls.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10; ++i) {
+    ProfScope scope(site);
+  }
+  EXPECT_EQ(site->calls.load(std::memory_order_relaxed), calls_before + 10);
+  EXPECT_GE(site->nanos.load(std::memory_order_relaxed), 0);
+
+  bool found = false;
+  for (const ProfSiteStats& s : prof.Snapshot()) {
+    if (s.name == "obs_test.site") {
+      found = true;
+      EXPECT_GE(s.calls, 10);
+      EXPECT_GE(s.total, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(prof.ReportTable().find("obs_test.site"), std::string::npos);
+  EXPECT_NE(prof.ToJson().find("obs_test.site"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ProgressReporter
+// ---------------------------------------------------------------------------
+
+TEST(ProgressReporterTest, CountsAndFinishesIdempotently) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  ProgressReporter progress(3, "units", sink, /*min_interval=*/0.0);
+  progress.OnComplete();
+  progress.OnComplete();
+  progress.OnComplete();
+  progress.OnComplete();  // Over-completion clamps at total.
+  EXPECT_EQ(progress.completed(), 3u);
+  progress.Finish();
+  progress.Finish();
+  std::fflush(sink);
+  std::rewind(sink);
+  std::string text(4096, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), sink));
+  std::fclose(sink);
+  EXPECT_NE(text.find("units 3/3 (100.0%)"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(text, "\n"), 1u);  // Only Finish adds newline.
+}
+
+// ---------------------------------------------------------------------------
+// Trace export
+// ---------------------------------------------------------------------------
+
+std::vector<TraceRun> SampleRuns() {
+  TraceRun run;
+  run.label = "rr/dynamic/t40/a1/r0";
+  run.pid = 0;
+  run.events = {
+      Ev(TraceEventKind::kArrival, 0.0, 7),
+      Ev(TraceEventKind::kAdmit, 0.0, 7),
+      Ev(TraceEventKind::kAllocation, 0.0, 7),
+      Ev(TraceEventKind::kServiceStart, 0.1, 7),
+      Ev(TraceEventKind::kServiceEnd, 0.2, 7),
+      Ev(TraceEventKind::kServiceStart, 1.1, 7),
+      Ev(TraceEventKind::kServiceEnd, 1.2, 7),
+      Ev(TraceEventKind::kDeparture, 2.0, 7),
+  };
+  return {run};
+}
+
+TEST(TraceExportTest, JsonlEmitsOneLinePerEvent) {
+  const std::vector<TraceRun> runs = SampleRuns();
+  const std::string jsonl = ToJsonl(runs);
+  EXPECT_EQ(CountOccurrences(jsonl, "\n"), runs[0].events.size());
+  EXPECT_EQ(CountOccurrences(jsonl, "{\"run\":0,\"label\":"),
+            runs[0].events.size());
+  EXPECT_NE(jsonl.find("\"kind\":\"service_start\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"departure\""), std::string::npos);
+}
+
+TEST(TraceExportTest, ChromeJsonHasBalancedSlicesAndNamedTracks) {
+  const std::string json = ToChromeTraceJson(SampleRuns());
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""),
+            CountOccurrences(json, "\"ph\":\"E\""));
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""), 2u);
+  // Async request span opened at admit, closed at departure.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"b\""), 1u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"e\""), 1u);
+  // Two service slices -> a flow arrow pair (s then terminal f).
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"s\""), 1u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"f\""), 1u);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"disk 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"requests\""), std::string::npos);
+}
+
+TEST(TraceExportTest, OrphanServiceEndIsDroppedAfterRingWrap) {
+  // Simulates a ring that wrapped mid-service: the end's begin is gone.
+  TraceRun run;
+  run.label = "wrapped";
+  run.pid = 3;
+  run.events = {
+      Ev(TraceEventKind::kServiceEnd, 0.2, 9),  // Orphan.
+      Ev(TraceEventKind::kServiceStart, 0.3, 9),
+      Ev(TraceEventKind::kServiceEnd, 0.4, 9),
+  };
+  const std::string json = ToChromeTraceJson({run});
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""), 1u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"E\""), 1u);
+}
+
+}  // namespace
+}  // namespace vod::obs
