@@ -30,9 +30,18 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       opt.metrics = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       opt.progress = true;
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      opt.faults = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
+      opt.fault_seed = std::strtoull(argv[i] + 13, nullptr, 10);
     }
   }
   return opt;
+}
+
+void BenchOptions::ApplyFaultsTo(exp::DayRunConfig* cfg) const {
+  cfg->faults = faults;
+  cfg->fault_seed = fault_seed;
 }
 
 std::string SpecLabel(const exp::RunSpec& spec) {
@@ -43,7 +52,12 @@ std::string SpecLabel(const exp::RunSpec& spec) {
                 std::string(sim::AllocSchemeName(spec.config.scheme)).c_str(),
                 ToMinutes(spec.config.t_log), spec.config.alpha,
                 spec.replication);
-  return buf;
+  std::string label = buf;
+  // Only faulted runs grow a segment, keeping legacy labels stable.
+  if (!spec.config.faults.empty()) {
+    label += "/f" + std::to_string(spec.fault_index);
+  }
+  return label;
 }
 
 void WriteMetricsArtifacts(const std::string& path,

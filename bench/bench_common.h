@@ -1,6 +1,7 @@
 #ifndef VODB_BENCH_BENCH_COMMON_H_
 #define VODB_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,9 +31,17 @@ namespace vod::bench {
 ///                   coordinates + headline metrics), the accumulated
 ///                   counter/histogram registry, and the profiling table
 ///   --progress      live stderr progress line (completed/total, runs/s, ETA)
+///   --faults=SPEC   fault-injection schedule for every run (grammar in
+///                   fault/fault_spec.h, e.g.
+///                   "eio:start=3600,end=7200,p=0.2,retries=3"); "none"
+///                   builds an inactive injector, unset skips it entirely
+///   --fault-seed=S  injector RNG seed (default derives from spec + run
+///                   seed; either way fully deterministic)
 /// Default configurations are scaled to finish in seconds-to-a-minute.
 /// All three observability flags are pure observers: the stdout CSV/JSON is
-/// byte-identical with or without them.
+/// byte-identical with or without them. --faults is NOT an observer — it is
+/// the one flag meant to change results (though "none" and unset are
+/// bit-identical to each other).
 struct BenchOptions {
   bool full = false;
   int seeds = 0;    ///< 0 = per-bench default.
@@ -41,8 +50,13 @@ struct BenchOptions {
   std::string trace;    ///< Empty = no trace file.
   std::string metrics;  ///< Empty = no metrics dump.
   bool progress = false;
+  std::string faults;   ///< Empty = no injector.
+  std::uint64_t fault_seed = 0;  ///< 0 = derived.
 
   static BenchOptions Parse(int argc, char** argv);
+
+  /// Copies the fault options into a grid base config.
+  void ApplyFaultsTo(exp::DayRunConfig* cfg) const;
 };
 
 /// The day-run unit and the paper's per-method constants now live in the
@@ -53,7 +67,8 @@ using exp::PaperK;
 using exp::PaperTLog;
 using exp::RunDay;
 
-/// Short run label for trace tracks: "rr/dynamic/t40/a1/r0".
+/// Short run label for trace tracks: "rr/dynamic/t40/a1/r0", with a
+/// "/f<index>" segment appended when the run sits on a fault axis.
 std::string SpecLabel(const exp::RunSpec& spec);
 
 /// Writes the --metrics JSON artifact: {"runs": [...], "registry": {...},

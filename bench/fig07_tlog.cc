@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   base.duration = opt.full ? Hours(24) : Hours(8);
   base.total_arrivals = opt.full ? 1200 : 400;
   base.theta = 0.0;
+  opt.ApplyFaultsTo(&base);
 
   std::vector<Seconds> t_logs;
   for (double tl : tlog_minutes) t_logs.push_back(Minutes(tl));

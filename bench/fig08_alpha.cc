@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   base.duration = opt.full ? Hours(24) : Hours(8);
   base.total_arrivals = opt.full ? 1200 : 400;
   base.theta = 0.0;
+  opt.ApplyFaultsTo(&base);
 
   std::vector<std::uint64_t> seed_list;
   for (int s = 0; s < seeds; ++s) seed_list.push_back(5 + s);

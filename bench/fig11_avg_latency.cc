@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   base.duration = opt.full ? Hours(24) : Hours(8);
   base.total_arrivals = opt.full ? 1200 : 400;
   base.theta = 0.5;
+  opt.ApplyFaultsTo(&base);
 
   std::vector<std::uint64_t> seed_list;
   for (int s = 1; s <= seeds; ++s) {

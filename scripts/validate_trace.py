@@ -35,7 +35,8 @@ import sys
 KNOWN_KINDS = {
     "arrival", "admit", "defer", "reject_capacity", "reject_memory",
     "reject_invalid", "allocation", "service_start", "service_end",
-    "starvation", "departure", "cancel",
+    "starvation", "departure", "cancel", "read_fault", "hiccup",
+    "degraded", "recovered",
 }
 
 # kind -> payload keys that must ride along in JSONL.
@@ -44,6 +45,7 @@ KIND_PAYLOAD = {
     "allocation": ["n", "k", "buffer_bits", "usage_period"],
     "service_start": ["bits", "seek", "rotation", "transfer"],
     "service_end": ["bits", "seek", "rotation", "transfer"],
+    "read_fault": ["seek", "rotation"],
 }
 
 

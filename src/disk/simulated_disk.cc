@@ -36,6 +36,24 @@ Result<ServiceTiming> SimulatedDisk::Read(double cylinder, Bits bits,
   return t;
 }
 
+Result<ServiceTiming> SimulatedDisk::FailedRead(double cylinder,
+                                                double rotation_fraction) {
+  if (cylinder < 0 || cylinder >= static_cast<double>(profile_.cylinders)) {
+    return Status::OutOfRange("cylinder outside disk");
+  }
+  if (rotation_fraction < 0.0 || rotation_fraction > 1.0) {
+    return Status::InvalidArgument("rotation fraction outside [0,1]");
+  }
+  ServiceTiming t;
+  t.seek = profile_.seek.SeekTime(std::abs(cylinder - head_));
+  t.rotation = rotation_fraction * profile_.max_rotational_latency;
+  head_ = cylinder;
+  total_seek_ += t.seek;
+  total_rotation_ += t.rotation;
+  ++failed_reads_;
+  return t;
+}
+
 Seconds SimulatedDisk::WorstCaseReadTime(double span_cylinders,
                                          Bits bits) const {
   return profile_.WorstLatency(span_cylinders) + profile_.TransferTime(bits);

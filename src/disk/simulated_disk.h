@@ -29,6 +29,13 @@ class SimulatedDisk {
   Result<ServiceTiming> Read(double cylinder, Bits bits,
                              double rotation_fraction);
 
+  /// A read attempt that fails after the mechanical positioning phase
+  /// (transient EIO from fault injection): the arm seeks and the platter
+  /// rotates, but no data transfers and the head parks at the target
+  /// cylinder. Costs seek + rotation; counted in failed_read_count(), not
+  /// read_count().
+  Result<ServiceTiming> FailedRead(double cylinder, double rotation_fraction);
+
   /// Worst-case duration of a read of `bits` whose seek spans at most
   /// `span_cylinders`: γ(span) + θ + bits/TR. Used for just-in-time
   /// scheduling lookahead.
@@ -42,6 +49,7 @@ class SimulatedDisk {
   Seconds total_rotation_time() const { return total_rotation_; }
   Seconds total_transfer_time() const { return total_transfer_; }
   long read_count() const { return reads_; }
+  long failed_read_count() const { return failed_reads_; }
 
  private:
   DiskProfile profile_;
@@ -50,6 +58,7 @@ class SimulatedDisk {
   Seconds total_rotation_ = 0;
   Seconds total_transfer_ = 0;
   long reads_ = 0;
+  long failed_reads_ = 0;
 };
 
 }  // namespace vod::disk

@@ -1,7 +1,13 @@
 #include "exp/day_run.h"
 
+#include <memory>
+
 #include "common/check.h"
+#include "fault/fault_spec.h"
+#include "fault/injector.h"
 #include "obs/profile.h"
+#include "sim/memory_broker.h"
+#include "sim/rng.h"
 #include "sim/workload.h"
 
 namespace vod::exp {
@@ -14,6 +20,22 @@ Seconds PaperTLog(core::ScheduleMethod method) {
 int PaperK(core::ScheduleMethod method) {
   return method == core::ScheduleMethod::kRoundRobin ? 4 : 3;
 }
+
+namespace {
+
+/// Derives the injector seed when the config leaves it at 0: a hash of the
+/// spec text and the run seed, so each grid point faults the same way on
+/// every execution (and differently from its replication siblings).
+std::uint64_t DeriveFaultSeed(const DayRunConfig& cfg) {
+  if (cfg.fault_seed != 0) return cfg.fault_seed;
+  std::uint64_t h = 0x0fa17c0ffee5eedULL;  // Arbitrary domain tag.
+  for (const char c : cfg.faults) {
+    h = sim::MixSeed(h, static_cast<unsigned char>(c));
+  }
+  return sim::MixSeed(h, cfg.seed);
+}
+
+}  // namespace
 
 sim::SimMetrics RunDay(const DayRunConfig& cfg) {
   VODB_PROF_SCOPE("exp.run");
@@ -33,7 +55,37 @@ sim::SimMetrics RunDay(const DayRunConfig& cfg) {
 
   auto arrivals = sim::GenerateWorkload(w);
   VOD_CHECK(arrivals.ok());
-  auto simulator = sim::VodSimulator::Create(sc, nullptr);
+
+  std::unique_ptr<fault::Injector> injector;
+  if (!cfg.faults.empty()) {
+    Result<fault::FaultSpec> spec = fault::ParseFaultSpec(cfg.faults);
+    VOD_CHECK(spec.ok());
+    injector =
+        std::make_unique<fault::Injector>(spec.value(), DeriveFaultSeed(cfg));
+    sc.injector = injector.get();
+    sim::ApplyFaultBursts(*injector, &arrivals.value());
+  }
+
+  // The broker prices memory analytically, so its params must match the
+  // simulator's (same recipe as MultiDiskSimulator::Create).
+  std::unique_ptr<sim::AnalyticMemoryBroker> broker;
+  if (cfg.memory_capacity > 0) {
+    const int n_for_dl =
+        sc.method == core::ScheduleMethod::kGss
+            ? sc.gss_group_size
+            : core::MaxConcurrentRequests(sc.profile.transfer_rate,
+                                          sc.consumption_rate);
+    Result<core::AllocParams> params =
+        core::MakeAllocParams(sc.profile, sc.consumption_rate, sc.method,
+                              n_for_dl, sc.alpha);
+    VOD_CHECK(params.ok());
+    broker = std::make_unique<sim::AnalyticMemoryBroker>(
+        *params, sc.method, sc.scheme == sim::AllocScheme::kDynamic,
+        sc.gss_group_size, /*disk_count=*/1, cfg.memory_capacity);
+    if (injector != nullptr) broker->AttachInjector(injector.get());
+  }
+
+  auto simulator = sim::VodSimulator::Create(sc, broker.get());
   VOD_CHECK(simulator.ok());
   (*simulator)->set_tracer(cfg.tracer);
   VOD_CHECK((*simulator)->AddArrivals(*arrivals).ok());

@@ -2,6 +2,7 @@
 #define VODB_EXP_DAY_RUN_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/units.h"
 #include "core/params.h"
@@ -40,6 +41,19 @@ struct DayRunConfig {
   /// are identical with or without it. Excluded from grid seeding (seeds
   /// hash simulation parameters by value, never this pointer).
   obs::EventTracer* tracer = nullptr;
+  /// Fault-injection schedule (fault/fault_spec.h grammar). "" skips the
+  /// injector entirely; "none"/"off" builds an *inactive* injector (handy
+  /// for observer-effect tests — metrics must stay bit-identical either
+  /// way). Excluded from grid seeding, so faulted and fault-free runs of
+  /// the same grid point replay the same workload (paired comparisons).
+  std::string faults;
+  /// Seed for the injector's own RNG streams; 0 derives one from the spec
+  /// text and the run seed (still fully deterministic).
+  std::uint64_t fault_seed = 0;
+  /// When > 0, the run is gated by an AnalyticMemoryBroker with this
+  /// capacity in bits — required for memsqueeze clauses to have any effect
+  /// on a single-disk run (no broker ⇒ unlimited memory).
+  Bits memory_capacity = 0;
 };
 
 /// Runs one simulated day and returns the finalized metrics.

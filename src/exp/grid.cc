@@ -39,6 +39,11 @@ Grid& Grid::OverAlphas(std::vector<int> alphas) {
   return *this;
 }
 
+Grid& Grid::OverFaults(std::vector<std::string> faults) {
+  faults_ = std::move(faults);
+  return *this;
+}
+
 Grid& Grid::WithSeeds(std::vector<std::uint64_t> seeds) {
   seeds_ = std::move(seeds);
   explicit_seeds_ = true;
@@ -63,8 +68,9 @@ std::size_t Grid::size() const {
   const std::size_t t_logs =
       paper_t_log_ ? 1 : (t_logs_.empty() ? 1 : t_logs_.size());
   const std::size_t alphas = alphas_.empty() ? 1 : alphas_.size();
+  const std::size_t faults = faults_.empty() ? 1 : faults_.size();
   if (explicit_seeds_ && seeds_.empty()) return 0;
-  return methods * schemes * t_logs * alphas *
+  return methods * schemes * t_logs * alphas * faults *
          static_cast<std::size_t>(replications_);
 }
 
@@ -73,7 +79,9 @@ std::uint64_t Grid::SeedFor(const RunSpec& spec) const {
     return seeds_[static_cast<std::size_t>(spec.replication)];
   }
   // hash(grid point, replication): hash the *values*, not the axis indices,
-  // so a point keeps its seed when an axis is extended or reordered.
+  // so a point keeps its seed when an axis is extended or reordered. The
+  // fault spec is intentionally NOT hashed — fault variants of a point must
+  // replay the same workload (paired runs), and pre-fault seeds stay valid.
   std::uint64_t h = 0x76f0d0b8c0a5e1dULL;  // Arbitrary domain tag.
   h = sim::MixSeed(h, static_cast<std::uint64_t>(spec.config.method));
   h = sim::MixSeed(h, static_cast<std::uint64_t>(spec.config.scheme));
@@ -96,6 +104,8 @@ std::vector<RunSpec> Grid::Expand() const {
                        : schemes_;
   const std::vector<int> alphas =
       alphas_.empty() ? std::vector<int>{base_.alpha} : alphas_;
+  const std::vector<std::string> faults =
+      faults_.empty() ? std::vector<std::string>{base_.faults} : faults_;
 
   std::size_t index = 0;
   for (std::size_t mi = 0; mi < methods.size(); ++mi) {
@@ -106,21 +116,25 @@ std::vector<RunSpec> Grid::Expand() const {
     for (std::size_t si = 0; si < schemes.size(); ++si) {
       for (std::size_t ti = 0; ti < t_logs.size(); ++ti) {
         for (std::size_t ai = 0; ai < alphas.size(); ++ai) {
-          for (int rep = 0; rep < replications_; ++rep) {
-            RunSpec spec;
-            spec.index = index++;
-            spec.method_index = static_cast<int>(mi);
-            spec.scheme_index = static_cast<int>(si);
-            spec.t_log_index = static_cast<int>(ti);
-            spec.alpha_index = static_cast<int>(ai);
-            spec.replication = rep;
-            spec.config = base_;
-            spec.config.method = methods[mi];
-            spec.config.scheme = schemes[si];
-            spec.config.t_log = t_logs[ti];
-            spec.config.alpha = alphas[ai];
-            spec.config.seed = SeedFor(spec);
-            specs.push_back(spec);
+          for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+            for (int rep = 0; rep < replications_; ++rep) {
+              RunSpec spec;
+              spec.index = index++;
+              spec.method_index = static_cast<int>(mi);
+              spec.scheme_index = static_cast<int>(si);
+              spec.t_log_index = static_cast<int>(ti);
+              spec.alpha_index = static_cast<int>(ai);
+              spec.fault_index = static_cast<int>(fi);
+              spec.replication = rep;
+              spec.config = base_;
+              spec.config.method = methods[mi];
+              spec.config.scheme = schemes[si];
+              spec.config.t_log = t_logs[ti];
+              spec.config.alpha = alphas[ai];
+              spec.config.faults = faults[fi];
+              spec.config.seed = SeedFor(spec);
+              specs.push_back(spec);
+            }
           }
         }
       }

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/units.h"
@@ -21,6 +22,7 @@ struct RunSpec {
   int scheme_index = 0;
   int t_log_index = 0;
   int alpha_index = 0;
+  int fault_index = 0;  ///< Position on the fault-spec axis (0 when unset).
   int replication = 0;  ///< 0-based replication (seed axis position).
   DayRunConfig config;
 };
@@ -30,7 +32,7 @@ struct RunSpec {
 /// only names the axes it actually sweeps. Expansion order is fixed and
 /// nested method-major:
 ///
-///   method ▸ scheme ▸ t_log ▸ alpha ▸ replication (innermost)
+///   method ▸ scheme ▸ t_log ▸ alpha ▸ faults ▸ replication (innermost)
 ///
 /// which matches the row order of the legacy serial harness loops — results
 /// indexed by RunSpec::index reproduce their output byte for byte.
@@ -56,6 +58,11 @@ class Grid {
   /// instead of an explicit axis.
   Grid& UsePaperTLog();
   Grid& OverAlphas(std::vector<int> alphas);
+  /// Fault-spec axis (fault/fault_spec.h grammar; "" or "none" = no
+  /// faults). Deliberately excluded from hashed seeding: every fault
+  /// variant of a grid point replays the same workload, so rows across
+  /// this axis are paired comparisons against the fault-free baseline.
+  Grid& OverFaults(std::vector<std::string> faults);
 
   /// Explicit seeds, one replication per entry.
   Grid& WithSeeds(std::vector<std::uint64_t> seeds);
@@ -79,6 +86,7 @@ class Grid {
   std::vector<Seconds> t_logs_;
   bool paper_t_log_ = false;
   std::vector<int> alphas_;
+  std::vector<std::string> faults_;
   std::vector<std::uint64_t> seeds_;
   int replications_ = 1;
   bool explicit_seeds_ = false;

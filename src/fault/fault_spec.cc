@@ -1,0 +1,260 @@
+#include "fault/fault_spec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace vod::fault {
+
+namespace {
+
+constexpr Seconds kInf = std::numeric_limits<double>::infinity();
+
+/// Formats a double with just enough digits to round-trip typical spec
+/// values without trailing-zero noise ("10", "0.05", "2.5").
+std::string Num(double v) {
+  if (std::isinf(v)) return "inf";
+  char buf[32];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+Result<double> ParseNum(std::string_view s) {
+  if (s == "inf") return kInf;
+  if (s.empty()) return Status::InvalidArgument("empty numeric value");
+  char* end = nullptr;
+  const std::string owned(s);
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || std::isnan(v)) {
+    return Status::InvalidArgument("malformed number `" + owned + "`");
+  }
+  return v;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Status Fail(std::string_view clause, const std::string& why) {
+  return Status::InvalidArgument("fault clause `" + std::string(clause) +
+                                 "`: " + why);
+}
+
+/// Applies key=value to `c`, enforcing per-kind key ownership.
+Status ApplyKey(FaultClause& c, std::string_view clause, std::string_view key,
+                double v) {
+  const FaultKind k = c.kind;
+  const bool windowed = k != FaultKind::kBurst;
+  if (key == "start" || (key == "at" && k == FaultKind::kBurst)) {
+    if (v < 0) return Fail(clause, "start must be >= 0");
+    c.start = v;
+    return Status::OK();
+  }
+  if (key == "end" && windowed) {
+    c.end = v;
+    return Status::OK();
+  }
+  if (key == "disk" && k != FaultKind::kMemSqueeze) {
+    if (v != std::floor(v) || v < -1) {
+      return Fail(clause, "disk must be an integer >= -1");
+    }
+    c.disk = static_cast<int>(v);
+    return Status::OK();
+  }
+  if (key == "p" && (k == FaultKind::kLatency || k == FaultKind::kEio)) {
+    if (v < 0 || v > 1) return Fail(clause, "p must be in [0,1]");
+    c.p = v;
+    return Status::OK();
+  }
+  if (k == FaultKind::kLatency) {
+    if (key == "factor") {
+      if (v < 1) return Fail(clause, "factor must be >= 1");
+      c.factor = v;
+      return Status::OK();
+    }
+    if (key == "extra") {
+      if (v < 0) return Fail(clause, "extra must be >= 0");
+      c.extra = v;
+      return Status::OK();
+    }
+  }
+  if (k == FaultKind::kEio) {
+    if (key == "retries") {
+      if (v != std::floor(v) || v < 0) {
+        return Fail(clause, "retries must be an integer >= 0");
+      }
+      c.retries = static_cast<int>(v);
+      return Status::OK();
+    }
+    if (key == "backoff") {
+      if (v < 0) return Fail(clause, "backoff must be >= 0");
+      c.backoff = v;
+      return Status::OK();
+    }
+  }
+  if (k == FaultKind::kMemSqueeze && key == "scale") {
+    if (v <= 0 || v > 1) return Fail(clause, "scale must be in (0,1]");
+    c.scale = v;
+    return Status::OK();
+  }
+  if (k == FaultKind::kBurst) {
+    if (key == "count") {
+      if (v != std::floor(v) || v < 0) {
+        return Fail(clause, "count must be an integer >= 0");
+      }
+      c.count = static_cast<int>(v);
+      return Status::OK();
+    }
+    if (key == "video") {
+      if (v != std::floor(v) || v < 0) {
+        return Fail(clause, "video must be an integer >= 0");
+      }
+      c.video = static_cast<int>(v);
+      return Status::OK();
+    }
+    if (key == "spread") {
+      if (v <= 0) return Fail(clause, "spread must be > 0");
+      c.spread = v;
+      return Status::OK();
+    }
+    if (key == "viewing") {
+      if (v <= 0) return Fail(clause, "viewing must be > 0");
+      c.viewing = v;
+      return Status::OK();
+    }
+  }
+  return Fail(clause, "unknown key `" + std::string(key) + "` for kind " +
+                          std::string(FaultKindName(k)));
+}
+
+Result<FaultClause> ParseClause(std::string_view text) {
+  FaultClause c;
+  std::string_view kind = text;
+  std::string_view rest;
+  const std::size_t colon = text.find(':');
+  if (colon != std::string_view::npos) {
+    kind = text.substr(0, colon);
+    rest = text.substr(colon + 1);
+  }
+  if (kind == "latency") {
+    c.kind = FaultKind::kLatency;
+  } else if (kind == "eio") {
+    c.kind = FaultKind::kEio;
+  } else if (kind == "outage") {
+    c.kind = FaultKind::kOutage;
+  } else if (kind == "memsqueeze") {
+    c.kind = FaultKind::kMemSqueeze;
+  } else if (kind == "burst") {
+    c.kind = FaultKind::kBurst;
+  } else {
+    return Fail(text, "unknown kind `" + std::string(kind) + "`");
+  }
+  c.end = kInf;
+
+  while (!rest.empty()) {
+    std::size_t comma = rest.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return Fail(text, "expected key=value, got `" + std::string(pair) + "`");
+    }
+    Result<double> v = ParseNum(pair.substr(eq + 1));
+    if (!v.ok()) return Fail(text, v.status().message());
+    VOD_RETURN_IF_ERROR(ApplyKey(c, text, pair.substr(0, eq), v.value()));
+  }
+
+  if (c.kind != FaultKind::kBurst && c.end <= c.start) {
+    return Fail(text, "window end must be > start");
+  }
+  if (c.kind == FaultKind::kBurst && c.count == 0) {
+    return Fail(text, "burst needs count=N");
+  }
+  return c;
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kEio:
+      return "eio";
+    case FaultKind::kOutage:
+      return "outage";
+    case FaultKind::kMemSqueeze:
+      return "memsqueeze";
+    case FaultKind::kBurst:
+      return "burst";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::ToString() const {
+  std::string out;
+  for (const FaultClause& c : clauses) {
+    if (!out.empty()) out += ';';
+    out += FaultKindName(c.kind);
+    if (c.kind == FaultKind::kBurst) {
+      out += ":at=" + Num(c.start) + ",count=" + Num(c.count) +
+             ",video=" + Num(c.video) + ",spread=" + Num(c.spread) +
+             ",viewing=" + Num(c.viewing);
+      if (c.disk >= 0) out += ",disk=" + Num(c.disk);
+      continue;
+    }
+    out += ":start=" + Num(c.start) + ",end=" + Num(c.end);
+    if (c.disk >= 0) out += ",disk=" + Num(c.disk);
+    switch (c.kind) {
+      case FaultKind::kLatency:
+        out += ",factor=" + Num(c.factor) + ",extra=" + Num(c.extra) +
+               ",p=" + Num(c.p);
+        break;
+      case FaultKind::kEio:
+        out += ",p=" + Num(c.p) + ",retries=" + Num(c.retries) +
+               ",backoff=" + Num(c.backoff);
+        break;
+      case FaultKind::kMemSqueeze:
+        out += ",scale=" + Num(c.scale);
+        break;
+      case FaultKind::kOutage:
+      case FaultKind::kBurst:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<FaultSpec> ParseFaultSpec(std::string_view text) {
+  FaultSpec spec;
+  text = Trim(text);
+  if (text.empty() || text == "none" || text == "off") return spec;
+  while (!text.empty()) {
+    const std::size_t semi = text.find(';');
+    const std::string_view clause = Trim(
+        semi == std::string_view::npos ? text : text.substr(0, semi));
+    text = semi == std::string_view::npos ? std::string_view()
+                                          : text.substr(semi + 1);
+    if (clause.empty()) continue;
+    Result<FaultClause> c = ParseClause(clause);
+    if (!c.ok()) return c.status();
+    spec.clauses.push_back(*c);
+  }
+  return spec;
+}
+
+}  // namespace vod::fault

@@ -1,0 +1,90 @@
+#ifndef VODB_FAULT_FAULT_SPEC_H_
+#define VODB_FAULT_FAULT_SPEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace vod::fault {
+
+/// What a fault clause does to the system while its window is open.
+enum class FaultKind {
+  kLatency,     ///< Inflate individual disk reads (slow spindle, recal).
+  kEio,         ///< Fail individual reads transiently (media error, retry).
+  kOutage,      ///< Whole disk dark for the window (controller reset).
+  kMemSqueeze,  ///< Scale the MemoryBroker capacity down (co-tenant pressure).
+  kBurst,       ///< Inject an arrival burst into the workload (flash crowd).
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// One parsed fault clause. Fields not used by a kind keep their defaults
+/// (the parser rejects keys that do not belong to the clause's kind, so a
+/// stray default never hides a typo).
+struct FaultClause {
+  FaultKind kind = FaultKind::kLatency;
+
+  // Window [start, end) in simulated seconds; end defaults to +infinity.
+  // kBurst uses `start` as the burst epoch instead of a window.
+  Seconds start = 0;
+  Seconds end = 0;  ///< Set to +inf by the parser when omitted.
+
+  int disk = -1;  ///< Target disk id; -1 = every disk.
+
+  // kLatency / kEio: probability that one read in the window is hit.
+  // 1.0 (the default) is deterministic — no RNG draw is consumed.
+  double p = 1.0;
+
+  // kLatency: multiply the read's service time, then add `extra`.
+  double factor = 2.0;
+  Seconds extra = 0;
+
+  // kEio: bounded retry budget per service round and base backoff before
+  // the disk re-issues the read (doubled per consecutive failure).
+  int retries = 3;
+  Seconds backoff = 0.05;
+
+  // kMemSqueeze: multiply broker capacity by this while the window is open.
+  double scale = 0.5;
+
+  // kBurst: `count` extra arrivals for `video`, uniformly spread over
+  // [start, start + spread), each watching `viewing` seconds, on `disk`
+  // (-1 = disk 0; bursts target one disk).
+  int count = 0;
+  Seconds spread = 60;
+  Seconds viewing = 1800;
+  int video = 0;
+};
+
+/// A full fault schedule: the ordered clause list of a `--faults=` spec.
+struct FaultSpec {
+  std::vector<FaultClause> clauses;
+
+  [[nodiscard]] bool empty() const { return clauses.empty(); }
+
+  /// Canonical round-trippable text form ("latency:start=10,end=20,...").
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Parses a `--faults=` spec: semicolon-separated clauses, each
+/// `kind` or `kind:key=value,key=value,...`. Kinds: latency, eio, outage,
+/// memsqueeze, burst. Keys (per kind, all optional):
+///
+///   latency:    start end disk p factor extra
+///   eio:        start end disk p retries backoff
+///   outage:     start end disk
+///   memsqueeze: start end scale
+///   burst:      at (alias start) count video disk spread viewing
+///
+/// Times are seconds; `end` omitted means "until the run ends". The spec
+/// "none" (or the empty string) parses to an empty schedule — useful for
+/// observer-effect tests that attach a fault::Injector with nothing in it.
+/// Unknown kinds/keys and out-of-domain values are InvalidArgument.
+Result<FaultSpec> ParseFaultSpec(std::string_view text);
+
+}  // namespace vod::fault
+
+#endif  // VODB_FAULT_FAULT_SPEC_H_

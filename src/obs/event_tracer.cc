@@ -38,6 +38,14 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "departure";
     case TraceEventKind::kCancel:
       return "cancel";
+    case TraceEventKind::kReadFault:
+      return "read_fault";
+    case TraceEventKind::kHiccup:
+      return "hiccup";
+    case TraceEventKind::kDegraded:
+      return "degraded";
+    case TraceEventKind::kRecovered:
+      return "recovered";
   }
   return "unknown";
 }

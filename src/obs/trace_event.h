@@ -27,9 +27,13 @@ enum class TraceEventKind : std::uint8_t {
   kStarvation,         ///< Buffer underflow edge (continuity violation).
   kDeparture,          ///< Viewing finished; the request left the system.
   kCancel,             ///< VCR cancellation (reposition = cancel + new).
+  kReadFault,          ///< Injected read failure: seek/rotation spent, no data.
+  kHiccup,             ///< Retry budget exhausted; the service round was lost.
+  kDegraded,           ///< Stream entered Degraded (missed/failed round).
+  kRecovered,          ///< Degraded stream refilled; back to Normal.
 };
 
-inline constexpr int kTraceEventKindCount = 12;
+inline constexpr int kTraceEventKindCount = 16;
 
 /// Stable lowercase token for exporters ("service_start", "admit", ...).
 std::string_view TraceEventKindName(TraceEventKind kind);

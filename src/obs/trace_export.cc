@@ -49,6 +49,9 @@ void AppendJsonlPayload(std::string& out, const TraceEvent& ev) {
                    "\"transfer\":%.6f",
               ev.bits, ev.seek, ev.rotation, ev.transfer);
       break;
+    case TraceEventKind::kReadFault:
+      AppendF(out, ",\"seek\":%.6f,\"rotation\":%.6f", ev.seek, ev.rotation);
+      break;
     default:
       break;
   }

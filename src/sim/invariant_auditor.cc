@@ -63,7 +63,12 @@ void InvariantAuditor::Report(const char* invariant, Seconds time,
 
 void InvariantAuditor::CheckEventTime(Seconds event_time) {
   ++checks_;
-  if (event_time < last_event_time_ - kTimeEps) {
+  // The tolerance must scale with the clock: late in a long run two
+  // back-to-back events (e.g. a zero-length retry re-issued at the same
+  // instant) differ only in bits below the representable resolution of
+  // `now`, which an absolute 1e-9 would misread as time travel.
+  const Seconds tol = kTimeEps * std::max(1.0, std::fabs(last_event_time_));
+  if (event_time < last_event_time_ - tol) {
     Report("event-time-monotonicity", event_time,
            "event at t=" + std::to_string(event_time) +
                " precedes already-processed t=" +

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "fault/injector.h"
 
 namespace vod::sim {
 
@@ -33,6 +34,15 @@ Bits AnalyticMemoryBroker::PriceDisk(int n, int k) const {
   return m.value();
 }
 
+Bits AnalyticMemoryBroker::Capacity() const {
+  return injector_ == nullptr ? capacity_
+                              : capacity_ * injector_->CapacityScale(clock_);
+}
+
+void AnalyticMemoryBroker::AdvanceTo(Seconds now) {
+  clock_ = std::max(clock_, now);
+}
+
 bool AnalyticMemoryBroker::CanAdmit(int disk, int new_n, int k) const {
   const std::size_t d = static_cast<std::size_t>(disk);
   VOD_CHECK(d < n_.size());
@@ -45,7 +55,7 @@ bool AnalyticMemoryBroker::CanAdmit(int disk, int new_n, int k) const {
       total += PriceDisk(n_[i], k_[i]);
     }
   }
-  return total <= capacity_;
+  return total <= Capacity();
 }
 
 void AnalyticMemoryBroker::OnState(int disk, int n, int k) {

@@ -8,6 +8,10 @@
 #include "core/memory_model.h"
 #include "core/params.h"
 
+namespace vod::fault {
+class Injector;
+}  // namespace vod::fault
+
 namespace vod::sim {
 
 /// Shared-memory admission authority for a (possibly multi-disk) server.
@@ -32,6 +36,13 @@ class MemoryBroker {
   /// unconstrained. ReservedMemory() <= Capacity() is the conservation
   /// invariant sim::InvariantAuditor checks per event.
   [[nodiscard]] virtual Bits Capacity() const = 0;
+
+  /// Advances the broker's notion of simulated time (brokers are otherwise
+  /// time-less). Simulators call this before every CanAdmit/OnState so a
+  /// time-varying capacity (fault::Injector memory squeezes) prices against
+  /// the current window. Default: no-op — a broker that ignores time is
+  /// byte-identical with or without these calls.
+  virtual void AdvanceTo(Seconds now) { static_cast<void>(now); }
 };
 
 /// No memory constraint (single-disk latency experiments).
@@ -56,7 +67,19 @@ class AnalyticMemoryBroker final : public MemoryBroker {
   [[nodiscard]] bool CanAdmit(int disk, int new_n, int k) const override;
   void OnState(int disk, int n, int k) override;
   [[nodiscard]] Bits ReservedMemory() const override;
-  [[nodiscard]] Bits Capacity() const override { return capacity_; }
+  /// The configured budget scaled by any memory-squeeze fault window open
+  /// at the broker clock (nominal_capacity() without an injector). Already
+  /// admitted streams are grandfathered — a squeeze only gates growth.
+  [[nodiscard]] Bits Capacity() const override;
+  void AdvanceTo(Seconds now) override;
+
+  /// Attaches a fault injector whose CapacityScale squeezes the budget
+  /// (nullptr detaches). Not owned; must outlive the broker.
+  void AttachInjector(const fault::Injector* injector) {
+    injector_ = injector;
+  }
+
+  [[nodiscard]] Bits nominal_capacity() const { return capacity_; }
 
   /// Memory the model assigns to one disk at (n, k); 0 when n == 0.
   [[nodiscard]] Bits PriceDisk(int n, int k) const;
@@ -69,6 +92,8 @@ class AnalyticMemoryBroker final : public MemoryBroker {
   Bits capacity_;
   std::vector<int> n_;
   std::vector<int> k_;
+  const fault::Injector* injector_ = nullptr;  ///< Not owned; may be null.
+  Seconds clock_ = 0;  ///< Monotone; max over AdvanceTo calls.
 };
 
 }  // namespace vod::sim

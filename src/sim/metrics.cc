@@ -41,6 +41,13 @@ void SimMetrics::PublishTo(obs::MetricsRegistry& registry,
   count("cancelled", cancelled);
   count("starvation_events", starvation_events);
   count("services", services);
+  count("fault.read_faults", read_faults);
+  count("fault.read_retries", read_retries);
+  count("fault.hiccups", hiccup_events);
+  count("fault.degraded_entries", degraded_entries);
+  count("fault.degraded_streams", degraded_streams);
+  count("fault.recoveries", fault_recoveries);
+  count("fault.delayed_reads", delayed_reads);
   count("estimation_checks", estimation_checks);
   count("estimation_successes", estimation_successes);
 

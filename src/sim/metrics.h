@@ -57,6 +57,22 @@ struct SimMetrics {
   // --- Continuity ---
   long starvation_events = 0;  ///< Buffer underflows (must be 0 normally).
 
+  // --- Fault injection & graceful degradation (all 0 without faults) ---
+  long read_faults = 0;     ///< Disk reads that failed (injected EIO).
+  long read_retries = 0;    ///< Re-issued reads after a same-round failure.
+  long hiccup_events = 0;   ///< Rounds abandoned: retry budget exhausted.
+  long degraded_entries = 0;  ///< Normal -> Degraded transitions.
+  long degraded_streams = 0;  ///< Distinct streams that ever degraded.
+  long fault_recoveries = 0;  ///< Degraded -> Normal (successful refill).
+  long delayed_reads = 0;   ///< Reads stretched by an injected latency fault.
+
+  /// Buffer byte ledger for the conservation property: every bit a disk
+  /// read delivers into a stream buffer is eventually tossed back by
+  /// use-it-and-toss-it consumption (departure) or cancellation. At the end
+  /// of a drained run allocated == released exactly, faults or not.
+  Bits buffer_bits_allocated = 0;
+  Bits buffer_bits_released = 0;
+
   // --- Resource usage over time ---
   StepTimeSeries concurrency;
   StepTimeSeries memory_usage;      ///< Actual buffered bits, sampled.

@@ -34,6 +34,9 @@ Result<std::unique_ptr<MultiDiskSimulator>> MultiDiskSimulator::Create(
   auto broker = std::make_unique<AnalyticMemoryBroker>(
       *params, base.method, base.scheme == AllocScheme::kDynamic,
       base.gss_group_size, disk_count, memory_capacity);
+  // All disks share one injector (carried in the base config), so a
+  // memory-squeeze clause shrinks the one shared pool, not per-disk copies.
+  if (base.injector != nullptr) broker->AttachInjector(base.injector);
 
   std::vector<std::unique_ptr<VodSimulator>> sims;
   sims.reserve(static_cast<std::size_t>(disk_count));

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "fault/injector.h"
 #include "obs/event_tracer.h"
 #include "obs/profile.h"
 #include "sched/gss.h"
@@ -356,6 +357,7 @@ void VodSimulator::RecordConcurrency() {
 void VodSimulator::ReportBrokerState(int k_estimate, bool at_admission) {
   last_k_estimate_ = k_estimate;
   if (broker_ != nullptr) {
+    broker_->AdvanceTo(now_);
     broker_->OnState(config_.disk_id, allocator_->active_count(), k_estimate);
     metrics_.memory_reserved.Record(now_, broker_->ReservedMemory());
 #if VODB_AUDIT_ENABLED
@@ -397,6 +399,9 @@ Result<RequestId> VodSimulator::ProcessArrival(const ArrivalEvent& a) {
   ++state_version_;
   arrival_times_.push_back(now_);
   allocator_->NoteArrival(now_);
+  // Memory squeezes are time-gated; price this arrival against the window
+  // that is open *now*.
+  if (broker_ != nullptr) broker_->AdvanceTo(now_);
 
   Req r;
   r.id = next_request_id_++;
@@ -476,6 +481,10 @@ Status VodSimulator::CancelRequest(RequestId id) {
     allocator_->Remove(id);
     scheduler_->Remove(id);
   }
+  // The stream's delivered bits leave the buffer pool with it. Bits of a
+  // read still in flight were never delivered, so they enter neither ledger
+  // side.
+  metrics_.buffer_bits_released += it->second.delivered;
   // A cancellation mid-service lets the read finish; HandleServiceComplete
   // tolerates the missing request.
   requests_.erase(it);
@@ -497,6 +506,7 @@ Status VodSimulator::CancelRequest(RequestId id) {
 
 void VodSimulator::TryAdmitPending() {
   VODB_PROF_SCOPE("sim.admit");
+  if (broker_ != nullptr && !pending_.empty()) broker_->AdvanceTo(now_);
   while (!pending_.empty()) {
     // Sweep* never admits mid-period: the newcomer would perturb the sweep
     // order. Every other method admits whenever the allocator agrees.
@@ -592,6 +602,33 @@ void VodSimulator::MaybeScheduleService() {
   VODB_PROF_SCOPE("sim.schedule");
   if (disk_busy_) return;
   TryAdmitPending();
+  if (config_.injector != nullptr && config_.injector->active()) {
+    // Whole-disk outage window: no service starts until the disk is back.
+    // Playback continues off buffered data, so streams may underflow while
+    // the disk is dark — poll starvation on every visit (the normal
+    // detection point, service completion, cannot fire here).
+    Seconds resume = 0;
+    if (config_.injector->InOutage(config_.disk_id, now_, &resume)) {
+      DetectStarvation();
+      if (std::isfinite(resume) &&
+          (!wakeup_pending_ || resume < scheduled_wakeup_ - kEps)) {
+        scheduled_wakeup_ = resume;
+        wakeup_pending_ = true;
+        Push(resume, EventKind::kWakeup, kInvalidRequestId);
+      }
+      return;
+    }
+    // Bounded-backoff cooldown after a failed read: hold further I/O.
+    if (retry_cooldown_until_ > now_ + kEps) {
+      if (!wakeup_pending_ ||
+          retry_cooldown_until_ < scheduled_wakeup_ - kEps) {
+        scheduled_wakeup_ = retry_cooldown_until_;
+        wakeup_pending_ = true;
+        Push(retry_cooldown_until_, EventKind::kWakeup, kInvalidRequestId);
+      }
+      return;
+    }
+  }
   std::optional<sched::ServiceDecision> dec = scheduler_->Next(*this, now_);
   if (!dec.has_value()) return;
 #if VODB_AUDIT_ENABLED
@@ -618,6 +655,48 @@ void VodSimulator::MaybeScheduleService() {
 void VodSimulator::BeginService(RequestId id) {
   Req& r = GetReq(id);
   ++state_version_;
+
+  // Fault probe before any allocator mutation: a read the injector fails
+  // costs mechanical time but must not grow a buffer for data that never
+  // arrives. The zero-fault answer (factor 1.0, extra 0.0) leaves every
+  // computation below bit-identical to an uninjected run — *1.0 and +0.0
+  // are exact IEEE identities.
+  fault::ReadFault f;
+  if (config_.injector != nullptr) {
+    f = config_.injector->OnRead(config_.disk_id, now_);
+  }
+  if (r.round_failures > 0) ++metrics_.read_retries;
+
+  if (f.fail) {
+    Result<double> cyl =
+        layout_.CylinderOf(r.video, r.start_offset + r.delivered);
+    VOD_CHECK(cyl.ok());
+    const double rot =
+        config_.worst_case_rotation ? 1.0 : rng_.NextDouble();
+    Result<disk::ServiceTiming> timing = disk_.FailedRead(cyl.value(), rot);
+    VOD_CHECK(timing.ok());
+    disk_busy_ = true;
+    in_service_ = id;
+    in_service_bits_ = 0;
+    in_service_failed_ = true;
+    in_service_timing_ = *timing;
+    in_service_max_retries_ = f.max_retries;
+    in_service_retry_backoff_ = f.retry_backoff;
+    const Seconds dur = timing->total() + f.extra_latency;
+    Push(now_ + dur, EventKind::kServiceComplete, id);
+    ++metrics_.read_faults;
+    metrics_.disk_busy_time += dur;
+#if VODB_TRACE_ENABLED
+    if (tracer_ != nullptr) {
+      VODB_TRACE_INIT(fault_ev, kReadFault, id);
+      fault_ev.seek = timing->seek;
+      fault_ev.rotation = timing->rotation;
+      tracer_->Emit(fault_ev);
+    }
+#endif
+    return;
+  }
+
   Result<core::AllocationDecision> d = allocator_->Allocate(id, now_);
   VOD_CHECK(d.ok());
   const Bits bits = std::min(d->buffer_size, r.total_bits - r.delivered);
@@ -631,11 +710,13 @@ void VodSimulator::BeginService(RequestId id) {
   Result<disk::ServiceTiming> timing = disk_.Read(cyl.value(), bits, rot);
   VOD_CHECK(timing.ok());
 
+  const Seconds dur = timing->total() * f.latency_factor + f.extra_latency;
+  if (dur > timing->total()) ++metrics_.delayed_reads;
   disk_busy_ = true;
   in_service_ = id;
   in_service_bits_ = bits;
   in_service_timing_ = *timing;
-  Push(now_ + timing->total(), EventKind::kServiceComplete, id);
+  Push(now_ + dur, EventKind::kServiceComplete, id);
 
   AllocationRecord rec;
   rec.time = now_;
@@ -668,7 +749,7 @@ void VodSimulator::BeginService(RequestId id) {
   metrics_.estimated_k.Add(d->k);
   metrics_.memory_usage.Record(now_, TotalBufferedBits(now_));
   ++metrics_.services;
-  metrics_.disk_busy_time += timing->total();
+  metrics_.disk_busy_time += dur;
   ReportBrokerState(d->k);
 }
 
@@ -692,10 +773,33 @@ void VodSimulator::DetectStarvation() {
         tracer_->Emit(ev);
       }
 #endif
+      // Under active fault injection a missed round degrades the stream
+      // (graceful degradation, not failure). Gated on an active injector so
+      // fault-free runs — including ones with residual starvation — keep
+      // their metrics bit-identical.
+      if (config_.injector != nullptr && config_.injector->active()) {
+        MarkDegraded(r);
+      }
     } else if (!starving) {
       r.starved = false;
     }
   }
+}
+
+void VodSimulator::MarkDegraded(Req& r) {
+  if (r.degraded) return;
+  r.degraded = true;
+  ++metrics_.degraded_entries;
+  if (!r.ever_degraded) {
+    r.ever_degraded = true;
+    ++metrics_.degraded_streams;
+  }
+#if VODB_TRACE_ENABLED
+  if (tracer_ != nullptr) {
+    VODB_TRACE_INIT(ev, kDegraded, r.id);
+    tracer_->Emit(ev);
+  }
+#endif
 }
 
 void VodSimulator::HandleServiceComplete(const Event& ev) {
@@ -704,8 +808,12 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
   ++state_version_;
   disk_busy_ = false;
   in_service_ = kInvalidRequestId;
+  const bool failed = in_service_failed_;
+  in_service_failed_ = false;
 #if VODB_TRACE_ENABLED
-  if (tracer_ != nullptr) {
+  // A failed read traced kReadFault at its start; only successful reads
+  // carry a service_end (the Chrome exporter pairs it with service_start).
+  if (tracer_ != nullptr && !failed) {
     VODB_TRACE_INIT(end_ev, kServiceEnd, id);
     end_ev.bits = in_service_bits_;
     end_ev.seek = in_service_timing_.seek;
@@ -718,11 +826,57 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
   // A request can depart mid-service only if viewing ended exactly at the
   // boundary; it may also have been removed — guard.
   auto it = requests_.find(id);
+  if (failed) {
+    if (it != requests_.end()) {
+      Req& r = it->second;
+      DetectStarvation();
+      SyncConsumption(r, now_);
+      ++r.round_failures;
+      MarkDegraded(r);
+      if (r.round_failures > in_service_max_retries_) {
+        // Retry budget exhausted: the round is lost (a playback hiccup if
+        // the buffer runs dry). The counter resets so the next attempt is a
+        // fresh round; the scheduler was never told the round completed, so
+        // the stream stays first in line.
+        ++metrics_.hiccup_events;
+        r.round_failures = 0;
+#if VODB_TRACE_ENABLED
+        if (tracer_ != nullptr) {
+          VODB_TRACE_INIT(hiccup_ev, kHiccup, id);
+          tracer_->Emit(hiccup_ev);
+        }
+#endif
+      } else if (in_service_retry_backoff_ > 0) {
+        // Bounded exponential backoff before the disk re-issues any I/O.
+        const double doubling =
+            std::pow(2.0, static_cast<double>(r.round_failures - 1));
+        retry_cooldown_until_ = std::max(
+            retry_cooldown_until_, now_ + in_service_retry_backoff_ * doubling);
+      }
+      metrics_.memory_usage.Record(now_, TotalBufferedBits(now_));
+    }
+    in_service_bits_ = 0;
+    MaybeScheduleService();
+    return;
+  }
   if (it != requests_.end()) {
     Req& r = it->second;
     DetectStarvation();
     SyncConsumption(r, now_);
     r.delivered += in_service_bits_;
+    metrics_.buffer_bits_allocated += in_service_bits_;
+    if (r.degraded) {
+      // A successful refill ends the degraded episode.
+      r.degraded = false;
+      r.round_failures = 0;
+      ++metrics_.fault_recoveries;
+#if VODB_TRACE_ENABLED
+      if (tracer_ != nullptr) {
+        VODB_TRACE_INIT(rec_ev, kRecovered, id);
+        tracer_->Emit(rec_ev);
+      }
+#endif
+    }
     ++r.fill_count;
 #if VODB_AUDIT_ENABLED
     auditor_.CheckRequestAccounting(now_, id, r.delivered, r.consumed);
@@ -770,6 +924,9 @@ void VodSimulator::HandleDeparture(const Event& ev) {
   auto it = requests_.find(id);
   if (it == requests_.end()) return;
   ++state_version_;
+  // Use-it-and-toss-it: everything delivered to this stream is released at
+  // departure (the conservation ledger's release side).
+  metrics_.buffer_bits_released += it->second.delivered;
   allocator_->Remove(id);
   scheduler_->Remove(id);
   requests_.erase(it);

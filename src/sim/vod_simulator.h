@@ -26,6 +26,10 @@ namespace vod::obs {
 class EventTracer;
 }  // namespace vod::obs
 
+namespace vod::fault {
+class Injector;
+}  // namespace vod::fault
+
 namespace vod::sim {
 
 /// Which buffer-allocation scheme the server runs.
@@ -52,6 +56,11 @@ struct SimConfig {
   /// Disable the dynamic scheme's Assumption-1 admission gate (failure
   /// injection: shows starvation when enforcement is removed).
   bool disable_admission_control = false;
+  /// Deterministic fault source (not owned; may be nullptr, must outlive
+  /// the simulator). A nullptr — or an injector with an empty spec — leaves
+  /// every metric bit-identical to an uninjected run (observer effect:
+  /// none). Multi-disk servers share one injector across their disks.
+  fault::Injector* injector = nullptr;
 
   Status Validate() const;
 };
@@ -162,6 +171,13 @@ class VodSimulator : public sched::SchedulerContext {
     bool admitted = false;
     bool starved = false;    ///< Currently underflowed (edge counted once).
     bool was_deferred = false;
+    /// Graceful degradation: set on a missed or failed service round,
+    /// cleared by the next successful refill. A degraded stream keeps its
+    /// buffer and its use-it-and-toss-it consumption; only continuity is
+    /// temporarily lost.
+    bool degraded = false;
+    bool ever_degraded = false;  ///< For the distinct-streams counter.
+    int round_failures = 0;  ///< Consecutive failed reads this round.
     int n_at_admit = 0;
     int fill_count = 0;
     Seconds first_data = -1;
@@ -199,6 +215,8 @@ class VodSimulator : public sched::SchedulerContext {
   Bits TotalBufferedBits(Seconds t) const;
 
   void DetectStarvation();
+  /// Normal -> Degraded transition bookkeeping (idempotent per episode).
+  void MarkDegraded(Req& r);
   void RecordConcurrency();
   // `at_admission` marks calls made right after a CanAdmit-gated admission,
   // where the audited capacity partition is guaranteed to hold exactly.
@@ -230,6 +248,14 @@ class VodSimulator : public sched::SchedulerContext {
   RequestId in_service_ = kInvalidRequestId;
   Bits in_service_bits_ = 0;
   disk::ServiceTiming in_service_timing_;  ///< Breakdown for the trace end event.
+  /// Injected-fault state of the in-flight read (kEio): the completion
+  /// handler turns a failed read into a retry or, past the budget, a hiccup.
+  bool in_service_failed_ = false;
+  int in_service_max_retries_ = 0;
+  Seconds in_service_retry_backoff_ = 0;
+  /// Disk-level cooldown after a failed read (bounded exponential backoff):
+  /// no service is issued before this instant.
+  Seconds retry_cooldown_until_ = 0;
   int last_k_estimate_ = 0;
   Seconds scheduled_wakeup_ = 0;
   bool wakeup_pending_ = false;

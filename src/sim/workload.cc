@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "fault/injector.h"
 #include "sim/rng.h"
 
 namespace vod::sim {
@@ -95,6 +96,31 @@ std::vector<std::vector<ArrivalEvent>> SplitByDisk(
     }
   }
   return per;
+}
+
+void ApplyFaultBursts(const fault::Injector& injector,
+                      std::vector<ArrivalEvent>* arrivals) {
+  const std::vector<fault::BurstArrival> bursts = injector.Bursts();
+  if (bursts.empty()) return;
+  const std::size_t base = arrivals->size();
+  arrivals->reserve(base + bursts.size());
+  for (const fault::BurstArrival& b : bursts) {
+    ArrivalEvent ev;
+    ev.time = b.time;
+    ev.video = b.video;
+    ev.viewing_time = b.viewing_time;
+    ev.disk = b.disk;
+    arrivals->push_back(ev);
+  }
+  // Both halves are sorted; a stable merge keeps base arrivals ahead of
+  // same-instant burst arrivals, so the burst-free prefix order (and the
+  // simulator's FIFO tiebreak) is unchanged.
+  std::inplace_merge(
+      arrivals->begin(),
+      arrivals->begin() + static_cast<std::ptrdiff_t>(base), arrivals->end(),
+      [](const ArrivalEvent& a, const ArrivalEvent& b) {
+        return a.time < b.time;
+      });
 }
 
 OfferedLoad ComputeOfferedLoad(const std::vector<ArrivalEvent>& arrivals,

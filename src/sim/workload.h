@@ -8,6 +8,10 @@
 #include "common/units.h"
 #include "sim/zipf.h"
 
+namespace vod::fault {
+class Injector;
+}  // namespace vod::fault
+
 namespace vod::sim {
 
 /// One generated user request before it reaches a server.
@@ -49,6 +53,13 @@ Result<std::vector<ArrivalEvent>> GenerateWorkload(const WorkloadConfig& cfg);
 /// Splits a workload per disk (preserving order).
 std::vector<std::vector<ArrivalEvent>> SplitByDisk(
     const std::vector<ArrivalEvent>& all, int disk_count);
+
+/// Merges the injector's burst arrivals (flash crowds) into `arrivals`,
+/// keeping the list time-sorted. Burst times come from the injector's own
+/// seeded streams, so the base workload is untouched — a no-burst spec
+/// leaves `arrivals` byte-identical.
+void ApplyFaultBursts(const fault::Injector& injector,
+                      std::vector<ArrivalEvent>* arrivals);
 
 /// The offered concurrency the workload implies under an admission cap
 /// (Fig. 6): requests are accepted while fewer than `cap` are viewing and

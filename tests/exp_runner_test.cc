@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -251,6 +252,50 @@ TEST(RunnerTest, RealRunsIdenticalAt1And2And8Threads) {
       EXPECT_EQ(agg_got[i].summary.stddev, agg_ref[i].summary.stddev);
     }
   }
+}
+
+/// A faulted sweep — same --fault-seed, grid expanded over an OverFaults
+/// axis — serialises to a byte-identical CSV at 1 and 8 threads. Fault
+/// injection draws from a per-run injector seeded off the fault spec and
+/// seed alone, so worker scheduling can't leak into the results.
+TEST(RunnerTest, FaultedSweepCsvIsByteIdenticalAcrossThreadCounts) {
+  DayRunConfig base;
+  base.duration = Minutes(60);
+  base.total_arrivals = 30;
+  base.t_log = Minutes(10);
+  base.fault_seed = 1234;
+  Grid grid;
+  grid.WithBase(base)
+      .OverMethods({core::ScheduleMethod::kRoundRobin})
+      .OverSchemes({sim::AllocScheme::kStatic, sim::AllocScheme::kDynamic})
+      .OverFaults({"none",
+                   "eio:start=300,end=1800,p=0.4,retries=2,backoff=0.05",
+                   "latency:start=0,end=3600,factor=3,extra=0.02"});
+
+  const auto to_csv = [](const std::vector<RunResult>& results) {
+    std::string csv = "index,fault,admitted,faults,hiccups,latency,peak\n";
+    for (const RunResult& r : results) {
+      char row[160];
+      std::snprintf(row, sizeof(row), "%zu,%d,%ld,%ld,%ld,%.9f,%.9e\n",
+                    r.spec.index, r.spec.fault_index, r.metrics.admitted,
+                    r.metrics.read_faults, r.metrics.hiccup_events,
+                    r.metrics.initial_latency.mean(),
+                    r.metrics.memory_usage.max_value());
+      csv += row;
+    }
+    return csv;
+  };
+
+  Runner serial({.threads = 1});
+  Runner wide({.threads = 8});
+  const std::vector<RunResult> a = serial.Run(grid);
+  const std::vector<RunResult> b = wide.Run(grid);
+  ASSERT_EQ(a.size(), grid.size());
+  EXPECT_EQ(to_csv(a), to_csv(b));
+
+  long total_faults = 0;
+  for (const RunResult& r : a) total_faults += r.metrics.read_faults;
+  EXPECT_GT(total_faults, 0);  // The eio axis actually fired.
 }
 
 // --- Aggregation & tables ---

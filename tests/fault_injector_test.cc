@@ -1,0 +1,302 @@
+// Unit tests for the fault-injection layer itself: the --faults spec
+// grammar, the injector's determinism/replay contract, its distributional
+// behaviour (EIO hit rate tracks p), and the zero-draw guarantee that
+// underpins the observer-effect property (an injector that never fires
+// consumes no randomness, so it cannot perturb anything).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_spec.h"
+#include "fault/injector.h"
+
+namespace vod::fault {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec grammar
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpecTest, EmptyAndNoneParseToEmptySchedule) {
+  for (const char* text : {"", "none", "off", "  none  "}) {
+    const Result<FaultSpec> spec = ParseFaultSpec(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    EXPECT_TRUE(spec.value().empty()) << text;
+  }
+}
+
+TEST(FaultSpecTest, ParsesFullLatencyClause) {
+  const Result<FaultSpec> spec =
+      ParseFaultSpec("latency:start=10,end=20,disk=1,p=0.5,factor=3,extra=0.2");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec.value().clauses.size(), 1u);
+  const FaultClause& c = spec.value().clauses[0];
+  EXPECT_EQ(c.kind, FaultKind::kLatency);
+  EXPECT_DOUBLE_EQ(c.start, 10.0);
+  EXPECT_DOUBLE_EQ(c.end, 20.0);
+  EXPECT_EQ(c.disk, 1);
+  EXPECT_DOUBLE_EQ(c.p, 0.5);
+  EXPECT_DOUBLE_EQ(c.factor, 3.0);
+  EXPECT_DOUBLE_EQ(c.extra, 0.2);
+}
+
+TEST(FaultSpecTest, OmittedEndIsInfinity) {
+  const Result<FaultSpec> spec = ParseFaultSpec("outage:start=100");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(std::isinf(spec.value().clauses[0].end));
+}
+
+TEST(FaultSpecTest, MultiClauseSpecKeepsOrder) {
+  const Result<FaultSpec> spec = ParseFaultSpec(
+      "eio:start=0,end=5,p=0.1;memsqueeze:start=2,end=8,scale=0.25;"
+      "burst:at=30,count=4");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec.value().clauses.size(), 3u);
+  EXPECT_EQ(spec.value().clauses[0].kind, FaultKind::kEio);
+  EXPECT_EQ(spec.value().clauses[1].kind, FaultKind::kMemSqueeze);
+  EXPECT_EQ(spec.value().clauses[2].kind, FaultKind::kBurst);
+  EXPECT_EQ(spec.value().clauses[2].count, 4);
+}
+
+TEST(FaultSpecTest, ToStringRoundTrips) {
+  const char* text =
+      "latency:start=10,end=20,p=0.5,factor=3;"
+      "eio:start=0,end=5,disk=2,p=0.1,retries=2,backoff=0.1;"
+      "outage:start=50,end=60,disk=1;memsqueeze:start=2,end=8,scale=0.25;"
+      "burst:at=30,count=4,video=1,spread=10,viewing=600";
+  const Result<FaultSpec> spec = ParseFaultSpec(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const std::string canonical = spec.value().ToString();
+  const Result<FaultSpec> again = ParseFaultSpec(canonical);
+  ASSERT_TRUE(again.ok()) << canonical << " -> " << again.status().ToString();
+  EXPECT_EQ(again.value().ToString(), canonical);
+  ASSERT_EQ(again.value().clauses.size(), spec.value().clauses.size());
+  for (std::size_t i = 0; i < spec.value().clauses.size(); ++i) {
+    EXPECT_EQ(again.value().clauses[i].kind, spec.value().clauses[i].kind);
+    EXPECT_DOUBLE_EQ(again.value().clauses[i].p, spec.value().clauses[i].p);
+  }
+}
+
+TEST(FaultSpecTest, RejectsMalformedInput) {
+  // kind / key / value errors must all surface as InvalidArgument, never
+  // silently parse to a default.
+  const char* bad[] = {
+      "flood:start=0",                 // Unknown kind.
+      "latency:retries=3",             // Key belongs to eio, not latency.
+      "eio:p=1.5",                     // Probability out of [0, 1].
+      "latency:factor=0.5",            // Factor < 1 would speed reads up.
+      "memsqueeze:scale=0",            // Zero capacity is an outage, not a squeeze.
+      "memsqueeze:scale=1.5",          // Growth is not a fault.
+      "eio:start=10,end=5",            // Empty window.
+      "burst:at=10",                   // count is mandatory for bursts.
+      "burst:count=-3",                // Negative count.
+      "outage:disk=1.5",               // Disk ids are integers.
+      "latency:start=abc",             // Unparsable number.
+      "latency:start",                 // Missing '='.
+  };
+  for (const char* text : bad) {
+    const Result<FaultSpec> spec = ParseFaultSpec(text);
+    EXPECT_FALSE(spec.ok()) << "accepted: " << text;
+    if (!spec.ok()) {
+      EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument) << text;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Injector semantics
+// ---------------------------------------------------------------------------
+
+FaultSpec MustParse(const char* text) {
+  Result<FaultSpec> spec = ParseFaultSpec(text);
+  EXPECT_TRUE(spec.ok()) << text << ": " << spec.status().ToString();
+  return spec.value();
+}
+
+TEST(InjectorTest, InactiveInjectorIsStrictNoOp) {
+  Injector inj(MustParse("none"), 7);
+  EXPECT_FALSE(inj.active());
+  const ReadFault f = inj.OnRead(0, 123.0);
+  EXPECT_FALSE(f.fail);
+  EXPECT_DOUBLE_EQ(f.latency_factor, 1.0);
+  EXPECT_DOUBLE_EQ(f.extra_latency, 0.0);
+  EXPECT_FALSE(inj.InOutage(0, 123.0));
+  EXPECT_DOUBLE_EQ(inj.CapacityScale(123.0), 1.0);
+  EXPECT_TRUE(inj.Bursts().empty());
+}
+
+TEST(InjectorTest, DeterministicClausesRespectWindowAndDisk) {
+  Injector inj(MustParse("latency:start=10,end=20,disk=1,factor=2,extra=0.5"),
+               1);
+  // Outside the window / wrong disk: identity.
+  EXPECT_DOUBLE_EQ(inj.OnRead(1, 9.999).latency_factor, 1.0);
+  EXPECT_DOUBLE_EQ(inj.OnRead(1, 20.0).latency_factor, 1.0);  // end exclusive
+  EXPECT_DOUBLE_EQ(inj.OnRead(0, 15.0).latency_factor, 1.0);
+  // Inside: deterministic hit.
+  const ReadFault f = inj.OnRead(1, 10.0);  // start inclusive
+  EXPECT_DOUBLE_EQ(f.latency_factor, 2.0);
+  EXPECT_DOUBLE_EQ(f.extra_latency, 0.5);
+  EXPECT_FALSE(f.fail);
+}
+
+TEST(InjectorTest, OverlappingLatencyClausesCompose) {
+  Injector inj(MustParse(
+      "latency:start=0,end=100,factor=2,extra=0.1;"
+      "latency:start=50,end=100,factor=3,extra=0.2"), 1);
+  const ReadFault one = inj.OnRead(0, 25.0);
+  EXPECT_DOUBLE_EQ(one.latency_factor, 2.0);
+  EXPECT_DOUBLE_EQ(one.extra_latency, 0.1);
+  const ReadFault both = inj.OnRead(0, 75.0);
+  EXPECT_DOUBLE_EQ(both.latency_factor, 6.0);  // Factors multiply.
+  EXPECT_NEAR(both.extra_latency, 0.3, 1e-12);  // Extras add.
+}
+
+TEST(InjectorTest, EioCarriesRetryPolicy) {
+  Injector inj(MustParse("eio:start=0,end=10,retries=2,backoff=0.25"), 1);
+  const ReadFault f = inj.OnRead(0, 5.0);
+  EXPECT_TRUE(f.fail);
+  EXPECT_EQ(f.max_retries, 2);
+  EXPECT_DOUBLE_EQ(f.retry_backoff, 0.25);
+}
+
+TEST(InjectorTest, ProbabilisticEioTracksP) {
+  constexpr double kP = 0.3;
+  constexpr int kReads = 20000;
+  Injector inj(MustParse("eio:start=0,p=0.3"), 99);
+  int failures = 0;
+  for (int i = 0; i < kReads; ++i) {
+    if (inj.OnRead(0, static_cast<Seconds>(i)).fail) ++failures;
+  }
+  const double rate = static_cast<double>(failures) / kReads;
+  // ±4σ band for a Bernoulli(0.3) sample of 20k.
+  const double sigma = std::sqrt(kP * (1 - kP) / kReads);
+  EXPECT_NEAR(rate, kP, 4 * sigma);
+  EXPECT_EQ(inj.reads_seen(), kReads);
+  EXPECT_EQ(inj.read_failures_injected(), failures);
+}
+
+TEST(InjectorTest, SameSeedReplaysExactly) {
+  const FaultSpec spec =
+      MustParse("eio:start=0,end=1000,p=0.5;latency:start=0,p=0.4,factor=4");
+  Injector a(spec, 12345);
+  Injector b(spec, 12345);
+  for (int i = 0; i < 5000; ++i) {
+    const Seconds t = 0.2 * i;
+    const ReadFault fa = a.OnRead(i % 3, t);
+    const ReadFault fb = b.OnRead(i % 3, t);
+    ASSERT_EQ(fa.fail, fb.fail) << i;
+    ASSERT_DOUBLE_EQ(fa.latency_factor, fb.latency_factor) << i;
+  }
+}
+
+TEST(InjectorTest, DifferentSeedsDiffer) {
+  const FaultSpec spec = MustParse("eio:start=0,p=0.5");
+  Injector a(spec, 1);
+  Injector b(spec, 2);
+  int differing = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.OnRead(0, i).fail != b.OnRead(0, i).fail) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+// The determinism contract's load-bearing half: reads that no probabilistic
+// clause covers consume no randomness, so the decisions inside a window are
+// a pure function of (seed, hit sequence) — prefixing any number of
+// out-of-window reads cannot shift them.
+TEST(InjectorTest, OutOfWindowReadsConsumeNoRandomness) {
+  const FaultSpec spec = MustParse("eio:start=100,end=200,p=0.5");
+  Injector cold(spec, 77);
+  Injector warmed(spec, 77);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(warmed.OnRead(0, static_cast<Seconds>(i % 90)).fail);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const Seconds t = 100.0 + 0.5 * i;
+    ASSERT_EQ(cold.OnRead(0, t).fail, warmed.OnRead(0, t).fail) << i;
+  }
+}
+
+TEST(InjectorTest, DeterministicClausesConsumeNoRandomness) {
+  // A p=1 clause must not draw either: its window cannot perturb a later
+  // probabilistic window.
+  const FaultSpec with_det = MustParse(
+      "latency:start=0,end=50,factor=2;eio:start=100,end=200,p=0.5");
+  const FaultSpec without = MustParse("eio:start=100,end=200,p=0.5");
+  Injector a(with_det, 31);
+  Injector b(without, 31);
+  for (int i = 0; i < 100; ++i) a.OnRead(0, static_cast<Seconds>(i % 50));
+  for (int i = 0; i < 200; ++i) {
+    const Seconds t = 100.0 + 0.5 * i;
+    ASSERT_EQ(a.OnRead(0, t).fail, b.OnRead(0, t).fail) << i;
+  }
+}
+
+TEST(InjectorTest, OutageWindowAndResumeTime) {
+  Injector inj(MustParse("outage:start=50,end=60,disk=1;outage:start=55,end=70,disk=1"),
+               1);
+  EXPECT_FALSE(inj.InOutage(1, 49.9));
+  EXPECT_FALSE(inj.InOutage(0, 55.0));  // Other disks unaffected.
+  Seconds resume = 0;
+  ASSERT_TRUE(inj.InOutage(1, 52.0, &resume));
+  EXPECT_DOUBLE_EQ(resume, 60.0);
+  ASSERT_TRUE(inj.InOutage(1, 57.0, &resume));
+  EXPECT_DOUBLE_EQ(resume, 70.0);  // Max end over covering windows.
+  EXPECT_FALSE(inj.InOutage(1, 70.0));
+}
+
+TEST(InjectorTest, CapacityScaleComposes) {
+  Injector inj(MustParse(
+      "memsqueeze:start=0,end=100,scale=0.5;"
+      "memsqueeze:start=50,end=100,scale=0.5"), 1);
+  EXPECT_DOUBLE_EQ(inj.CapacityScale(25.0), 0.5);
+  EXPECT_DOUBLE_EQ(inj.CapacityScale(75.0), 0.25);
+  EXPECT_DOUBLE_EQ(inj.CapacityScale(100.0), 1.0);
+}
+
+TEST(InjectorTest, BurstsAreSortedSeededAndStable) {
+  const FaultSpec spec = MustParse(
+      "burst:at=100,count=8,video=2,spread=30,viewing=600;"
+      "burst:at=50,count=4,disk=1");
+  Injector inj(spec, 42);
+  const std::vector<BurstArrival> bursts = inj.Bursts();
+  ASSERT_EQ(bursts.size(), 12u);
+  for (std::size_t i = 1; i < bursts.size(); ++i) {
+    EXPECT_LE(bursts[i - 1].time, bursts[i].time);
+  }
+  int in_first = 0;
+  for (const BurstArrival& b : bursts) {
+    if (b.video == 2) {
+      EXPECT_GE(b.time, 100.0);
+      EXPECT_LT(b.time, 130.0);
+      EXPECT_DOUBLE_EQ(b.viewing_time, 600.0);
+      EXPECT_EQ(b.disk, 0);  // disk=-1 clamps to 0.
+      ++in_first;
+    } else {
+      EXPECT_GE(b.time, 50.0);
+      EXPECT_EQ(b.disk, 1);
+    }
+  }
+  EXPECT_EQ(in_first, 8);
+  // Pure function of (spec, seed): repeated calls and sibling injectors agree.
+  EXPECT_EQ(inj.Bursts().size(), bursts.size());
+  Injector again(spec, 42);
+  const std::vector<BurstArrival> replay = again.Bursts();
+  ASSERT_EQ(replay.size(), bursts.size());
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(replay[i].time, bursts[i].time);
+    EXPECT_EQ(replay[i].video, bursts[i].video);
+  }
+  // ... and calling Bursts() never disturbs the OnRead stream.
+  Injector read_only(MustParse("eio:start=0,p=0.5"), 8);
+  Injector bursty(MustParse("eio:start=0,p=0.5;burst:at=0,count=16"), 8);
+  (void)bursty.Bursts();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(read_only.OnRead(0, i).fail, bursty.OnRead(0, i).fail) << i;
+  }
+}
+
+}  // namespace
+}  // namespace vod::fault

@@ -111,6 +111,21 @@ TEST(InvariantAuditorTest, FlagsBackwardsEventTime) {
   EXPECT_EQ(auditor.violations(), 1);
 }
 
+TEST(InvariantAuditorTest, ToleratesZeroLengthRetryStepsAtLargeClocks) {
+  // Retry/backoff wakeups rescheduled at (almost) the current time can land
+  // an ulp short of the last event at day-scale clocks. The monotonicity
+  // check is relative — tolerance 1e-9 · |last| — so those zero-length
+  // steps pass while a genuine step backwards still fires.
+  Recorder rec;
+  InvariantAuditor auditor(rec.handler());
+  auditor.CheckEventTime(1e6);
+  auditor.CheckEventTime(1e6 - 1e-5);  // Within 1e-9 * 1e6 = 1e-3: fine.
+  EXPECT_TRUE(rec.violations().empty());
+  auditor.CheckEventTime(1e6 - 1.0);  // Way past the tolerance.
+  ASSERT_EQ(rec.violations().size(), 1u);
+  EXPECT_EQ(rec.violations()[0].invariant, "event-time-monotonicity");
+}
+
 // --- Memory conservation ---
 
 TEST(InvariantAuditorTest, AcceptsBalancedMemoryLedger) {

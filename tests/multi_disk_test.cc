@@ -1,8 +1,12 @@
 #include "sim/multi_disk.h"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "common/units.h"
+#include "fault/fault_spec.h"
+#include "fault/injector.h"
 #include "sim/workload.h"
 
 namespace vod::sim {
@@ -140,6 +144,66 @@ TEST(MultiDiskTest, DynamicSchemeFitsMoreInSameMemory) {
     peak[scheme == AllocScheme::kDynamic ? 1 : 0] = (*md)->PeakConcurrency();
   }
   EXPECT_GT(peak[1], peak[0]);
+}
+
+/// A whole-disk outage window must not stall the healthy disks. With a
+/// non-binding shared budget the healthy disks run *exactly* as in a
+/// fault-free day — the outage clause is deterministic (consumes no
+/// injector randomness) and matches only disk 1 — while the dark disk
+/// degrades during the window and still drains once it closes.
+TEST(MultiDiskTest, DiskOutageDoesNotStallHealthyDisks) {
+  auto run = [](fault::Injector* injector) {
+    SimConfig base;
+    base.method = core::ScheduleMethod::kRoundRobin;
+    base.scheme = AllocScheme::kDynamic;
+    base.t_log = Minutes(40);
+    base.injector = injector;
+    // Budget far above demand so the broker never couples the disks.
+    auto md = MultiDiskSimulator::Create(base, /*disk_count=*/3,
+                                         Gigabytes(100));
+    EXPECT_TRUE(md.ok()) << md.status().ToString();
+
+    WorkloadConfig w;
+    w.duration = Hours(1);
+    w.total_expected_arrivals = 60;
+    w.disk_count = 3;
+    w.disk_theta = 0.5;
+    w.seed = 4;
+    auto arr = GenerateWorkload(w);
+    EXPECT_TRUE(arr.ok());
+    EXPECT_TRUE((*md)->AddArrivals(*arr).ok());
+    (*md)->RunToCompletion();
+    (*md)->Finalize();
+    return std::move(md.value());
+  };
+
+  auto spec = fault::ParseFaultSpec("outage:start=600,end=1500,disk=1");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  fault::Injector injector(spec.value(), /*seed=*/5);
+  const auto faulted = run(&injector);
+  const auto clean = run(nullptr);
+
+  for (int d : {0, 2}) {
+    const SimMetrics& f = faulted->sim(d).metrics();
+    const SimMetrics& c = clean->sim(d).metrics();
+    EXPECT_EQ(f.admitted, c.admitted) << "disk " << d;
+    EXPECT_EQ(f.completed, c.completed) << "disk " << d;
+    EXPECT_EQ(f.services, c.services) << "disk " << d;
+    EXPECT_EQ(f.starvation_events, c.starvation_events) << "disk " << d;
+    EXPECT_EQ(f.read_faults, 0) << "disk " << d;
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(f.disk_busy_time, c.disk_busy_time) << "disk " << d;
+    EXPECT_EQ(f.initial_latency.mean(), c.initial_latency.mean())
+        << "disk " << d;
+  }
+
+  // The dark disk felt the 15-minute outage...
+  const SimMetrics& dark = faulted->sim(1).metrics();
+  EXPECT_GT(dark.degraded_streams, 0);
+  EXPECT_GE(dark.starvation_events, clean->sim(1).metrics().starvation_events);
+  // ...but drained completely once the window closed.
+  EXPECT_EQ(faulted->sim(1).active_count(), 0);
+  EXPECT_EQ(dark.completed + dark.cancelled, dark.admitted);
 }
 
 TEST(MultiDiskTest, CreateValidates) {

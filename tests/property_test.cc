@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "core/closed_form.h"
 #include "core/recurrence.h"
 #include "core/static_alloc.h"
+#include "fault/fault_spec.h"
+#include "fault/injector.h"
 #include "sched/gss.h"
 #include "sched/round_robin.h"
 #include "sched/sweep.h"
@@ -172,6 +175,49 @@ TEST(SimulatorPropertyTest, DifferentDiskSeedsChangeOnlyNoise) {
   EXPECT_EQ(a.completed, b.completed);
   // Latency differs by at most the rotational scale.
   EXPECT_NEAR(a.initial_latency.mean(), b.initial_latency.mean(), 0.05);
+}
+
+TEST(SimulatorPropertyTest, AnyFaultSeedConservesBufferAccounting) {
+  // Property: under ANY fault seed, every bit a disk read delivers into a
+  // stream buffer is eventually tossed back by use-it-and-toss-it
+  // consumption (departure) or cancellation — the run drains and the
+  // allocated/released ledger balances. VODB_FAULT_SEED=<n> (the CI chaos
+  // matrix) probes an extra seed beyond the fixed list.
+  std::vector<std::uint64_t> fault_seeds = {1, 2, 3, 4, 5};
+  if (const char* env = std::getenv("VODB_FAULT_SEED")) {
+    fault_seeds.push_back(std::strtoull(env, nullptr, 10));
+  }
+  auto spec = fault::ParseFaultSpec(
+      "eio:start=200,end=2400,p=0.35,retries=2,backoff=0.05;"
+      "latency:start=1200,end=3000,factor=3,extra=0.02,p=0.5");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  sim::WorkloadConfig w;
+  w.duration = Hours(1);
+  w.total_expected_arrivals = 50;
+  w.seed = 17;
+  auto arr = sim::GenerateWorkload(w);
+  ASSERT_TRUE(arr.ok());
+
+  for (std::uint64_t fault_seed : fault_seeds) {
+    fault::Injector injector(spec.value(), fault_seed);
+    sim::SimConfig cfg;
+    cfg.scheme = sim::AllocScheme::kDynamic;
+    cfg.seed = 5;
+    cfg.injector = &injector;
+    auto s = sim::VodSimulator::Create(cfg, nullptr);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE((*s)->AddArrivals(*arr).ok());
+    (*s)->RunToCompletion();
+    const sim::SimMetrics& m = (*s)->metrics();
+    EXPECT_EQ((*s)->active_count(), 0) << "fault_seed " << fault_seed;
+    EXPECT_GT(m.read_faults, 0) << "fault_seed " << fault_seed;
+    // Relative tolerance: summation order shifts under faults perturb the
+    // ~1e11-bit totals by a few bits of rounding.
+    EXPECT_NEAR(m.buffer_bits_allocated, m.buffer_bits_released,
+                1e-9 * std::max(m.buffer_bits_allocated, 1.0))
+        << "fault_seed " << fault_seed;
+  }
 }
 
 TEST(ClosedFormPropertyTest, RandomRateConfigurationsStayConsistent) {
