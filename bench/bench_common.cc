@@ -11,32 +11,91 @@
 
 namespace vod::bench {
 
-BenchOptions BenchOptions::Parse(int argc, char** argv) {
+namespace {
+
+/// Whole-string strictly-positive-int parse; rejects "", "12x", "-3".
+Result<int> ParseCount(const char* flag, const char* text, int lo, int hi) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < lo || v > hi) {
+    return Status::InvalidArgument(std::string(flag) + " wants an integer in [" +
+                                   std::to_string(lo) + ", " +
+                                   std::to_string(hi) + "], got \"" + text +
+                                   "\"");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+Result<BenchOptions> BenchOptions::TryParse(int argc, char** argv) {
   BenchOptions opt;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       opt.full = true;
     } else if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
-      opt.seeds = std::atoi(argv[i] + 8);
+      auto v = ParseCount("--seeds", argv[i] + 8, 1, 10000);
+      if (!v.ok()) return v.status();
+      opt.seeds = v.value();
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      opt.threads = std::atoi(argv[i] + 10);
+      auto v = ParseCount("--threads", argv[i] + 10, 1, 4096);
+      if (!v.ok()) return v.status();
+      opt.threads = v.value();
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opt.json = true;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       opt.trace = argv[i] + 8;
+      if (opt.trace.empty()) {
+        return Status::InvalidArgument("--trace= wants a file path");
+      }
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       opt.trace = "trace.json";
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       opt.metrics = argv[i] + 10;
+      if (opt.metrics.empty()) {
+        return Status::InvalidArgument("--metrics= wants a file path");
+      }
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       opt.progress = true;
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      // Spec-grammar validation happens where the injector is built
+      // (fault/fault_spec.h); here only the flag shape is checked.
       opt.faults = argv[i] + 9;
+      if (opt.faults.empty()) {
+        return Status::InvalidArgument(
+            "--faults= wants a spec (or \"none\")");
+      }
     } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
-      opt.fault_seed = std::strtoull(argv[i] + 13, nullptr, 10);
+      const char* text = argv[i] + 13;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0' || std::strchr(text, '-') != nullptr) {
+        return Status::InvalidArgument(
+            std::string("--fault-seed wants an unsigned integer, got \"") +
+            text + "\"");
+      }
+      opt.fault_seed = v;
+    } else {
+      return Status::InvalidArgument(std::string("unknown option \"") +
+                                     argv[i] + "\"");
     }
   }
   return opt;
+}
+
+BenchOptions BenchOptions::Parse(int argc, char** argv) {
+  auto opt = TryParse(argc, argv);
+  if (!opt.ok()) {
+    std::fprintf(stderr,
+                 "%s: %s\n"
+                 "usage: [--full] [--seeds=K] [--threads=N] [--json]\n"
+                 "       [--trace[=FILE]] [--metrics=FILE] [--progress]\n"
+                 "       [--faults=SPEC] [--fault-seed=S]\n",
+                 argc > 0 ? argv[0] : "bench",
+                 opt.status().ToString().c_str());
+    std::exit(2);
+  }
+  return opt.value();
 }
 
 void BenchOptions::ApplyFaultsTo(exp::DayRunConfig* cfg) const {

@@ -53,6 +53,13 @@ struct BenchOptions {
   std::string faults;   ///< Empty = no injector.
   std::uint64_t fault_seed = 0;  ///< 0 = derived.
 
+  /// Strict parse: rejects unknown options and malformed values
+  /// (non-numeric or out-of-range --seeds/--threads/--fault-seed, empty
+  /// --trace=/--metrics= paths) instead of silently ignoring them.
+  static Result<BenchOptions> TryParse(int argc, char** argv);
+
+  /// TryParse that prints the error + usage and exits(2) on failure — the
+  /// harness main() entry point.
   static BenchOptions Parse(int argc, char** argv);
 
   /// Copies the fault options into a grid base config.

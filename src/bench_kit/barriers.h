@@ -1,0 +1,62 @@
+#ifndef VODB_BENCH_KIT_BARRIERS_H_
+#define VODB_BENCH_KIT_BARRIERS_H_
+
+#include <type_traits>
+
+namespace vod::bench_kit {
+
+/// Optimization barriers for microbenchmark loops, after the technique used
+/// by google/benchmark and Chandler Carruth's CppCon 2015 talk. They cost
+/// (at most) one register spill — never a call or a fence — so they can sit
+/// inside nanosecond-scale loops.
+///
+/// DoNotOptimize(x) makes the compiler assume `x` is read through an opaque
+/// side channel: the computation producing `x` cannot be dead-code
+/// eliminated or hoisted out of the timing loop.
+///
+/// ClobberMemory() makes the compiler assume all memory was read and
+/// written: stores preceding it cannot be elided or sunk past it.
+
+#if defined(__GNUC__) || defined(__clang__)
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+template <typename T>
+inline void DoNotOptimize(T& value) {
+  if constexpr (std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(T*)) {
+    // clang handles the "+r,m" multi-alternative; GCC rejects it outright
+    // ("impossible constraint") and miscompiles "+m,r", so it gets the
+    // plain register form — correct for any register-sized scalar.
+#if defined(__clang__)
+    asm volatile("" : "+r,m"(value) : : "memory");
+#else
+    asm volatile("" : "+r"(value) : : "memory");
+#endif
+  } else {
+    asm volatile("" : "+m"(value) : : "memory");
+  }
+}
+
+inline void ClobberMemory() { asm volatile("" : : : "memory"); }
+
+#else  // Unknown compiler: fall back to a volatile sink (slower but sound).
+
+namespace internal {
+extern volatile const void* do_not_optimize_sink;
+}  // namespace internal
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  internal::do_not_optimize_sink = &value;
+}
+
+inline void ClobberMemory() {}
+
+#endif
+
+}  // namespace vod::bench_kit
+
+#endif  // VODB_BENCH_KIT_BARRIERS_H_

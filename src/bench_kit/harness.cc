@@ -1,0 +1,115 @@
+#include "bench_kit/harness.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vod::bench_kit {
+
+Harness::Harness(HarnessConfig config) : config_(std::move(config)) {
+  wall_ = config_.wall ? config_.wall : TimeFn(&WallNanos);
+  cycles_ = config_.cycles ? config_.cycles
+                           : std::function<std::uint64_t()>(&CycleNow);
+}
+
+void Harness::Register(std::string name, BenchFn fn, BenchConfig config) {
+  benchmarks_.push_back({std::move(name), std::move(fn), config});
+}
+
+std::int64_t Harness::MeasureOnce(const BenchFn& fn, std::uint64_t iters,
+                                  std::uint64_t* cycles_out) const {
+  State state(iters);
+  const std::uint64_t c0 = cycles_();
+  const std::int64_t t0 = wall_();
+  fn(state);
+  const std::int64_t t1 = wall_();
+  const std::uint64_t c1 = cycles_();
+  if (cycles_out != nullptr) *cycles_out = c1 >= c0 ? c1 - c0 : 0;
+  return std::max<std::int64_t>(t1 - t0, 0);
+}
+
+namespace {
+
+void NoopBody(State& state) {
+  for (auto _ : state) {
+    static_cast<void>(_);
+  }
+}
+
+}  // namespace
+
+BenchResult Harness::Run(const Benchmark& bench) const {
+  BenchResult result;
+  result.name = bench.name;
+
+  // Iteration auto-scaling: double until one repetition spans min_rep_ns.
+  // The scaling runs double as warmup (touches caches, JITs the branch
+  // predictor into steady state) before the untimed warmup repetitions.
+  std::uint64_t iters = 1;
+  while (true) {
+    const std::int64_t ns = MeasureOnce(bench.fn, iters, nullptr);
+    if (ns >= bench.config.min_rep_ns || iters >= bench.config.max_iters) {
+      break;
+    }
+    iters *= 2;
+  }
+  iters = std::min(iters, bench.config.max_iters);
+  result.iterations = iters;
+
+  for (std::size_t i = 0; i < config_.warmup_reps; ++i) {
+    static_cast<void>(MeasureOnce(bench.fn, iters, nullptr));
+  }
+
+  // Loop + timer overhead at this iteration count, subtracted from every
+  // sample so a sub-nanosecond body is not dominated by harness cost.
+  std::int64_t overhead_ns = 0;
+  std::uint64_t overhead_cycles = 0;
+  if (config_.subtract_loop_overhead) {
+    overhead_ns = MeasureOnce(&NoopBody, iters, &overhead_cycles);
+  }
+
+  std::vector<double> ns_samples;
+  std::vector<double> cycle_samples;
+  ns_samples.reserve(config_.repetitions);
+  cycle_samples.reserve(config_.repetitions);
+  bool have_cycles = true;
+  for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
+    std::uint64_t cycles = 0;
+    const std::int64_t ns = MeasureOnce(bench.fn, iters, &cycles);
+    const auto net_ns =
+        static_cast<double>(std::max<std::int64_t>(ns - overhead_ns, 0));
+    ns_samples.push_back(net_ns / static_cast<double>(iters));
+    if (cycles == 0) have_cycles = false;
+    const std::uint64_t net_cycles =
+        cycles >= overhead_cycles ? cycles - overhead_cycles : 0;
+    cycle_samples.push_back(static_cast<double>(net_cycles) /
+                            static_cast<double>(iters));
+  }
+
+  result.repetitions = config_.repetitions;
+  result.ns_per_iter = Summarize(std::move(ns_samples));
+  if (have_cycles) {
+    result.cycles_per_iter = Summarize(std::move(cycle_samples));
+  }
+  return result;
+}
+
+Result<std::vector<BenchResult>> Harness::RunAll(
+    const std::string& filter,
+    const std::function<void(const BenchResult&)>& log) const {
+  std::vector<BenchResult> results;
+  for (const Benchmark& bench : benchmarks_) {
+    if (!filter.empty() && bench.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    BenchResult r = Run(bench);
+    if (log) log(r);
+    results.push_back(std::move(r));
+  }
+  if (results.empty()) {
+    return Status::NotFound("no registered benchmark matches filter \"" +
+                            filter + "\"");
+  }
+  return results;
+}
+
+}  // namespace vod::bench_kit

@@ -1,0 +1,124 @@
+#ifndef VODB_BENCH_KIT_HARNESS_H_
+#define VODB_BENCH_KIT_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_kit/run_stats.h"
+#include "bench_kit/timer.h"
+#include "common/status.h"
+
+namespace vod::bench_kit {
+
+/// Iteration driver handed to every benchmark body. The canonical shape is
+///
+///   void BM_Foo(State& state) {
+///     ... setup (untimed only if cheap relative to min_rep_ns) ...
+///     for (auto _ : state) { DoNotOptimize(HotPath()); }
+///   }
+///
+/// The range-for compiles to a decrement-and-test per iteration; the
+/// harness times the whole loop externally and divides by the iteration
+/// count, so per-iteration overhead is a fraction of a nanosecond (the
+/// registered `noop` benchmark pins this: its median must stay < 100 ns —
+/// in practice < 1 ns).
+class State {
+ public:
+  explicit State(std::uint64_t iterations) : iterations_(iterations) {}
+
+  struct Iterator {
+    std::uint64_t left;
+    bool operator!=(const Iterator& other) const { return left != other.left; }
+    void operator++() { --left; }
+    int operator*() const { return 0; }
+  };
+  Iterator begin() const { return Iterator{iterations_}; }
+  Iterator end() const { return Iterator{0}; }
+
+  std::uint64_t iterations() const { return iterations_; }
+
+ private:
+  std::uint64_t iterations_;
+};
+
+using BenchFn = std::function<void(State&)>;
+
+/// Per-benchmark knobs (defaults fit sub-microsecond bodies).
+struct BenchConfig {
+  /// Target wall time of one timed repetition; iterations double until a
+  /// repetition takes at least this long. Longer = less quantization noise,
+  /// more runtime.
+  std::int64_t min_rep_ns = 20'000'000;
+  /// Iteration-doubling cap; 1 pins exactly one iteration per repetition
+  /// (end-to-end benchmarks whose single iteration is already > min_rep_ns).
+  std::uint64_t max_iters = 1ULL << 40;
+};
+
+struct Benchmark {
+  std::string name;
+  BenchFn fn;
+  BenchConfig config;
+};
+
+/// One benchmark's measured result: nanoseconds and cycles per iteration,
+/// summarized over `repetitions` timed repetitions.
+struct BenchResult {
+  std::string name;
+  std::uint64_t iterations = 0;  ///< Per repetition.
+  std::size_t repetitions = 0;
+  SampleStats ns_per_iter;
+  SampleStats cycles_per_iter;  ///< All-zero when the counter is unavailable.
+};
+
+/// Harness-wide knobs (CLI-facing; see RunnerOptions).
+struct HarnessConfig {
+  std::size_t repetitions = 9;
+  std::size_t warmup_reps = 2;  ///< Untimed steady-state repetitions.
+  /// Measure an empty State loop at the same iteration count and subtract
+  /// it from every sample (clamped at zero). OFF leaves raw loop+timer cost
+  /// in — the fake-clock tests use that for exact arithmetic.
+  bool subtract_loop_overhead = true;
+  /// Clock injection point for tests; nullptr = WallNanos (production).
+  TimeFn wall = nullptr;
+  /// Cycle-counter injection point; nullptr = CycleNow. Injecting a fn that
+  /// always returns 0 disables cycle stats.
+  std::function<std::uint64_t()> cycles = nullptr;
+};
+
+/// Registry + runner. Not thread-safe: benchmarks run one at a time, in
+/// registration order (interleaving would share caches and skew results).
+class Harness {
+ public:
+  explicit Harness(HarnessConfig config = {});
+
+  void Register(std::string name, BenchFn fn, BenchConfig config = {});
+
+  const std::vector<Benchmark>& benchmarks() const { return benchmarks_; }
+
+  /// Runs one benchmark: warmup, iteration auto-scaling, overhead
+  /// calibration, `repetitions` timed repetitions.
+  BenchResult Run(const Benchmark& bench) const;
+
+  /// Runs every registered benchmark whose name contains `filter`
+  /// (empty = all), in registration order, reporting progress to `log`
+  /// (nullptr silences). Fails when the filter matches nothing.
+  Result<std::vector<BenchResult>> RunAll(
+      const std::string& filter,
+      const std::function<void(const BenchResult&)>& log) const;
+
+ private:
+  /// Times `fn` over `iters` iterations; returns wall ns (>= 0 clamped).
+  std::int64_t MeasureOnce(const BenchFn& fn, std::uint64_t iters,
+                           std::uint64_t* cycles_out) const;
+
+  HarnessConfig config_;
+  TimeFn wall_;
+  std::function<std::uint64_t()> cycles_;
+  std::vector<Benchmark> benchmarks_;
+};
+
+}  // namespace vod::bench_kit
+
+#endif  // VODB_BENCH_KIT_HARNESS_H_

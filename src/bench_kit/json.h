@@ -1,0 +1,67 @@
+#ifndef VODB_BENCH_KIT_JSON_H_
+#define VODB_BENCH_KIT_JSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vod::bench_kit {
+
+/// A minimal JSON document model: just enough to write BENCH_*.json reports
+/// and read them back (schema round-trip tests, baseline regeneration).
+/// Numbers are doubles — benchmark statistics lose nothing — and object
+/// keys are kept sorted (std::map) so emitted reports are canonical: two
+/// runs producing equal stats serialize byte-identically.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Accessors: preconditions are the matching kind.
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& Items() const { return array_; }
+  const std::map<std::string, JsonValue>& Fields() const { return object_; }
+
+  /// Object field lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  void Append(JsonValue v);                     ///< Array push_back.
+  void Set(const std::string& key, JsonValue v);  ///< Object insert/replace.
+
+  /// Serializes with 2-space indentation and '\n' line ends. Numbers that
+  /// are integral within 2^53 print without a decimal point; others print
+  /// with enough digits (%.17g) to round-trip exactly.
+  std::string Dump() const;
+
+  /// Strict parser for the subset Dump() emits plus standard JSON escapes
+  /// and scientific notation. Rejects trailing garbage.
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace vod::bench_kit
+
+#endif  // VODB_BENCH_KIT_JSON_H_

@@ -1,0 +1,297 @@
+#include "bench_kit/report.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace vod::bench_kit {
+
+namespace {
+
+std::string FirstLineOf(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line)) return "";
+  return line;
+}
+
+/// Runs `cmd` and returns its first stdout line ("" on any failure).
+std::string CaptureLine(const std::string& cmd) {
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return "";
+  char buf[256] = {0};
+  std::string out;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    out = buf;
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+  }
+  ::pclose(pipe);
+  return out;
+}
+
+}  // namespace
+
+MachineInfo ProbeMachine() {
+  MachineInfo m;
+
+  char host[256] = {0};
+  if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    m.hostname = host;
+  } else {
+    m.hostname = "unknown";
+  }
+
+  m.cpu_model = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (cpuinfo && std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ') ++start;
+        m.cpu_model = line.substr(start);
+      }
+      break;
+    }
+  }
+
+  m.core_count = static_cast<int>(std::thread::hardware_concurrency());
+
+  m.governor = FirstLineOf(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (m.governor.empty()) m.governor = "unknown";
+
+  return m;
+}
+
+std::string BuildType() {
+#ifdef VODB_BUILD_TYPE
+  return VODB_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string GitSha() {
+  if (const char* env = std::getenv("VODB_GIT_SHA");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  std::string sha = CaptureLine("git rev-parse HEAD 2>/dev/null");
+  if (sha.empty()) return "unknown";
+  const std::string dirty =
+      CaptureLine("git status --porcelain 2>/dev/null | head -1");
+  if (!dirty.empty()) sha += "-dirty";
+  return sha;
+}
+
+namespace {
+
+JsonValue StatsToJson(const SampleStats& s) {
+  JsonValue v = JsonValue::Object();
+  v.Set("min", JsonValue::Number(s.min));
+  v.Set("max", JsonValue::Number(s.max));
+  v.Set("mean", JsonValue::Number(s.mean));
+  v.Set("median", JsonValue::Number(s.median));
+  v.Set("stddev", JsonValue::Number(s.stddev));
+  v.Set("cv", JsonValue::Number(s.cv));
+  return v;
+}
+
+Result<SampleStats> StatsFromJson(const JsonValue& v, std::size_t count) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("stats block is not an object");
+  }
+  SampleStats s;
+  s.count = count;
+  struct Field {
+    const char* name;
+    double* slot;
+  };
+  const Field fields[] = {{"min", &s.min},       {"max", &s.max},
+                          {"mean", &s.mean},     {"median", &s.median},
+                          {"stddev", &s.stddev}, {"cv", &s.cv}};
+  for (const Field& f : fields) {
+    const JsonValue* field = v.Find(f.name);
+    if (field == nullptr || field->kind() != JsonValue::Kind::kNumber) {
+      return Status::InvalidArgument(std::string("stats block missing \"") +
+                                     f.name + "\"");
+    }
+    *f.slot = field->AsNumber();
+  }
+  return s;
+}
+
+Result<std::string> RequireString(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind() != JsonValue::Kind::kString) {
+    return Status::InvalidArgument(std::string("missing string field \"") +
+                                   key + "\"");
+  }
+  return v->AsString();
+}
+
+Result<double> RequireNumber(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind() != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument(std::string("missing number field \"") +
+                                   key + "\"");
+  }
+  return v->AsNumber();
+}
+
+}  // namespace
+
+JsonValue ReportToJson(const BenchReport& report) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::Str(report.schema));
+
+  JsonValue machine = JsonValue::Object();
+  machine.Set("hostname", JsonValue::Str(report.machine.hostname));
+  machine.Set("cpu_model", JsonValue::Str(report.machine.cpu_model));
+  machine.Set("core_count",
+              JsonValue::Number(static_cast<double>(report.machine.core_count)));
+  machine.Set("governor", JsonValue::Str(report.machine.governor));
+  doc.Set("machine", machine);
+
+  doc.Set("git_sha", JsonValue::Str(report.git_sha));
+  doc.Set("build_type", JsonValue::Str(report.build_type));
+
+  JsonValue benches = JsonValue::Array();
+  for (const BenchResult& r : report.results) {
+    JsonValue b = JsonValue::Object();
+    b.Set("name", JsonValue::Str(r.name));
+    b.Set("iterations",
+          JsonValue::Number(static_cast<double>(r.iterations)));
+    b.Set("repetitions",
+          JsonValue::Number(static_cast<double>(r.repetitions)));
+    b.Set("ns_per_iter", StatsToJson(r.ns_per_iter));
+    if (r.cycles_per_iter.count > 0) {
+      b.Set("cycles_per_iter", StatsToJson(r.cycles_per_iter));
+    }
+    benches.Append(b);
+  }
+  doc.Set("benchmarks", benches);
+  return doc;
+}
+
+Result<BenchReport> ReportFromJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("report is not a JSON object");
+  }
+  BenchReport report;
+
+  auto schema = RequireString(doc, "schema");
+  if (!schema.ok()) return schema.status();
+  report.schema = schema.value();
+  if (report.schema != "vodb-bench-v1") {
+    return Status::InvalidArgument("unsupported schema \"" + report.schema +
+                                   "\"");
+  }
+
+  if (const JsonValue* machine = doc.Find("machine");
+      machine != nullptr && machine->is_object()) {
+    auto hostname = RequireString(*machine, "hostname");
+    if (!hostname.ok()) return hostname.status();
+    report.machine.hostname = hostname.value();
+    auto cpu = RequireString(*machine, "cpu_model");
+    if (!cpu.ok()) return cpu.status();
+    report.machine.cpu_model = cpu.value();
+    auto cores = RequireNumber(*machine, "core_count");
+    if (!cores.ok()) return cores.status();
+    report.machine.core_count = static_cast<int>(cores.value());
+    auto governor = RequireString(*machine, "governor");
+    if (!governor.ok()) return governor.status();
+    report.machine.governor = governor.value();
+  } else {
+    return Status::InvalidArgument("missing \"machine\" object");
+  }
+
+  auto sha = RequireString(doc, "git_sha");
+  if (!sha.ok()) return sha.status();
+  report.git_sha = sha.value();
+  auto build = RequireString(doc, "build_type");
+  if (!build.ok()) return build.status();
+  report.build_type = build.value();
+
+  const JsonValue* benches = doc.Find("benchmarks");
+  if (benches == nullptr || !benches->is_array()) {
+    return Status::InvalidArgument("missing \"benchmarks\" array");
+  }
+  for (const JsonValue& b : benches->Items()) {
+    BenchResult r;
+    auto name = RequireString(b, "name");
+    if (!name.ok()) return name.status();
+    r.name = name.value();
+    auto iters = RequireNumber(b, "iterations");
+    if (!iters.ok()) return iters.status();
+    r.iterations = static_cast<std::uint64_t>(iters.value());
+    auto reps = RequireNumber(b, "repetitions");
+    if (!reps.ok()) return reps.status();
+    r.repetitions = static_cast<std::size_t>(reps.value());
+
+    const JsonValue* ns = b.Find("ns_per_iter");
+    if (ns == nullptr) {
+      return Status::InvalidArgument("benchmark \"" + r.name +
+                                     "\" missing ns_per_iter");
+    }
+    auto ns_stats = StatsFromJson(*ns, r.repetitions);
+    if (!ns_stats.ok()) return ns_stats.status();
+    r.ns_per_iter = ns_stats.value();
+
+    if (const JsonValue* cycles = b.Find("cycles_per_iter");
+        cycles != nullptr) {
+      auto cycle_stats = StatsFromJson(*cycles, r.repetitions);
+      if (!cycle_stats.ok()) return cycle_stats.status();
+      r.cycles_per_iter = cycle_stats.value();
+    }
+    report.results.push_back(std::move(r));
+  }
+  return report;
+}
+
+Status WriteReport(const BenchReport& report, const std::string& path) {
+  const std::string text = ReportToJson(report).Dump();
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return Status::OK();
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open \"" + path + "\" for write");
+  }
+  out << text;
+  out.close();
+  if (!out) return Status::Internal("short write to \"" + path + "\"");
+  return Status::OK();
+}
+
+Result<BenchReport> ReadReport(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read \"" + path + "\"");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto doc = JsonValue::Parse(buf.str());
+  if (!doc.ok()) return doc.status();
+  return ReportFromJson(doc.value());
+}
+
+std::string DefaultReportFilename(const MachineInfo& machine) {
+  std::string tag;
+  for (char c : machine.hostname) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    tag.push_back(ok ? c : '_');
+  }
+  if (tag.empty()) tag = "unknown";
+  return "BENCH_" + tag + ".json";
+}
+
+}  // namespace vod::bench_kit

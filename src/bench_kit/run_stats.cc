@@ -1,0 +1,35 @@
+#include "bench_kit/run_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vod::bench_kit {
+
+SampleStats Summarize(std::vector<double> samples) {
+  SampleStats s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1)
+                 ? samples[n / 2]
+                 : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(n);
+
+  if (n >= 2) {
+    double m2 = 0;
+    for (double v : samples) m2 += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(m2 / static_cast<double>(n - 1));
+  }
+  s.cv = (s.mean != 0) ? s.stddev / s.mean : 0;
+  return s;
+}
+
+}  // namespace vod::bench_kit

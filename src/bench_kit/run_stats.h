@@ -1,0 +1,32 @@
+#ifndef VODB_BENCH_KIT_RUN_STATS_H_
+#define VODB_BENCH_KIT_RUN_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vod::bench_kit {
+
+/// Order statistics over a small stored sample (one value per benchmark
+/// repetition). Unlike common/stats.h's streaming RunningStats, the whole
+/// sample is kept so the median — the harness's headline statistic, robust
+/// to one-sided scheduling noise — is exact rather than interpolated.
+struct SampleStats {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;  ///< Sample stddev (n-1 denominator); 0 below 2 samples.
+  double cv = 0;      ///< Coefficient of variation: stddev / mean; 0 if
+                      ///< mean == 0. The noise yardstick bench_compare.py
+                      ///< scales its regression threshold by.
+};
+
+/// Computes the summary; an empty sample yields the all-zero struct.
+/// The median of an even-sized sample is the mean of the two middle order
+/// statistics.
+SampleStats Summarize(std::vector<double> samples);
+
+}  // namespace vod::bench_kit
+
+#endif  // VODB_BENCH_KIT_RUN_STATS_H_

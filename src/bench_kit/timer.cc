@@ -1,0 +1,33 @@
+#include "bench_kit/timer.h"
+
+#include "obs/clock.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace vod::bench_kit {
+
+std::int64_t WallNanos() { return obs::MonotonicNanos(); }
+
+std::uint64_t CycleNow() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v = 0;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return 0;
+#endif
+}
+
+bool CyclesAvailable() {
+#if defined(__x86_64__) || defined(__i386__) || defined(__aarch64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace vod::bench_kit
