@@ -41,7 +41,12 @@ else
 fi
 
 # --- Stage 2: repo-specific invariants -------------------------------------
+# --ast uses the libclang backend against the build tree's
+# compile_commands.json; without python3-clang it degrades to the token
+# backend (CI additionally runs --require-ast so the fallback can never
+# silently stand in there).
 echo "== vodb_lint.py =="
-python3 "${ROOT}/scripts/vodb_lint.py" "${ROOT}" || status=1
+python3 "${ROOT}/scripts/vodb_lint.py" --ast --compdb "${BUILD}" "${ROOT}" \
+  || status=1
 
 exit "${status}"

@@ -1,0 +1,77 @@
+#ifndef VODB_COMMON_MUTEX_H_
+#define VODB_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace vod {
+
+/// Annotated wrapper over std::mutex. Using this (rather than std::mutex
+/// directly) is what lets Clang's thread-safety analysis see acquisitions:
+/// a field declared `VODB_GUARDED_BY(mu_)` is then compile-time-checked to
+/// be touched only under `mu_`. All library code under src/ uses
+/// vod::Mutex; std::mutex remains only inside this wrapper.
+class VODB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() VODB_ACQUIRE() { mu_.lock(); }
+  void Unlock() VODB_RELEASE() { mu_.unlock(); }
+  bool TryLock() VODB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a vod::Mutex (the std::lock_guard analogue
+/// the analysis understands).
+class VODB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VODB_ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  ~MutexLock() VODB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with vod::Mutex. Wait() requires the caller
+/// to hold the mutex (typically via MutexLock); it releases for the wait
+/// and reacquires before returning, exactly like std::condition_variable.
+/// Spurious wakeups are possible — always wait in a predicate loop:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously), and
+  /// reacquires `mu` before returning.
+  void Wait(Mutex& mu) VODB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    // The MutexLock (or manual Lock) that owns `mu` will release it;
+    // keep the unique_lock from double-unlocking.
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace vod
+
+#endif  // VODB_COMMON_MUTEX_H_

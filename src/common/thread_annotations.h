@@ -1,0 +1,94 @@
+#ifndef VODB_COMMON_THREAD_ANNOTATIONS_H_
+#define VODB_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread-Safety-Analysis capability annotations.
+///
+/// These macros attach lock-discipline contracts to types, fields, and
+/// functions so that `clang -Wthread-safety` (enabled via the
+/// VODB_THREAD_SAFETY CMake option, -Werror under vodb_strict) rejects at
+/// compile time the races TSan can only hope to catch at runtime:
+///
+///   * a field read or written without its guarding mutex held,
+///   * a function called without the capability its contract requires,
+///   * a scoped lock released twice or leaked across a branch.
+///
+/// Conventions (enforced by `scripts/vodb_lint.py` rule
+/// `unannotated-shared-state` even on non-Clang builds):
+///
+///   * Every field protected by a `vod::Mutex` carries
+///     `VODB_GUARDED_BY(mu)` on its declaration.
+///   * `std::atomic<T>` fields are self-annotating (the type is the
+///     contract) and take no capability macro.
+///   * Private helpers that expect the caller to hold a lock are annotated
+///     `VODB_REQUIRES(mu)` instead of re-locking.
+///
+/// On non-Clang compilers (the dev container ships GCC) every macro
+/// expands to nothing; the annotations are free documentation.
+
+#if defined(__clang__)
+#define VODB_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define VODB_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Declares a type to be a capability ("mutex" in error messages).
+#define VODB_CAPABILITY(x) VODB_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define VODB_SCOPED_CAPABILITY \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field `x` may only be touched while holding the given capability.
+#define VODB_GUARDED_BY(x) VODB_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// The *pointee* of this pointer field is protected by the capability.
+#define VODB_PT_GUARDED_BY(x) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Lock-order edges: this capability must be acquired before/after those.
+#define VODB_ACQUIRED_BEFORE(...) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define VODB_ACQUIRED_AFTER(...) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the capabilities.
+#define VODB_REQUIRES(...) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define VODB_REQUIRES_SHARED(...) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires/releases the capability and does not release/
+/// reacquire it before returning.
+#define VODB_ACQUIRE(...) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define VODB_ACQUIRE_SHARED(...) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define VODB_RELEASE(...) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define VODB_RELEASE_SHARED(...) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability and returns `ret` on
+/// success.
+#define VODB_TRY_ACQUIRE(...) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (non-reentrancy contract).
+#define VODB_EXCLUDES(...) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, for the analysis) that the capability is held.
+#define VODB_ASSERT_CAPABILITY(x) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define VODB_RETURN_CAPABILITY(x) \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the function's body is exempt from analysis. Every use
+/// must carry a comment explaining why the analysis cannot see the truth.
+#define VODB_NO_THREAD_SAFETY_ANALYSIS \
+  VODB_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // VODB_COMMON_THREAD_ANNOTATIONS_H_

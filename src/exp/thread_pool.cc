@@ -28,10 +28,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -44,21 +44,21 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   const std::size_t idx =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[idx]->mu);
+    MutexLock lock(queues_[idx]->mu);
     queues_[idx]->tasks.push_back(std::move(task));
     queues_[idx]->max_depth =
         std::max(queues_[idx]->max_depth, queues_[idx]->tasks.size());
   }
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     ++unclaimed_;
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 bool ThreadPool::PopOwn(std::size_t idx, std::function<void()>& task) {
   WorkQueue& q = *queues_[idx];
-  std::lock_guard<std::mutex> lock(q.mu);
+  MutexLock lock(q.mu);
   if (q.tasks.empty()) return false;
   task = std::move(q.tasks.back());  // LIFO on the owner: cache-warm.
   q.tasks.pop_back();
@@ -69,7 +69,7 @@ bool ThreadPool::StealAny(std::size_t idx, std::function<void()>& task) {
   const std::size_t n = queues_.size();
   for (std::size_t off = 1; off <= n; ++off) {
     WorkQueue& q = *queues_[(idx + off) % n];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     if (q.tasks.empty()) continue;
     task = std::move(q.tasks.front());  // FIFO on victims: oldest work first.
     q.tasks.pop_front();
@@ -81,8 +81,8 @@ bool ThreadPool::StealAny(std::size_t idx, std::function<void()>& task) {
 void ThreadPool::WorkerLoop(std::size_t idx) {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(wake_mu_);
-      wake_cv_.wait(lock, [this]() { return stop_ || unclaimed_ > 0; });
+      MutexLock lock(wake_mu_);
+      while (!stop_ && unclaimed_ == 0) wake_cv_.Wait(wake_mu_);
       if (unclaimed_ == 0) return;  // stop_ set and nothing left to drain.
       --unclaimed_;
     }
@@ -118,7 +118,7 @@ ThreadPool::PoolStats ThreadPool::Stats() const {
                  counters_[i]->busy_nanos.load(std::memory_order_relaxed)) *
              1e-9;
     {
-      std::lock_guard<std::mutex> lock(queues_[i]->mu);
+      MutexLock lock(queues_[i]->mu);
       w.max_queue_depth = queues_[i]->max_depth;
     }
     stats.total_tasks += w.tasks;

@@ -2,19 +2,19 @@
 #define VODB_EXP_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 
 namespace vod::obs {
@@ -93,10 +93,13 @@ class ThreadPool {
                     std::string_view prefix = "exp.pool") const;
 
  private:
+  /// Lock-order policy: a WorkQueue::mu and wake_mu_ are never held
+  /// together — Enqueue and WorkerLoop take them strictly one after the
+  /// other (scripts/vodb_lint.py rule `lock-order` keeps it that way).
   struct WorkQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
-    std::size_t max_depth = 0;  ///< Guarded by mu.
+    Mutex mu;
+    std::deque<std::function<void()>> tasks VODB_GUARDED_BY(mu);
+    std::size_t max_depth VODB_GUARDED_BY(mu) = 0;
   };
 
   /// Cache-line padded so workers bumping their own counters do not false-
@@ -120,10 +123,10 @@ class ThreadPool {
   // Every enqueued task bumps unclaimed_; every consumer claims exactly one
   // under wake_mu_ before hunting the queues, so wakeups cannot be lost and
   // a claimed task is guaranteed to exist somewhere.
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::size_t unclaimed_ = 0;
-  bool stop_ = false;
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  std::size_t unclaimed_ VODB_GUARDED_BY(wake_mu_) = 0;
+  bool stop_ VODB_GUARDED_BY(wake_mu_) = false;
 
   std::atomic<std::size_t> next_queue_{0};
 };

@@ -18,6 +18,11 @@ namespace vod::obs {
 /// wrap mask. When the buffer wraps, the oldest events are overwritten and
 /// counted in dropped(); the retained window is always the most recent
 /// `capacity()` events in emission order.
+///
+/// Concurrency contract: ring_/head_ are deliberately unguarded — there is
+/// no mutex to annotate them against, and adding one would put a lock in
+/// the per-event hot path. Cross-thread use is a bug; run TSan (VODB_TSAN)
+/// to catch violations.
 class EventTracer {
  public:
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "common/det.h"
+
 namespace vod::obs {
 
 namespace {
@@ -127,7 +129,7 @@ std::vector<std::int64_t> Histogram::BucketCounts() const {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -137,7 +139,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -147,7 +149,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       const Histogram::Options& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -158,7 +160,12 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  // The JSON contract is "keys sorted, deterministic" — std::map delivers
+  // that today; the audit keeps the contract if the container ever changes.
+  det::AuditOrderedKeys(counters_, "metrics.counters");
+  det::AuditOrderedKeys(gauges_, "metrics.gauges");
+  det::AuditOrderedKeys(histograms_, "metrics.histograms");
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -199,7 +206,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 void MetricsRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

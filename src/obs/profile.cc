@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/det.h"
+
 namespace vod::obs {
 
 Profiler& Profiler::Global() {
@@ -11,7 +13,7 @@ Profiler& Profiler::Global() {
 }
 
 ProfSite* Profiler::Register(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(name);
   if (it == sites_.end()) {
     it = sites_.emplace(name, std::make_unique<ProfSite>(name)).first;
@@ -22,7 +24,7 @@ ProfSite* Profiler::Register(const std::string& name) {
 std::vector<ProfSiteStats> Profiler::Snapshot() const {
   std::vector<ProfSiteStats> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.reserve(sites_.size());
     for (const auto& [name, site] : sites_) {
       const std::int64_t calls = site->calls.load(std::memory_order_relaxed);
@@ -37,10 +39,19 @@ std::vector<ProfSiteStats> Profiler::Snapshot() const {
       out.push_back(std::move(s));
     }
   }
+  // Tie-break equal totals by name: std::sort is unstable, so without it
+  // two sites with identical totals would order arbitrarily and the report
+  // (an output channel) would not be a pure function of the measurements.
   std::sort(out.begin(), out.end(),
             [](const ProfSiteStats& a, const ProfSiteStats& b) {
-              return a.total > b.total;
+              if (a.total != b.total) return a.total > b.total;
+              return a.name < b.name;
             });
+  det::AuditOrderedOutput(
+      out, "profiler.snapshot",
+      [](const ProfSiteStats& a, const ProfSiteStats& b) {
+        return a.total > b.total || (a.total == b.total && a.name < b.name);
+      });
   return out;
 }
 
@@ -82,7 +93,7 @@ std::string Profiler::ToJson() const {
 }
 
 void Profiler::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, site] : sites_) {
     site->calls.store(0, std::memory_order_relaxed);
     site->nanos.store(0, std::memory_order_relaxed);

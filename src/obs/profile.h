@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "obs/clock.h"
 
@@ -42,7 +43,9 @@ class Profiler {
   /// lifetime (macro sites cache it in a function-local static).
   ProfSite* Register(const std::string& name);
 
-  /// All sites with ≥ 1 call, sorted by total time descending.
+  /// All sites with ≥ 1 call, sorted by total time descending; equal
+  /// totals tie-break by name so the order is a deterministic function of
+  /// the accumulated values (report tables diff cleanly across runs).
   std::vector<ProfSiteStats> Snapshot() const;
 
   /// Human-readable per-phase timing table (aligned columns), e.g. for a
@@ -57,8 +60,9 @@ class Profiler {
 
  private:
   Profiler() = default;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<ProfSite>> sites_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<ProfSite>> sites_
+      VODB_GUARDED_BY(mu_);
 };
 
 /// RAII scope accumulating wall time into a site.

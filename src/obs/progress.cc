@@ -10,7 +10,7 @@ ProgressReporter::ProgressReporter(std::size_t total, std::string label,
       min_interval_(min_interval) {}
 
 void ProgressReporter::OnComplete() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (done_ < total_) ++done_;
   const Seconds now = watch_.Elapsed();
   if (done_ == total_ || last_draw_ < 0 ||
@@ -21,14 +21,14 @@ void ProgressReporter::OnComplete() {
 }
 
 void ProgressReporter::Finish() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) return;
   finished_ = true;
   Draw(/*final_line=*/true);
 }
 
 std::size_t ProgressReporter::completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return done_;
 }
 

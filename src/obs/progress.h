@@ -3,9 +3,10 @@
 
 #include <cstddef>
 #include <cstdio>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "obs/clock.h"
 
@@ -31,17 +32,17 @@ class ProgressReporter {
   std::size_t completed() const;
 
  private:
-  void Draw(bool final_line);  // Caller holds mu_.
+  void Draw(bool final_line) VODB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   const std::size_t total_;
   const std::string label_;
   std::FILE* const out_;
   const Seconds min_interval_;
-  Stopwatch watch_;
-  std::size_t done_ = 0;
-  Seconds last_draw_ = -1.0;
-  bool finished_ = false;
+  Stopwatch watch_ VODB_GUARDED_BY(mu_);
+  std::size_t done_ VODB_GUARDED_BY(mu_) = 0;
+  Seconds last_draw_ VODB_GUARDED_BY(mu_) = -1.0;
+  bool finished_ VODB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vod::obs

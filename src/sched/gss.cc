@@ -1,6 +1,7 @@
 #include "sched/gss.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 #include "obs/profile.h"
@@ -61,7 +62,7 @@ void GssScheduler::Remove(RequestId id) {
     // The in-service group's turn ended with this departure. If the group
     // still exists (wasn't erased as empty), rotate it to the back.
     if (!removed_front_group && !groups_.empty()) {
-      groups_.push_back(groups_.front());
+      groups_.push_back(std::move(groups_.front()));
       groups_.pop_front();
     }
     roster_active_ = false;
@@ -76,6 +77,7 @@ std::vector<RequestId> GssScheduler::ServiceSequence(
     // groups to the back (each group inspected at most once).
     for (std::size_t attempts = 0; attempts < groups_.size(); ++attempts) {
       current_roster_.clear();
+      current_roster_.reserve(groups_.front().size());
       for (RequestId id : groups_.front()) {
         if (ctx.NeedsService(id)) current_roster_.push_back(id);
       }
@@ -84,17 +86,26 @@ std::vector<RequestId> GssScheduler::ServiceSequence(
         roster_active_ = true;
         break;
       }
-      groups_.push_back(groups_.front());
+      // Rotate the duty-free group to the back; moving the vector keeps
+      // its element storage instead of copying it. The deque node growth
+      // is O(groups) once per turn, off the per-request path.
+      groups_.push_back(std::move(groups_.front()));  // vodb-lint: allow(alloc-in-hot-path)
       groups_.pop_front();
     }
   }
   std::vector<RequestId> seq;
+  seq.reserve(current_roster_.size());
   for (RequestId id : current_roster_) {
     if (ctx.NeedsService(id)) seq.push_back(id);
   }
   // Flatten the remaining groups in cyclic order for deadline lookahead.
+  // `grp` is hoisted so its capacity survives across groups: after the
+  // first lap the loop allocates only when a group outgrows every earlier
+  // one.
+  std::vector<RequestId> grp;
   for (std::size_t i = 1; i < groups_.size(); ++i) {
-    std::vector<RequestId> grp;
+    grp.clear();
+    grp.reserve(groups_[i].size());
     for (RequestId id : groups_[i]) {
       if (ctx.NeedsService(id)) grp.push_back(id);
     }
@@ -116,7 +127,7 @@ void GssScheduler::OnServiceComplete(RequestId id, Seconds /*now*/) {
   if (current_roster_.empty()) {
     // Group turn complete: rotate it to the back of the cycle.
     VOD_CHECK(!groups_.empty());
-    groups_.push_back(groups_.front());
+    groups_.push_back(std::move(groups_.front()));
     groups_.pop_front();
     roster_active_ = false;
   }

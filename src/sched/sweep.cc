@@ -24,6 +24,7 @@ std::vector<RequestId> SweepScheduler::ServiceSequence(
     // Start a new period: everyone needing service, in cylinder order
     // (one-directional scan; the data positions advance monotonically so
     // consecutive periods naturally sweep forward).
+    roster_.reserve(members_.size());
     for (RequestId id : members_) {
       if (ctx.NeedsService(id)) roster_.push_back(id);
     }

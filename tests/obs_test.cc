@@ -8,13 +8,17 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <random>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/det.h"
 #include "obs/event_tracer.h"
 #include "obs/metrics_registry.h"
 #include "obs/profile.h"
@@ -281,6 +285,82 @@ TEST(ProfilerTest, RegisterIsIdempotentAndScopesAccumulate) {
   EXPECT_NE(prof.ReportTable().find("obs_test.site"), std::string::npos);
   EXPECT_NE(prof.ToJson().find("obs_test.site"), std::string::npos);
 }
+
+// Regression: Snapshot sorts by total descending with a *name* tie-break.
+// The original std::sort comparator ordered equal totals arbitrarily
+// (std::sort is unstable), so report tables and JSON dumps could differ
+// between runs with identical accumulated values.
+TEST(ProfilerTest, SnapshotTieBreaksEqualTotalsByName) {
+  Profiler& prof = Profiler::Global();
+  // Registered out of alphabetical order; identical totals and calls.
+  for (const char* name : {"obs_test.tie.c", "obs_test.tie.a",
+                           "obs_test.tie.b"}) {
+    ProfSite* site = prof.Register(name);
+    site->calls.fetch_add(3, std::memory_order_relaxed);
+    site->nanos.fetch_add(7'000, std::memory_order_relaxed);
+  }
+  const std::vector<ProfSiteStats> snap = prof.Snapshot();
+  auto index_of = [&snap](const std::string& name) {
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      if (snap[i].name == name) return i;
+    }
+    return snap.size();
+  };
+  const std::size_t a = index_of("obs_test.tie.a");
+  const std::size_t b = index_of("obs_test.tie.b");
+  const std::size_t c = index_of("obs_test.tie.c");
+  ASSERT_LT(a, snap.size());
+  ASSERT_LT(b, snap.size());
+  ASSERT_LT(c, snap.size());
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  // And twice in a row is byte-identical.
+  EXPECT_EQ(prof.ToJson(), prof.ToJson());
+}
+
+// ---------------------------------------------------------------------------
+// det:: determinism helpers
+// ---------------------------------------------------------------------------
+
+TEST(DetTest, SortedKeysSortsHashContainerKeys) {
+  std::unordered_map<std::string, int> m{
+      {"delta", 4}, {"alpha", 1}, {"charlie", 3}, {"bravo", 2}};
+  const std::vector<std::string> keys = det::SortedKeys(m);
+  const std::vector<std::string> want{"alpha", "bravo", "charlie", "delta"};
+  EXPECT_EQ(keys, want);
+}
+
+TEST(DetTest, SortedItemPtrsWorksForMoveOnlyMappedTypes) {
+  std::unordered_map<std::string, std::unique_ptr<int>> m;
+  m.emplace("b", std::make_unique<int>(2));
+  m.emplace("a", std::make_unique<int>(1));
+  m.emplace("c", std::make_unique<int>(3));
+  const auto items = det::SortedItemPtrs(m);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0]->first, "a");
+  EXPECT_EQ(*items[2]->second, 3);
+}
+
+#if VODB_AUDIT_ENABLED
+TEST(DetTest, AuditOrderedOutputAcceptsStrictlyIncreasing) {
+  const std::vector<int> ok{1, 2, 5, 9};
+  det::AuditOrderedOutput(ok, "det_test.ok");  // Must not abort.
+}
+
+TEST(DetTest, AuditOrderedOutputAbortsOnDisorderOrDuplicates) {
+  const std::vector<int> unsorted{1, 3, 2};
+  EXPECT_DEATH(det::AuditOrderedOutput(unsorted, "det_test.unsorted"),
+               "determinism audit");
+  const std::vector<int> dupes{1, 2, 2};
+  EXPECT_DEATH(det::AuditOrderedOutput(dupes, "det_test.dupes"),
+               "determinism audit");
+}
+
+TEST(DetTest, AuditOrderedKeysAcceptsOrderedMapIteration) {
+  std::map<std::string, int> m{{"a", 1}, {"b", 2}, {"c", 3}};
+  det::AuditOrderedKeys(m, "det_test.map");  // Must not abort.
+}
+#endif  // VODB_AUDIT_ENABLED
 
 // ---------------------------------------------------------------------------
 // ProgressReporter
