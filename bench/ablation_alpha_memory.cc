@@ -34,7 +34,7 @@ int main() {
           *pr, core::ScheduleMethod::kRoundRobin, n, k, 8);
       if (!bs.ok() || !mem.ok()) return 1;
       std::printf("%d,%d,%.4f,%.3f\n", alpha, n, ToMegabits(*bs),
-                  ToMegabytes(*mem));
+                  ToMebibytes(*mem));
     }
   }
   return 0;

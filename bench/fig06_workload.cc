@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     // Sample the step series every 30 minutes.
     std::size_t idx = 0;
     int current = 0;
-    for (double t = 0; t <= Hours(24); t += Minutes(30)) {
+    for (Seconds t = Seconds(0); t <= Hours(24); t += Minutes(30)) {
       while (idx < load.concurrency.size() &&
              load.concurrency[idx].first <= t) {
         current = load.concurrency[idx].second;

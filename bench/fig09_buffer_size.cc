@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--spec") == 0) {
       const disk::DiskProfile p = disk::SeagateBarracuda9LP();
       std::printf("# Table 3: %s\n", p.name.c_str());
-      std::printf("capacity_gb,%.2f\n", ToGigabytes(p.capacity));
-      std::printf("transfer_rate_mbps,%.0f\n", ToMegabits(p.transfer_rate));
+      std::printf("capacity_gb,%.2f\n", ToGibibytes(p.capacity));
+      std::printf("transfer_rate_mbps,%.0f\n", ToMbps(p.transfer_rate));
       std::printf("rpm,%.0f\n", p.rpm);
       std::printf("max_rotational_latency_ms,%.2f\n",
                   ToMilliseconds(p.max_rotational_latency));
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     for (const auto& pt : *curve) {
       std::printf("%s,%d,%.4f,%.4f\n",
                   core::ScheduleMethodName(method).data(), pt.n,
-                  ToMegabits(pt.stat), ToMegabits(pt.dynamic));
+                  ToMegabits(Bits(pt.stat)), ToMegabits(Bits(pt.dynamic)));
     }
   }
   return 0;

@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
     }
     for (const auto& pt : **curves[i]) {
       table.AddRow({std::string(core::ScheduleMethodName(methods[i])),
-                    std::to_string(pt.n), Fmt("%.3f", ToMegabytes(pt.stat)),
-                    Fmt("%.3f", ToMegabytes(pt.dynamic))});
+                    std::to_string(pt.n), Fmt("%.3f", ToMebibytes(Bits(pt.stat))),
+                    Fmt("%.3f", ToMebibytes(Bits(pt.dynamic)))});
     }
   }
   if (!opt.json) {

@@ -19,7 +19,7 @@ using namespace vod::bench;  // NOLINT(build/namespaces)
 int main() {
   std::vector<Bits> memories;
   for (double gb = 1.0; gb <= 11.0; gb += 1.0) {
-    memories.push_back(Gigabytes(gb));
+    memories.push_back(Gibibytes(gb));
   }
 
   std::printf("# Fig. 13: concurrent requests vs memory (analysis, 10 disks,"
@@ -36,7 +36,7 @@ int main() {
       return 1;
     }
     for (const auto& pt : *curve) {
-      std::printf("%.1f,%.0f,%d,%d\n", theta, ToGigabytes(pt.memory),
+      std::printf("%.1f,%.0f,%d,%d\n", theta, ToGibibytes(pt.memory),
                   pt.stat, pt.dynamic);
     }
   }

@@ -60,9 +60,9 @@ int main(int argc, char** argv) {
   for (double theta : {0.0, 0.5, 1.0}) {
     for (double gb : memories_gb) {
       const int stat = RunCapacitySim(sim::AllocScheme::kStatic, theta,
-                                      Gigabytes(gb), duration, arrivals);
+                                      Gibibytes(gb), duration, arrivals);
       const int dyn = RunCapacitySim(sim::AllocScheme::kDynamic, theta,
-                                     Gigabytes(gb), duration, arrivals);
+                                     Gibibytes(gb), duration, arrivals);
       std::printf("%.1f,%.0f,%d,%d\n", theta, gb, stat, dyn);
       std::fflush(stdout);
     }

@@ -95,12 +95,12 @@ void BM_SeekGamma(bk::State& state) {
 class FlatContext final : public sched::SchedulerContext {
  public:
   explicit FlatContext(RequestId fresh) : fresh_(fresh) {}
-  Seconds BufferDeadline(RequestId) const override { return 1e9; }
+  Seconds BufferDeadline(RequestId) const override { return Seconds(1e9); }
   bool NeverServiced(RequestId id) const override { return id == fresh_; }
   double CurrentCylinder(RequestId) const override { return 0; }
   bool NeedsService(RequestId) const override { return true; }
-  Seconds WorstServiceTime(RequestId) const override { return 0.5; }
-  Seconds NewcomerReserve() const override { return 0.5; }
+  Seconds WorstServiceTime(RequestId) const override { return Seconds(0.5); }
+  Seconds NewcomerReserve() const override { return Seconds(0.5); }
 
  private:
   RequestId fresh_;
@@ -115,15 +115,15 @@ void BM_BubbleUpInsert(bk::State& state) {
   const RequestId newcomer = kRingSize + 1;
   FlatContext ctx(newcomer);
   for (RequestId id = 1; id <= kRingSize; ++id) {
-    scheduler.Add(id, 0);
-    scheduler.OnServiceComplete(id, 0);  // Into the ring.
+    scheduler.Add(id, Seconds(0));
+    scheduler.OnServiceComplete(id, Seconds(0));  // Into the ring.
   }
   for (auto _ : state) {
     static_cast<void>(_);
-    scheduler.Add(newcomer, 0);
-    auto decision = scheduler.Next(ctx, 0);
+    scheduler.Add(newcomer, Seconds(0));
+    auto decision = scheduler.Next(ctx, Seconds(0));
     bk::DoNotOptimize(decision);
-    scheduler.OnServiceComplete(newcomer, 0);
+    scheduler.OnServiceComplete(newcomer, Seconds(0));
     scheduler.Remove(newcomer);
   }
 }
@@ -136,7 +136,7 @@ void BM_BrokerAdmitRelease(bk::State& state) {
   const core::AllocParams p = PaperParams();
   sim::AnalyticMemoryBroker broker(p, core::ScheduleMethod::kRoundRobin,
                                    /*use_dynamic=*/true, /*g=*/8, kDisks,
-                                   Gigabytes(1.0));
+                                   Gibibytes(1.0));
   int n = 0;
   for (int d = 0; d < kDisks; ++d) broker.OnState(d, 20, 3);
   int disk = 0;
@@ -154,7 +154,7 @@ void BM_BrokerAdmitRelease(bk::State& state) {
 // FIFO-tiebreak seq ordering over a binary-heap priority queue): the
 // per-event cost of the simulator's spine.
 struct QueueEvent {
-  Seconds time = 0;
+  Seconds time;
   std::uint64_t seq = 0;
   int kind = 0;
   RequestId request = 0;
@@ -176,7 +176,7 @@ void BM_EventQueueChurn(bk::State& state) {
   for (int i = 0; i < 4096; ++i) {
     const double jitter =
         static_cast<double>(sim::SplitMix64(++x) >> 11) * 0x1.0p-53;
-    queue.push(QueueEvent{jitter * 86400.0, ++seq, 0, 1, 0});
+    queue.push(QueueEvent{Seconds(jitter * 86400.0), ++seq, 0, 1, 0});
   }
   for (auto _ : state) {
     static_cast<void>(_);
@@ -185,7 +185,7 @@ void BM_EventQueueChurn(bk::State& state) {
     bk::DoNotOptimize(top);
     const double jitter =
         static_cast<double>(sim::SplitMix64(++x) >> 11) * 0x1.0p-53;
-    queue.push(QueueEvent{top.time + jitter, ++seq, 0, 1, 0});
+    queue.push(QueueEvent{top.time + Seconds(jitter), ++seq, 0, 1, 0});
   }
 }
 

@@ -19,7 +19,7 @@ using namespace vod::bench;  // NOLINT(build/namespaces)
 int main() {
   std::vector<Bits> memories;
   for (double gb = 1.0; gb <= 11.0; gb += 1.0) {
-    memories.push_back(Gigabytes(gb));
+    memories.push_back(Gibibytes(gb));
   }
 
   std::printf("# Table 5: average improvement ratio of concurrent requests "

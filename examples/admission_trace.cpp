@@ -30,7 +30,7 @@ int main() {
   std::vector<sim::ArrivalEvent> arrivals;
   auto add = [&arrivals](double t, double viewing_min) {
     sim::ArrivalEvent ev;
-    ev.time = t;
+    ev.time = Seconds(t);
     ev.video = static_cast<int>(arrivals.size()) % 6;
     ev.viewing_time = Minutes(viewing_min);
     arrivals.push_back(ev);
@@ -53,11 +53,11 @@ int main() {
   int shown = 0;
   bool first = true;
   for (const sim::AllocationRecord& rec : m.allocations) {
-    if (!first && rec.time < 59.5) continue;  // Skip the quiet-phase churn.
+    if (!first && rec.time < Seconds(59.5)) continue;  // Skip the quiet-phase churn.
     first = false;
-    std::printf("%10.3f %6llu %4d %4d %12.4f %12.4f\n", rec.time,
+    std::printf("%10.3f %6llu %4d %4d %12.4f %12.4f\n", ToSeconds(rec.time),
                 static_cast<unsigned long long>(rec.request), rec.n, rec.k,
-                ToMegabits(rec.buffer_size), rec.usage_period);
+                ToMegabits(rec.buffer_size), ToSeconds(rec.usage_period));
     if (++shown >= 40) break;
   }
   std::printf("\nBurst handling: %ld deferred admission(s); buffers grew "

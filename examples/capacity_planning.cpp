@@ -29,7 +29,7 @@ int main() {
 
   std::vector<Bits> memories;
   for (double gb : {0.5, 1.0, 2.0, 4.0, 8.0, 12.0}) {
-    memories.push_back(Gigabytes(gb));
+    memories.push_back(Gibibytes(gb));
   }
   auto curve = CapacityVsMemoryCurve(cfg, disks, disk_theta, memories);
   if (!curve.ok()) {
@@ -37,7 +37,7 @@ int main() {
     return 1;
   }
   for (const auto& pt : *curve) {
-    std::printf("%9.1f GB %13d %16d\n", ToGigabytes(pt.memory), pt.stat,
+    std::printf("%9.1f GB %13d %16d\n", ToGibibytes(pt.memory), pt.stat,
                 pt.dynamic);
   }
 
@@ -48,7 +48,7 @@ int main() {
     for (int iter = 0; iter < 40; ++iter) {
       const double mid = (lo + hi) / 2;
       auto c = CapacityVsMemoryCurve(cfg, disks, disk_theta,
-                                     {Gigabytes(mid)});
+                                     {Gibibytes(mid)});
       if (!c.ok()) return 1;
       const int cap = dynamic ? c->front().dynamic : c->front().stat;
       (cap >= 300 ? hi : lo) = mid;

@@ -77,8 +77,21 @@ Structural rules (AST or token backend; scoped to src/):
       golden CSV/JSON/trace contract. Iterate in sorted order instead
       (det::SortedKeys / det::SortedItemPtrs from common/det.h).
 
+  units-hygiene
+      Dimensional-analysis hygiene for public headers under src/: a raw
+      `double` parameter or field whose name carries a unit suffix
+      (`*_bits`, `*_seconds`, `*_bps`, `*_rate`, or the bare words) is a
+      typed quantity that escaped the common/units.h Quantity layer —
+      the compiler cannot check its dimension at call sites. Declare it
+      vod::Bits / vod::Seconds / vod::BitsPerSecond instead; genuinely
+      dimensionless parameters (distribution rates, ratios) take an
+      allow comment stating why. On the AST backend the declaration kind
+      (parameter vs field) is exact; the token backend matches `double
+      <ident>` declarations, skipping return types.
+
 Suppress any finding with a trailing  // vodb-lint: allow(<rule>)  on the
-reported line, stating why in a nearby comment.
+reported line — or  allow(<rule-a>, <rule-b>)  when several rules fire on
+the same declaration — stating why in a nearby comment.
 
 Exit status: 0 clean, 1 findings, 2 when --require-ast is set and the
 libclang backend is unavailable.
@@ -93,7 +106,7 @@ import re
 import shlex
 import sys
 
-ALLOW_RE = re.compile(r"//\s*vodb-lint:\s*allow\(([a-z-]+)\)")
+ALLOW_RE = re.compile(r"//\s*vodb-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
 # ---------------------------------------------------------------------------
 # Shared helpers
@@ -167,7 +180,9 @@ def allowed(lines: list[str], lineno: int, rule: str) -> bool:
     if lineno < 1 or lineno > len(lines):
         return False
     m = ALLOW_RE.search(lines[lineno - 1])
-    return bool(m and m.group(1) == rule)
+    if not m:
+        return False
+    return rule in {r.strip() for r in m.group(1).split(",")}
 
 
 def iter_files(root: str, subdirs: list[str], exts: tuple[str, ...]):
@@ -516,9 +531,23 @@ class Facts:
         self.hot_allocs: list[tuple[str, int, str]] = []
         # (rel, lineno, container_name) — iteration feeding an output channel
         self.unordered_output_iters: list[tuple[str, int, str]] = []
+        # (rel, lineno, kind, name) — raw double param/field with a unit-
+        # suffixed name in a public header
+        self.unit_suffixed_doubles: list[tuple[str, int, str, str]] = []
+        self._unit_seen: set[tuple[str, int, str]] = set()
 
     def add_field(self, field: Field) -> None:
         self.fields.setdefault((field.cls, field.name), field)
+
+    def add_unit_suffixed(self, rel: str, lineno: int, kind: str,
+                          name: str) -> None:
+        """Dedup across TUs: a header re-parsed by every includer reports
+        each declaration once."""
+        key = (rel, lineno, name)
+        if key in self._unit_seen:
+            return
+        self._unit_seen.add(key)
+        self.unit_suffixed_doubles.append((rel, lineno, kind, name))
 
 
 MUTEX_TYPES = ("Mutex", "std::mutex", "CondVar", "std::condition_variable")
@@ -541,6 +570,15 @@ CONTAINER_DECL_RE = re.compile(
     r"\bstd::(?:vector|deque|list|string|map|multimap|set|multiset|"
     r"unordered_map|unordered_set)\b[^;=()]*\s(\w+)\s*[;{(]")
 PROF_SCOPE_RE = re.compile(r"\bVODB_PROF_SCOPE\s*\(")
+
+# units-hygiene: identifier tails that name a unit the Quantity layer owns.
+# `buffer_bits`, `timeout_seconds`, `peak_bps`, `transfer_rate`, and the
+# member-suffixed `max_rate_` / bare `rate` forms all match.
+UNIT_SUFFIX_RE = re.compile(r"(?:^|_)(bits|seconds|bps|rate)_?$")
+UNIT_ALIAS = {"bits": "Bits", "seconds": "Seconds",
+              "bps": "BitsPerSecond", "rate": "BitsPerSecond"}
+# A `double` declarator in a header: optional ref, then the identifier.
+UNIT_DOUBLE_DECL_RE = re.compile(r"\bdouble\b\s*&?\s*([A-Za-z_]\w*)")
 
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<.*>\s*&?\s*(\w+)")
@@ -620,6 +658,7 @@ class TokenAnalyzer:
             self._collect_lock_regions(src, facts)
             self._collect_hot_allocs(src, facts)
             self._collect_unordered(src, facts)
+            self._collect_unit_hygiene(src, facts)
         return facts
 
     # -- fields ------------------------------------------------------------
@@ -806,6 +845,26 @@ class TokenAnalyzer:
                          f"`{gm.group(1)}.{gm.group(2)}(...)` may grow in a "
                          f"profiled loop; reserve `{base}` first"))
 
+    # -- units-hygiene ------------------------------------------------------
+
+    def _collect_unit_hygiene(self, src: SourceFile, facts: Facts) -> None:
+        if not src.rel.endswith(".h"):
+            return
+        # units.h is where the Quantity layer is defined in terms of double.
+        if src.rel.endswith(os.path.join("common", "units.h")):
+            return
+        for lineno, line in enumerate(src.clean_lines, start=1):
+            for m in UNIT_DOUBLE_DECL_RE.finditer(line):
+                name = m.group(1)
+                if not UNIT_SUFFIX_RE.search(name):
+                    continue
+                # `double rate()` declares a function returning double, not
+                # a quantity-carrying parameter or field.
+                tail = line[m.end():].lstrip()
+                if tail.startswith("("):
+                    continue
+                facts.add_unit_suffixed(src.rel, lineno, "declaration", name)
+
     # -- unordered-iteration ----------------------------------------------
 
     def _collect_unordered(self, src: SourceFile, facts: Facts) -> None:
@@ -966,6 +1025,9 @@ class ClangAnalyzer:
             kind = cur.kind
             if kind == K.FIELD_DECL:
                 self._field(cur, rel, facts, source)
+                self._unit_hygiene(cur, rel, facts, "field")
+            elif kind == K.PARM_DECL:
+                self._unit_hygiene(cur, rel, facts, "parameter")
             elif kind == K.COMPOUND_STMT:
                 compounds.append(
                     (rel, cur.extent.start.line, cur.extent.end.line))
@@ -1047,6 +1109,20 @@ class ClangAnalyzer:
         facts.add_field(Field(cls, cur.spelling, rel, line,
                               mutex_key(gm.group(1)) if gm else None,
                               exempt))
+
+    def _unit_hygiene(self, cur, rel: str, facts: Facts, kind: str) -> None:
+        """units-hygiene, AST side: a double-typed parameter or field in a
+        src/ header whose name carries a unit suffix."""
+        if not rel.endswith(".h") or \
+                rel.endswith(os.path.join("common", "units.h")):
+            return
+        name = cur.spelling
+        if not name or not UNIT_SUFFIX_RE.search(name):
+            return
+        typ = cur.type.spelling.replace("const", "").replace("&", "").strip()
+        if typ != "double":
+            return
+        facts.add_unit_suffixed(rel, cur.location.line, kind, name)
 
     def _lock_args(self, cur) -> list[str]:
         toks = self._tokens(cur)
@@ -1214,6 +1290,19 @@ def evaluate_structural(root: str, facts: Facts, findings: Findings) -> None:
         if allowed(file_lines(rel), lineno, "alloc-in-hot-path"):
             continue
         findings.report(rel, lineno, "alloc-in-hot-path", desc)
+
+    # units-hygiene ----------------------------------------------------------
+    for rel, lineno, kind, name in facts.unit_suffixed_doubles:
+        if allowed(file_lines(rel), lineno, "units-hygiene"):
+            continue
+        suffix = UNIT_SUFFIX_RE.search(name).group(1)
+        findings.report(
+            rel, lineno, "units-hygiene",
+            f"raw `double` {kind} `{name}` carries the unit suffix "
+            f"`{suffix}` in a public header; declare it "
+            f"vod::{UNIT_ALIAS[suffix]} (common/units.h) so the compiler "
+            "checks the dimension, or add an allow comment stating why it "
+            "is dimensionless")
 
     # unordered-iteration ----------------------------------------------------
     for rel, lineno, name in facts.unordered_output_iters:

@@ -82,7 +82,9 @@ DynamicBufferAllocator::DynamicBufferAllocator(const AllocParams& params,
 Result<std::unique_ptr<DynamicBufferAllocator>> DynamicBufferAllocator::Create(
     const AllocParams& params, Seconds t_log,
     BufferSizeTable::DlForN dl_for_n) {
-  if (t_log <= 0) return Status::InvalidArgument("T_log must be > 0");
+  if (t_log <= Seconds(0)) {
+    return Status::InvalidArgument("T_log must be > 0");
+  }
   Result<BufferSizeTable> table =
       dl_for_n ? BufferSizeTable::Build(params, dl_for_n)
                : BufferSizeTable::Build(params);

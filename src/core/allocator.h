@@ -15,10 +15,10 @@ namespace vod::core {
 
 /// One buffer-allocation decision (Fig. 5, step 5).
 struct AllocationDecision {
-  Bits buffer_size = 0;
+  Bits buffer_size;
   int n = 0;                 ///< n_c: requests in service at allocation time.
   int k = 0;                 ///< k_c: estimated additional requests (0 static).
-  Seconds usage_period = 0;  ///< BS / CR — how long the buffer lasts.
+  Seconds usage_period;  ///< BS / CR — how long the buffer lasts.
 };
 
 /// Buffer-allocation policy: decides admission of new requests and the size

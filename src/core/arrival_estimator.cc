@@ -7,7 +7,7 @@
 namespace vod::core {
 
 ArrivalEstimator::ArrivalEstimator(Seconds t_log) : t_log_(t_log) {
-  VOD_CHECK(t_log > 0);
+  VOD_CHECK(t_log > Seconds(0));
 }
 
 void ArrivalEstimator::RecordArrival(Seconds now) {
@@ -24,7 +24,7 @@ void ArrivalEstimator::Prune(Seconds now) {
 }
 
 int ArrivalEstimator::KLog(Seconds now, Seconds service_period) const {
-  if (service_period <= 0) return 0;
+  if (service_period <= Seconds(0)) return 0;
   const Seconds horizon = now - t_log_;
   while (!arrivals_.empty() && arrivals_.front() < horizon) {
     arrivals_.pop_front();

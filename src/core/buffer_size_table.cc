@@ -8,7 +8,8 @@
 
 namespace vod::core {
 
-BufferSizeTable::BufferSizeTable(AllocParams params, std::vector<double> table)
+BufferSizeTable::BufferSizeTable(AllocParams params,
+                                 std::vector<Bits> table)
     : params_(params), table_(std::move(table)) {}
 
 std::size_t BufferSizeTable::Index(int n, int k) const {
@@ -26,13 +27,13 @@ Result<BufferSizeTable> BufferSizeTable::Build(const AllocParams& params,
                                                const DlForN& dl_for_n) {
   VOD_RETURN_IF_ERROR(params.Validate());
   const int n_max = params.n_max;
-  std::vector<double> table(static_cast<std::size_t>(n_max) *
-                            static_cast<std::size_t>(n_max + 1));
+  std::vector<Bits> table(static_cast<std::size_t>(n_max) *
+                          static_cast<std::size_t>(n_max + 1));
   BufferSizeTable t(params, std::move(table));
   for (int n = 1; n <= n_max; ++n) {
     AllocParams row = params;
     row.dl = dl_for_n(n);
-    if (row.dl < 0) return Status::InvalidArgument("DL(n) must be >= 0");
+    if (row.dl < Seconds(0)) return Status::InvalidArgument("DL(n) must be >= 0");
     for (int k = 0; k <= n_max; ++k) {
       Result<Bits> bs = DynamicBufferSize(row, n, std::min(k, n_max - n));
       if (!bs.ok()) return bs.status();

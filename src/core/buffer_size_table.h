@@ -45,12 +45,12 @@ class BufferSizeTable {
   std::size_t entry_count() const { return table_.size(); }
 
  private:
-  BufferSizeTable(AllocParams params, std::vector<double> table);
+  BufferSizeTable(AllocParams params, std::vector<Bits> table);
 
   std::size_t Index(int n, int k) const;
 
   AllocParams params_;
-  std::vector<double> table_;  // (N) rows of (N+1) k-entries.
+  std::vector<Bits> table_;  // (N) rows of (N+1) k-entries.
 };
 
 }  // namespace vod::core

@@ -53,8 +53,8 @@ Result<int> ExpansionSteps(const AllocParams& params, int n, int k) {
 Result<Bits> DynamicBufferSize(const AllocParams& params, int n, int k) {
   VOD_RETURN_IF_ERROR(ValidateNk(params, n, k));
   const double big_n = static_cast<double>(params.n_max);
-  const double full =
-      params.dl * big_n * params.cr * params.tr / (params.tr - big_n * params.cr);
+  const Bits full = params.dl * big_n * params.cr * params.tr /
+                    (params.tr - big_n * params.cr);
   if (n == params.n_max) return full;
 
   Result<int> e_res = ExpansionSteps(params, n, k);

@@ -7,7 +7,7 @@ Seconds WorstInitialLatencyRoundRobin(const AllocParams& params, Bits bs) {
 }
 
 Seconds WorstInitialLatencySweep(const AllocParams& params, Bits bs, int n) {
-  const double slot = params.dl + bs / params.tr;
+  const Seconds slot = params.dl + bs / params.tr;
   return 2.0 * static_cast<double>(n) * slot + slot;
 }
 
@@ -19,7 +19,7 @@ Result<Seconds> WorstInitialLatency(const AllocParams& params,
                                     ScheduleMethod method, Bits bs,
                                     int n_or_g) {
   VOD_RETURN_IF_ERROR(params.Validate());
-  if (bs < 0) return Status::InvalidArgument("buffer size must be >= 0");
+  if (bs < Bits(0)) return Status::InvalidArgument("buffer size must be >= 0");
   switch (method) {
     case ScheduleMethod::kRoundRobin:
       return WorstInitialLatencyRoundRobin(params, bs);

@@ -24,7 +24,7 @@ Bits MemoryRequirementSweep(const AllocParams& params, Bits bs, int n,
     return bs + (bs / params.tr + params.dl) * params.cr;
   }
   const double nd = static_cast<double>(n);
-  const double t = bs / params.cr;  // Full cycle over `slots` service slots.
+  const Seconds t = bs / params.cr;  // Full cycle over `slots` slots.
   return (nd - 1.0) * bs +
          (nd * t / static_cast<double>(slots) - (nd - 2.0) * bs / params.tr) *
              params.cr * nd;
@@ -39,18 +39,18 @@ Bits MemoryRequirementGss(const AllocParams& params, Bits bs, int n,
   const double nd = static_cast<double>(n);
   const double gd = static_cast<double>(g);
   const double sd = static_cast<double>(slots);
-  const double t = bs / params.cr;
+  const Seconds t = bs / params.cr;
   const int big_g = (n + g - 1) / g;              // G = ⌈n/g⌉.
   const double big_gd = static_cast<double>(big_g);
   const int g_rem = n - (n / g) * g;              // g' = n − ⌊n/g⌋·g.
 
   if (g_rem == 0) {
     // Theorem 4, case G = n/g (every group full).
-    const double per_group =
+    const Bits per_group =
         gd * bs - (nd * t / sd + (gd - 2.0) * bs / params.tr -
                    gd * t * (big_gd + 2.0) / (2.0 * sd)) *
                       params.cr * gd;
-    const double max_group =
+    const Bits max_group =
         (gd - 1.0) * bs +
         (t * gd / sd - (gd - 2.0) * bs / params.tr) * params.cr * gd;
     return (big_gd - 1.0) * per_group + max_group;
@@ -58,13 +58,13 @@ Bits MemoryRequirementGss(const AllocParams& params, Bits bs, int n,
 
   // Theorem 4, case G > n/g (last group has g' in [1, g) members).
   const double g_remd = static_cast<double>(g_rem);
-  const double per_group =
+  const Bits per_group =
       gd * bs - (nd * t / sd + (gd - 2.0) * bs / params.tr -
                  gd * t * (big_gd + 1.0) / (2.0 * sd)) *
                     params.cr * gd;
   // The last term uses g' (theorem statement); the appendix's Eq. (24)
   // misprints it as g — the theorem body is the consistent version.
-  const double tail =
+  const Bits tail =
       bs * (gd + g_remd - 1.0) +
       params.cr * ((t * gd / sd - (gd - 2.0) * bs / params.tr) * gd -
                    (gd - 2.0) * g_remd * bs / params.tr);
@@ -81,7 +81,7 @@ Bits MemoryRequirementKernel(const AllocParams& params, ScheduleMethod method,
     case ScheduleMethod::kGss:
       return MemoryRequirementGss(params, bs, n, slots, g);
   }
-  return 0;
+  return Bits(0);
 }
 
 Result<Bits> DynamicMemoryRequirement(const AllocParams& params,

@@ -17,9 +17,9 @@ std::string_view ScheduleMethodName(ScheduleMethod m) {
 }
 
 Status AllocParams::Validate() const {
-  if (tr <= 0) return Status::InvalidArgument("TR must be > 0");
-  if (cr <= 0) return Status::InvalidArgument("CR must be > 0");
-  if (dl < 0) return Status::InvalidArgument("DL must be >= 0");
+  if (tr <= BitsPerSecond(0)) return Status::InvalidArgument("TR must be > 0");
+  if (cr <= BitsPerSecond(0)) return Status::InvalidArgument("CR must be > 0");
+  if (dl < Seconds(0)) return Status::InvalidArgument("DL must be >= 0");
   if (n_max < 1) return Status::InvalidArgument("N must be >= 1");
   if (static_cast<double>(n_max) * cr >= tr) {
     return Status::InvalidArgument("N violates Eq. (1): N*CR must be < TR");
@@ -33,7 +33,7 @@ Status AllocParams::Validate() const {
 }
 
 int MaxConcurrentRequests(BitsPerSecond tr, BitsPerSecond cr) {
-  if (tr <= 0 || cr <= 0) return 0;
+  if (tr <= BitsPerSecond(0) || cr <= BitsPerSecond(0)) return 0;
   const double ratio = tr / cr;
   // Largest integer strictly below TR/CR (Eq. 1). When TR/CR is integral,
   // N = TR/CR - 1 because equality cannot absorb any disk latency.

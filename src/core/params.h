@@ -22,9 +22,9 @@ std::string_view ScheduleMethodName(ScheduleMethod m);
 /// This is Table 1 in struct form, specialized to one scheduling method via
 /// the worst per-buffer disk latency DL.
 struct AllocParams {
-  BitsPerSecond tr = 0;  ///< TR: disk transfer rate.
-  BitsPerSecond cr = 0;  ///< CR: per-request consumption rate.
-  Seconds dl = 0;        ///< DL: worst per-buffer disk latency for the method.
+  BitsPerSecond tr;  ///< TR: disk transfer rate.
+  BitsPerSecond cr;  ///< CR: per-request consumption rate.
+  Seconds dl;        ///< DL: worst per-buffer disk latency for the method.
   int n_max = 0;         ///< N: max concurrent requests (Eq. 1).
   int alpha = 1;         ///< α: estimation headroom (Assumption 2).
 

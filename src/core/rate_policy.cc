@@ -21,26 +21,29 @@ double RealGcd(double a, double b, double tol) {
 Result<BitsPerSecond> EffectiveConsumptionRate(
     const std::vector<BitsPerSecond>& rates, RatePolicy policy) {
   if (rates.empty()) return Status::InvalidArgument("no rates given");
-  for (double r : rates) {
-    if (r <= 0) return Status::InvalidArgument("rates must be positive");
+  for (BitsPerSecond r : rates) {
+    if (r <= BitsPerSecond(0)) {
+      return Status::InvalidArgument("rates must be positive");
+    }
   }
   if (policy == RatePolicy::kMaximalRate) {
     return *std::max_element(rates.begin(), rates.end());
   }
-  double g = rates.front();
+  BitsPerSecond g = rates.front();
   for (std::size_t i = 1; i < rates.size(); ++i) {
-    g = RealGcd(std::max(g, rates[i]), std::min(g, rates[i]), 1.0);
+    g = BitsPerSecond(RealGcd(std::max(g, rates[i]).value(),
+                              std::min(g, rates[i]).value(), 1.0));
   }
   return g;
 }
 
 Result<int> RequestSlots(BitsPerSecond rate, BitsPerSecond effective_cr,
                          RatePolicy policy) {
-  if (rate <= 0 || effective_cr <= 0) {
+  if (rate <= BitsPerSecond(0) || effective_cr <= BitsPerSecond(0)) {
     return Status::InvalidArgument("rates must be positive");
   }
   if (policy == RatePolicy::kMaximalRate) {
-    if (rate > effective_cr * (1 + 1e-9)) {
+    if (rate > effective_cr * (1.0 + 1e-9)) {
       return Status::InvalidArgument("stream rate exceeds the maximal CR");
     }
     return 1;

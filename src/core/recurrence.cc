@@ -15,7 +15,7 @@ Status ValidateNk(const AllocParams& params, int n, int k) {
   return Status::OK();
 }
 
-double FullyLoadedBufferSize(const AllocParams& p) {
+Bits FullyLoadedBufferSize(const AllocParams& p) {
   const double n = static_cast<double>(p.n_max);
   return p.dl * n * p.cr * p.tr / (p.tr - n * p.cr);
 }
@@ -24,7 +24,7 @@ double FullyLoadedBufferSize(const AllocParams& p) {
 
 Result<Bits> BufferSizeByRecurrence(const AllocParams& params, int n, int k) {
   VOD_RETURN_IF_ERROR(ValidateNk(params, n, k));
-  const double bs_full = FullyLoadedBufferSize(params);
+  const Bits bs_full = FullyLoadedBufferSize(params);
   if (n == params.n_max) return bs_full;
 
   // Iterative unrolling of the recurrence from the boundary back to (n, k):
@@ -44,7 +44,7 @@ Result<Bits> BufferSizeByRecurrence(const AllocParams& params, int n, int k) {
 
   // Fold backward: BS = count_i * (BS_next/TR + DL) * CR, innermost value is
   // BS(N).
-  double bs = bs_full;
+  Bits bs = bs_full;
   for (auto it = counts.rbegin(); it != counts.rend(); ++it) {
     bs = *it * (bs / params.tr + params.dl) * params.cr;
   }

@@ -17,10 +17,10 @@ Result<ChunkedVideoStore> ChunkedVideoStore::Create(const DiskProfile& profile,
                                                     Bits max_buffer,
                                                     Bits chunk_size) {
   VOD_RETURN_IF_ERROR(profile.Validate());
-  if (max_buffer <= 0) {
+  if (max_buffer <= Bits(0)) {
     return Status::InvalidArgument("max buffer must be positive");
   }
-  if (chunk_size == 0) chunk_size = 2 * max_buffer;
+  if (chunk_size == Bits(0)) chunk_size = 2.0 * max_buffer;
   if (chunk_size < 2 * max_buffer) {
     // The paper's requirement: a chunk is "at least twice larger than the
     // maximum buffer size" — anything smaller cannot guarantee that a
@@ -34,7 +34,7 @@ Result<ChunkedVideoStore> ChunkedVideoStore::Create(const DiskProfile& profile,
 }
 
 Result<VideoId> ChunkedVideoStore::AddVideo(std::string title, Bits size) {
-  if (size <= 0) return Status::InvalidArgument("video size must be positive");
+  if (size <= Bits(0)) return Status::InvalidArgument("video size must be positive");
   const Bits stride_bits = stride();
   const long chunks =
       static_cast<long>(std::ceil(size / stride_bits));
@@ -58,7 +58,7 @@ bool ChunkedVideoStore::SingleChunk(Bits offset, Bits length) const {
   const double chunk_idx = std::floor(offset / stride_bits);
   // The chunk holds [idx·stride, idx·stride + chunk): the read end must
   // stay inside.
-  return offset + length <= chunk_idx * stride_bits + chunk_size_ + 1e-6;
+  return offset + length <= chunk_idx * stride_bits + chunk_size_ + Bits(1e-6);
 }
 
 Result<double> ChunkedVideoStore::ReadLocation(VideoId video, Bits offset,
@@ -67,7 +67,7 @@ Result<double> ChunkedVideoStore::ReadLocation(VideoId video, Bits offset,
     return Status::NotFound("video id " + std::to_string(video));
   }
   const StoredVideo& v = videos_[static_cast<std::size_t>(video)];
-  if (offset < 0 || offset + length > v.logical_size + 1e-6) {
+  if (offset < Bits(0) || offset + length > v.logical_size + Bits(1e-6)) {
     return Status::OutOfRange("read outside video");
   }
   if (length > max_buffer_) {

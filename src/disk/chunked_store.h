@@ -28,7 +28,7 @@ class ChunkedVideoStore {
   /// scheme's BS(N)); `chunk_size` defaults to 2× that.
   static Result<ChunkedVideoStore> Create(const DiskProfile& profile,
                                           Bits max_buffer,
-                                          Bits chunk_size = 0);
+                                          Bits chunk_size = Bits(0));
 
   /// Adds a video; returns its id. Physical space consumed is
   /// ceil(size/stride) chunks.
@@ -54,8 +54,8 @@ class ChunkedVideoStore {
  private:
   struct StoredVideo {
     std::string title;
-    Bits logical_size = 0;
-    Bits physical_start = 0;  ///< First chunk's physical position.
+    Bits logical_size;
+    Bits physical_start;  ///< First chunk's physical position.
     long chunk_count = 0;
   };
 
@@ -67,7 +67,7 @@ class ChunkedVideoStore {
   double cylinders_;
   Bits max_buffer_;
   Bits chunk_size_;
-  Bits physical_used_ = 0;
+  Bits physical_used_;
   std::vector<StoredVideo> videos_;
 };
 

@@ -27,11 +27,13 @@ Bits DiskProfile::BitsPerCylinder() const {
 }
 
 Status DiskProfile::Validate() const {
-  if (capacity <= 0) return Status::InvalidArgument("capacity must be > 0");
-  if (transfer_rate <= 0) {
+  if (capacity <= Bits(0)) {
+    return Status::InvalidArgument("capacity must be > 0");
+  }
+  if (transfer_rate <= BitsPerSecond(0)) {
     return Status::InvalidArgument("transfer rate must be > 0");
   }
-  if (max_rotational_latency < 0) {
+  if (max_rotational_latency < Seconds(0)) {
     return Status::InvalidArgument("rotational latency must be >= 0");
   }
   if (cylinders <= 0) return Status::InvalidArgument("cylinders must be > 0");
@@ -41,7 +43,7 @@ Status DiskProfile::Validate() const {
 DiskProfile SeagateBarracuda9LP() {
   DiskProfile p;
   p.name = "Seagate Barracuda 9LP";
-  p.capacity = Gigabytes(9.19);
+  p.capacity = Gibibytes(9.19);
   p.transfer_rate = Mbps(120);
   p.rpm = 7200;
   p.max_rotational_latency = Milliseconds(8.33);
@@ -56,7 +58,7 @@ DiskProfile SeagateBarracuda9LP() {
 DiskProfile SmallTestDisk() {
   DiskProfile p;
   p.name = "SmallTestDisk";
-  p.capacity = Gigabytes(1.0);
+  p.capacity = Gibibytes(1.0);
   p.transfer_rate = Mbps(30);  // With CR = 1.5 Mbps: N = 19.
   p.rpm = 5400;
   p.max_rotational_latency = Milliseconds(11.1);

@@ -13,12 +13,12 @@ namespace vod::disk {
 /// depends on (Table 3) plus geometry needed by the simulator.
 struct DiskProfile {
   std::string name;
-  Bits capacity = 0;
-  BitsPerSecond transfer_rate = 0;      ///< TR (the *minimum* sustained rate).
+  Bits capacity;
+  BitsPerSecond transfer_rate;      ///< TR (the *minimum* sustained rate).
   double rpm = 0;
-  Seconds max_rotational_latency = 0;   ///< θ = one full revolution.
+  Seconds max_rotational_latency;   ///< θ = one full revolution.
   long cylinders = 0;                   ///< Cyln.
-  SeekModel seek{0, 0, 0, 0, 1};
+  SeekModel seek{Seconds(0), Seconds(0), Seconds(0), Seconds(0), 1};
 
   /// γ(Cyln): the worst read seek, full-stroke.
   Seconds MaxSeekTime() const;

@@ -13,13 +13,14 @@ SeekModel::SeekModel(Seconds mu1, Seconds nu1, Seconds mu2, Seconds nu2,
 
 Seconds SeekModel::SeekTime(double cylinders) const {
   VOD_DCHECK(cylinders >= 0.0);
-  if (cylinders <= 0.0) return 0.0;
+  if (cylinders <= 0.0) return Seconds(0);
   if (cylinders < boundary_) return mu1_ + nu1_ * std::sqrt(cylinders);
   return mu2_ + nu2_ * cylinders;
 }
 
 Status SeekModel::Validate() const {
-  if (mu1_ < 0.0 || nu1_ < 0.0 || mu2_ < 0.0 || nu2_ < 0.0) {
+  if (mu1_ < Seconds(0) || nu1_ < Seconds(0) || mu2_ < Seconds(0) ||
+      nu2_ < Seconds(0)) {
     return Status::InvalidArgument("seek coefficients must be non-negative");
   }
   if (boundary_ <= 0.0) {

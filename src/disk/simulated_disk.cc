@@ -12,7 +12,7 @@ SimulatedDisk::SimulatedDisk(const DiskProfile& profile) : profile_(profile) {}
 Result<ServiceTiming> SimulatedDisk::Read(double cylinder, Bits bits,
                                           double rotation_fraction) {
   VODB_PROF_SCOPE("disk.service");
-  if (bits < 0) return Status::InvalidArgument("negative read size");
+  if (bits < Bits(0)) return Status::InvalidArgument("negative read size");
   if (cylinder < 0 || cylinder >= static_cast<double>(profile_.cylinders)) {
     return Status::OutOfRange("cylinder outside disk");
   }

@@ -9,9 +9,9 @@ namespace vod::disk {
 
 /// Breakdown of one disk service, returned for metrics.
 struct ServiceTiming {
-  Seconds seek = 0;
-  Seconds rotation = 0;
-  Seconds transfer = 0;
+  Seconds seek;
+  Seconds rotation;
+  Seconds transfer;
   Seconds total() const { return seek + rotation + transfer; }
 };
 
@@ -54,9 +54,9 @@ class SimulatedDisk {
  private:
   DiskProfile profile_;
   double head_ = 0.0;
-  Seconds total_seek_ = 0;
-  Seconds total_rotation_ = 0;
-  Seconds total_transfer_ = 0;
+  Seconds total_seek_;
+  Seconds total_rotation_;
+  Seconds total_transfer_;
   long reads_ = 0;
   long failed_reads_ = 0;
 };

@@ -11,7 +11,7 @@ VideoLayout::VideoLayout(const DiskProfile& profile)
       cylinders_(static_cast<double>(profile.cylinders)) {}
 
 Result<VideoId> VideoLayout::AddVideo(std::string title, Bits size) {
-  if (size <= 0) {
+  if (size <= Bits(0)) {
     return Status::InvalidArgument("video size must be positive");
   }
   if (next_offset_ + size > capacity_) {
@@ -44,7 +44,7 @@ Result<double> VideoLayout::CylinderOf(VideoId video, Bits offset) const {
     return Status::NotFound("video id " + std::to_string(video));
   }
   const VideoInfo& info = videos_[static_cast<std::size_t>(video)];
-  if (offset < 0 || offset > info.size) {
+  if (offset < Bits(0) || offset > info.size) {
     return Status::OutOfRange("offset outside video");
   }
   const double cyl = (info.start_offset + offset) / bits_per_cylinder_;

@@ -17,8 +17,8 @@ using VideoId = int;
 struct VideoInfo {
   VideoId id = -1;
   std::string title;
-  Bits size = 0;        ///< Total encoded size.
-  Bits start_offset = 0;  ///< First bit's position on the disk.
+  Bits size;        ///< Total encoded size.
+  Bits start_offset;  ///< First bit's position on the disk.
 };
 
 /// Placement of videos on a single disk.
@@ -53,7 +53,7 @@ class VideoLayout {
   Bits capacity_;
   Bits bits_per_cylinder_;
   double cylinders_;
-  Bits next_offset_ = 0;
+  Bits next_offset_;
   std::vector<VideoInfo> videos_;
 };
 

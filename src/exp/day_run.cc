@@ -69,7 +69,7 @@ sim::SimMetrics RunDay(const DayRunConfig& cfg) {
   // The broker prices memory analytically, so its params must match the
   // simulator's (same recipe as MultiDiskSimulator::Create).
   std::unique_ptr<sim::AnalyticMemoryBroker> broker;
-  if (cfg.memory_capacity > 0) {
+  if (cfg.memory_capacity > Bits(0)) {
     const int n_for_dl =
         sc.method == core::ScheduleMethod::kGss
             ? sc.gss_group_size

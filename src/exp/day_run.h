@@ -53,7 +53,7 @@ struct DayRunConfig {
   /// When > 0, the run is gated by an AnalyticMemoryBroker with this
   /// capacity in bits — required for memsqueeze clauses to have any effect
   /// on a single-disk run (no broker ⇒ unlimited memory).
-  Bits memory_capacity = 0;
+  Bits memory_capacity;
 };
 
 /// Runs one simulated day and returns the finalized metrics.

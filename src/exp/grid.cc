@@ -86,7 +86,7 @@ std::uint64_t Grid::SeedFor(const RunSpec& spec) const {
   h = sim::MixSeed(h, static_cast<std::uint64_t>(spec.config.method));
   h = sim::MixSeed(h, static_cast<std::uint64_t>(spec.config.scheme));
   h = sim::MixSeed(h, static_cast<std::uint64_t>(
-                          std::llround(spec.config.t_log * 1000.0)));
+                          std::llround(ToMilliseconds(spec.config.t_log))));
   h = sim::MixSeed(h, static_cast<std::uint64_t>(spec.config.alpha));
   h = sim::MixSeed(h, static_cast<std::uint64_t>(spec.replication));
   return h;

@@ -76,8 +76,9 @@ std::string RunLogJson(const std::vector<RunResult>& results) {
         r.spec.index,
         std::string(core::ScheduleMethodName(r.spec.config.method)).c_str(),
         std::string(sim::AllocSchemeName(r.spec.config.scheme)).c_str(),
-        r.spec.config.t_log / 60.0, r.spec.config.alpha, r.spec.replication,
-        r.spec.config.seed, r.wall_seconds * 1e3);
+        ToMinutes(r.spec.config.t_log), r.spec.config.alpha,
+        r.spec.replication,
+        r.spec.config.seed, ToMilliseconds(r.wall_seconds));
     out += buf;
     std::snprintf(
         buf, sizeof(buf),
@@ -93,7 +94,7 @@ std::string RunLogJson(const std::vector<RunResult>& results) {
                   " \"avg_latency_s\": %.6f, \"success_prob\": %.6f, "
                   "\"peak_memory_mb\": %.3f, \"peak_concurrency\": %d}%s\n",
                   m.initial_latency.mean(), m.SuccessProbability(),
-                  ToMegabytes(m.memory_usage.max_value()),
+                  ToMebibytes(Bits(m.memory_usage.max_value())),
                   m.peak_concurrency, i + 1 < results.size() ? "," : "");
     out += buf;
   }

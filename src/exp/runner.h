@@ -28,7 +28,7 @@ struct RunnerOptions {
 struct RunResult {
   RunSpec spec;
   sim::SimMetrics metrics;
-  Seconds wall_seconds = 0;  ///< Host wall time this run took.
+  Seconds wall_seconds;  ///< Host wall time this run took.
 };
 
 /// Fans a grid's runs out across a work-stealing thread pool and returns the

@@ -114,9 +114,10 @@ ThreadPool::PoolStats ThreadPool::Stats() const {
     WorkerStats w;
     w.tasks = counters_[i]->tasks.load(std::memory_order_relaxed);
     w.steals = counters_[i]->steals.load(std::memory_order_relaxed);
-    w.busy = static_cast<double>(
-                 counters_[i]->busy_nanos.load(std::memory_order_relaxed)) *
-             1e-9;
+    w.busy = Seconds(
+        static_cast<double>(
+            counters_[i]->busy_nanos.load(std::memory_order_relaxed)) *
+        1e-9);
     {
       MutexLock lock(queues_[i]->mu);
       w.max_queue_depth = queues_[i]->max_depth;
@@ -140,7 +141,7 @@ void ThreadPool::PublishStats(obs::MetricsRegistry& registry,
       registry.histogram(p + "worker_busy_s", {.lo = 1e-3});
   std::size_t max_depth = 0;
   for (const WorkerStats& w : stats.workers) {
-    busy.Add(w.busy);
+    busy.Add(ToSeconds(w.busy));
     max_depth = std::max(max_depth, w.max_queue_depth);
   }
   registry.gauge(p + "max_queue_depth").Set(static_cast<double>(max_depth));

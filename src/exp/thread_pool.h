@@ -71,7 +71,7 @@ class ThreadPool {
   struct WorkerStats {
     std::int64_t tasks = 0;
     std::int64_t steals = 0;
-    Seconds busy = 0;
+    Seconds busy;
     std::size_t max_queue_depth = 0;
   };
 

@@ -10,7 +10,7 @@ namespace vod::fault {
 
 namespace {
 
-constexpr Seconds kInf = std::numeric_limits<double>::infinity();
+constexpr Seconds kInf = Seconds::Infinity();
 
 /// Formats a double with just enough digits to round-trip typical spec
 /// values without trailing-zero noise ("10", "0.05", "2.5").
@@ -26,7 +26,7 @@ std::string Num(double v) {
 }
 
 Result<double> ParseNum(std::string_view s) {
-  if (s == "inf") return kInf;
+  if (s == "inf") return kInf.value();
   if (s.empty()) return Status::InvalidArgument("empty numeric value");
   char* end = nullptr;
   const std::string owned(s);
@@ -59,11 +59,11 @@ Status ApplyKey(FaultClause& c, std::string_view clause, std::string_view key,
   const bool windowed = k != FaultKind::kBurst;
   if (key == "start" || (key == "at" && k == FaultKind::kBurst)) {
     if (v < 0) return Fail(clause, "start must be >= 0");
-    c.start = v;
+    c.start = Seconds(v);
     return Status::OK();
   }
   if (key == "end" && windowed) {
-    c.end = v;
+    c.end = Seconds(v);
     return Status::OK();
   }
   if (key == "disk" && k != FaultKind::kMemSqueeze) {
@@ -86,7 +86,7 @@ Status ApplyKey(FaultClause& c, std::string_view clause, std::string_view key,
     }
     if (key == "extra") {
       if (v < 0) return Fail(clause, "extra must be >= 0");
-      c.extra = v;
+      c.extra = Seconds(v);
       return Status::OK();
     }
   }
@@ -100,7 +100,7 @@ Status ApplyKey(FaultClause& c, std::string_view clause, std::string_view key,
     }
     if (key == "backoff") {
       if (v < 0) return Fail(clause, "backoff must be >= 0");
-      c.backoff = v;
+      c.backoff = Seconds(v);
       return Status::OK();
     }
   }
@@ -126,12 +126,12 @@ Status ApplyKey(FaultClause& c, std::string_view clause, std::string_view key,
     }
     if (key == "spread") {
       if (v <= 0) return Fail(clause, "spread must be > 0");
-      c.spread = v;
+      c.spread = Seconds(v);
       return Status::OK();
     }
     if (key == "viewing") {
       if (v <= 0) return Fail(clause, "viewing must be > 0");
-      c.viewing = v;
+      c.viewing = Seconds(v);
       return Status::OK();
     }
   }
@@ -211,22 +211,22 @@ std::string FaultSpec::ToString() const {
     if (!out.empty()) out += ';';
     out += FaultKindName(c.kind);
     if (c.kind == FaultKind::kBurst) {
-      out += ":at=" + Num(c.start) + ",count=" + Num(c.count) +
-             ",video=" + Num(c.video) + ",spread=" + Num(c.spread) +
-             ",viewing=" + Num(c.viewing);
+      out += ":at=" + Num(c.start.value()) + ",count=" + Num(c.count) +
+             ",video=" + Num(c.video) + ",spread=" + Num(c.spread.value()) +
+             ",viewing=" + Num(c.viewing.value());
       if (c.disk >= 0) out += ",disk=" + Num(c.disk);
       continue;
     }
-    out += ":start=" + Num(c.start) + ",end=" + Num(c.end);
+    out += ":start=" + Num(c.start.value()) + ",end=" + Num(c.end.value());
     if (c.disk >= 0) out += ",disk=" + Num(c.disk);
     switch (c.kind) {
       case FaultKind::kLatency:
-        out += ",factor=" + Num(c.factor) + ",extra=" + Num(c.extra) +
+        out += ",factor=" + Num(c.factor) + ",extra=" + Num(c.extra.value()) +
                ",p=" + Num(c.p);
         break;
       case FaultKind::kEio:
         out += ",p=" + Num(c.p) + ",retries=" + Num(c.retries) +
-               ",backoff=" + Num(c.backoff);
+               ",backoff=" + Num(c.backoff.value());
         break;
       case FaultKind::kMemSqueeze:
         out += ",scale=" + Num(c.scale);

@@ -29,8 +29,8 @@ struct FaultClause {
 
   // Window [start, end) in simulated seconds; end defaults to +infinity.
   // kBurst uses `start` as the burst epoch instead of a window.
-  Seconds start = 0;
-  Seconds end = 0;  ///< Set to +inf by the parser when omitted.
+  Seconds start;
+  Seconds end;  ///< Set to +inf by the parser when omitted.
 
   int disk = -1;  ///< Target disk id; -1 = every disk.
 
@@ -40,12 +40,12 @@ struct FaultClause {
 
   // kLatency: multiply the read's service time, then add `extra`.
   double factor = 2.0;
-  Seconds extra = 0;
+  Seconds extra;
 
   // kEio: bounded retry budget per service round and base backoff before
   // the disk re-issues the read (doubled per consecutive failure).
   int retries = 3;
-  Seconds backoff = 0.05;
+  Seconds backoff = Seconds(0.05);
 
   // kMemSqueeze: multiply broker capacity by this while the window is open.
   double scale = 0.5;
@@ -54,8 +54,8 @@ struct FaultClause {
   // [start, start + spread), each watching `viewing` seconds, on `disk`
   // (-1 = disk 0; bursts target one disk).
   int count = 0;
-  Seconds spread = 60;
-  Seconds viewing = 1800;
+  Seconds spread = Seconds(60);
+  Seconds viewing = Seconds(1800);
   int video = 0;
 };
 

@@ -51,7 +51,7 @@ ReadFault Injector::OnRead(int disk, Seconds now) {
     }
   }
   if (f.fail) ++read_failures_injected_;
-  if (f.latency_factor > 1.0 || f.extra_latency > 0) ++reads_delayed_;
+  if (f.latency_factor > 1.0 || f.extra_latency > Seconds(0)) ++reads_delayed_;
   return f;
 }
 
@@ -89,7 +89,7 @@ std::vector<BurstArrival> Injector::Bursts() const {
     std::vector<Seconds> times;
     times.reserve(static_cast<std::size_t>(c.count));
     for (int j = 0; j < c.count; ++j) {
-      times.push_back(c.start + rng.Uniform(0.0, c.spread));
+      times.push_back(c.start + Seconds(rng.Uniform(0.0, c.spread.value())));
     }
     std::sort(times.begin(), times.end());
     for (const Seconds t : times) {

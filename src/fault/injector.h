@@ -18,17 +18,17 @@ namespace vod::fault {
 struct ReadFault {
   bool fail = false;           ///< Transient EIO: no data transfers.
   int max_retries = 0;         ///< kEio retry budget for the failed round.
-  Seconds retry_backoff = 0;   ///< Base backoff before the re-issued read.
+  Seconds retry_backoff;   ///< Base backoff before the re-issued read.
   /// Dimensionless multiplier on the read's service time.
   double latency_factor = 1.0;  // vodb-lint: allow(raw-double-unit)
-  Seconds extra_latency = 0;   ///< kLatency additive delay.
+  Seconds extra_latency;   ///< kLatency additive delay.
 };
 
 /// One arrival a kBurst clause injects into the workload.
 struct BurstArrival {
-  Seconds time = 0;
+  Seconds time;
   int video = 0;
-  Seconds viewing_time = 0;
+  Seconds viewing_time;
   int disk = 0;
 };
 

@@ -11,7 +11,7 @@ std::int64_t MonotonicNanos() {
 }
 
 Seconds MonotonicSeconds() {
-  return static_cast<double>(MonotonicNanos()) * 1e-9;
+  return Seconds(static_cast<double>(MonotonicNanos()) * 1e-9);
 }
 
 }  // namespace vod::obs

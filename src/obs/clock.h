@@ -28,7 +28,7 @@ class Stopwatch {
   void Restart() { start_ = MonotonicNanos(); }
   std::int64_t ElapsedNanos() const { return MonotonicNanos() - start_; }
   Seconds Elapsed() const {
-    return static_cast<double>(ElapsedNanos()) * 1e-9;
+    return Seconds(static_cast<double>(ElapsedNanos()) * 1e-9);
   }
 
  private:

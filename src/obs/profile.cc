@@ -32,9 +32,9 @@ std::vector<ProfSiteStats> Profiler::Snapshot() const {
       ProfSiteStats s;
       s.name = name;
       s.calls = calls;
-      s.total = static_cast<double>(
-                    site->nanos.load(std::memory_order_relaxed)) *
-                1e-9;
+      s.total = Seconds(static_cast<double>(
+                            site->nanos.load(std::memory_order_relaxed)) *
+                        1e-9);
       s.mean = s.total / static_cast<double>(calls);
       out.push_back(std::move(s));
     }
@@ -69,7 +69,8 @@ std::string Profiler::ReportTable() const {
   for (const ProfSiteStats& s : stats) {
     std::snprintf(buf, sizeof(buf), "%-*s %12lld %12.4f %12.2f\n",
                   static_cast<int>(width), s.name.c_str(),
-                  static_cast<long long>(s.calls), s.total, s.mean * 1e6);
+                  static_cast<long long>(s.calls), ToSeconds(s.total),
+                  ToSeconds(s.mean) * 1e6);
     out += buf;
   }
   return out;
@@ -84,8 +85,8 @@ std::string Profiler::ToJson() const {
                   "%s\n  {\"name\": \"%s\", \"calls\": %lld, "
                   "\"total_s\": %.6f, \"mean_us\": %.3f}",
                   i > 0 ? "," : "", stats[i].name.c_str(),
-                  static_cast<long long>(stats[i].calls), stats[i].total,
-                  stats[i].mean * 1e6);
+                  static_cast<long long>(stats[i].calls),
+                  ToSeconds(stats[i].total), ToSeconds(stats[i].mean) * 1e6);
     out += buf;
   }
   out += stats.empty() ? "]\n" : "\n]\n";

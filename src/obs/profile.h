@@ -28,8 +28,8 @@ struct ProfSite {
 struct ProfSiteStats {
   std::string name;
   std::int64_t calls = 0;
-  Seconds total = 0;
-  Seconds mean = 0;
+  Seconds total;
+  Seconds mean;
 };
 
 /// Process-wide registry of profiling sites. Sites registered under the

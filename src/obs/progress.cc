@@ -13,7 +13,7 @@ void ProgressReporter::OnComplete() {
   MutexLock lock(mu_);
   if (done_ < total_) ++done_;
   const Seconds now = watch_.Elapsed();
-  if (done_ == total_ || last_draw_ < 0 ||
+  if (done_ == total_ || last_draw_ < Seconds(0) ||
       now - last_draw_ >= min_interval_) {
     last_draw_ = now;
     Draw(/*final_line=*/false);
@@ -34,8 +34,9 @@ std::size_t ProgressReporter::completed() const {
 
 void ProgressReporter::Draw(bool final_line) {
   const Seconds elapsed = watch_.Elapsed();
-  const double rate =
-      elapsed > 0 ? static_cast<double>(done_) / elapsed : 0.0;
+  const double rate = elapsed > Seconds(0)
+                          ? static_cast<double>(done_) / ToSeconds(elapsed)
+                          : 0.0;
   const double pct =
       total_ > 0 ? 100.0 * static_cast<double>(done_) /
                        static_cast<double>(total_)

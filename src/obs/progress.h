@@ -21,7 +21,7 @@ namespace vod::obs {
 class ProgressReporter {
  public:
   ProgressReporter(std::size_t total, std::string label,
-                   std::FILE* out = stderr, Seconds min_interval = 0.2);
+                   std::FILE* out = stderr, Seconds min_interval = Seconds(0.2));
 
   /// One unit of work finished.
   void OnComplete();
@@ -41,7 +41,7 @@ class ProgressReporter {
   const Seconds min_interval_;
   Stopwatch watch_ VODB_GUARDED_BY(mu_);
   std::size_t done_ VODB_GUARDED_BY(mu_) = 0;
-  Seconds last_draw_ VODB_GUARDED_BY(mu_) = -1.0;
+  Seconds last_draw_ VODB_GUARDED_BY(mu_) = Seconds(-1);
   bool finished_ VODB_GUARDED_BY(mu_) = false;
 };
 

@@ -39,7 +39,7 @@ inline constexpr int kTraceEventKindCount = 16;
 std::string_view TraceEventKindName(TraceEventKind kind);
 
 struct TraceEvent {
-  Seconds time = 0;  ///< Simulated time, not host time.
+  Seconds time;  ///< Simulated time, not host time.
   TraceEventKind kind = TraceEventKind::kArrival;
   std::int32_t disk = 0;
   RequestId request = kInvalidRequestId;
@@ -47,11 +47,11 @@ struct TraceEvent {
   // Payload; meaning depends on kind (0 where not applicable).
   std::int32_t n = 0;        ///< kAdmit / kAllocation: requests in service.
   std::int32_t k = 0;        ///< kAllocation: estimated additional requests.
-  Bits bits = 0;             ///< kAllocation: buffer size; kService*: read size.
-  Seconds usage_period = 0;  ///< kAllocation: Eq. 8 usage period.
-  Seconds seek = 0;          ///< kService*: seek component.
-  Seconds rotation = 0;      ///< kService*: rotational component.
-  Seconds transfer = 0;      ///< kService*: transfer component.
+  Bits bits;             ///< kAllocation: buffer size; kService*: read size.
+  Seconds usage_period;  ///< kAllocation: Eq. 8 usage period.
+  Seconds seek;          ///< kService*: seek component.
+  Seconds rotation;      ///< kService*: rotational component.
+  Seconds transfer;      ///< kService*: transfer component.
 };
 
 /// Whether the simulator/scheduler trace hooks were compiled in

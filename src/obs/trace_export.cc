@@ -41,16 +41,18 @@ void AppendJsonlPayload(std::string& out, const TraceEvent& ev) {
     case TraceEventKind::kAllocation:
       AppendF(out, ",\"n\":%d,\"k\":%d,\"buffer_bits\":%.1f,"
                    "\"usage_period\":%.6f",
-              ev.n, ev.k, ev.bits, ev.usage_period);
+              ev.n, ev.k, ToBits(ev.bits), ToSeconds(ev.usage_period));
       break;
     case TraceEventKind::kServiceStart:
     case TraceEventKind::kServiceEnd:
       AppendF(out, ",\"bits\":%.1f,\"seek\":%.6f,\"rotation\":%.6f,"
                    "\"transfer\":%.6f",
-              ev.bits, ev.seek, ev.rotation, ev.transfer);
+              ToBits(ev.bits), ToSeconds(ev.seek), ToSeconds(ev.rotation),
+              ToSeconds(ev.transfer));
       break;
     case TraceEventKind::kReadFault:
-      AppendF(out, ",\"seek\":%.6f,\"rotation\":%.6f", ev.seek, ev.rotation);
+      AppendF(out, ",\"seek\":%.6f,\"rotation\":%.6f", ToSeconds(ev.seek),
+              ToSeconds(ev.rotation));
       break;
     default:
       break;
@@ -65,7 +67,7 @@ std::string ToJsonl(const std::vector<TraceRun>& runs) {
     for (const TraceEvent& ev : run.events) {
       AppendF(out, "{\"run\":%d,\"label\":\"", run.pid);
       AppendEscaped(out, run.label);
-      AppendF(out, "\",\"time\":%.6f,\"kind\":\"", ev.time);
+      AppendF(out, "\",\"time\":%.6f,\"kind\":\"", ToSeconds(ev.time));
       out += TraceEventKindName(ev.kind);
       AppendF(out, "\",\"disk\":%d,\"request\":%" PRIu64,
               static_cast<int>(ev.disk), ev.request);
@@ -129,7 +131,7 @@ std::string ToChromeTraceJson(const std::vector<TraceRun>& runs) {
     std::set<RequestId> async_open;          // "b" emitted, "e" pending.
     std::map<RequestId, int> flow_emitted;   // service starts seen so far.
     for (const TraceEvent& ev : run.events) {
-      const double ts = ev.time * 1e6;  // Chrome ts is in microseconds.
+      const double ts = ToSeconds(ev.time) * 1e6;  // Chrome ts is in microseconds.
       const int disk = static_cast<int>(ev.disk);
       std::string e;
       switch (ev.kind) {
@@ -139,8 +141,9 @@ std::string ToChromeTraceJson(const std::vector<TraceRun>& runs) {
                      "\"request\":%" PRIu64 ",\"bits\":%.1f,"
                      "\"seek_ms\":%.3f,\"rotation_ms\":%.3f,"
                      "\"transfer_ms\":%.3f}}",
-                  run.pid, disk, ts, ev.request, ev.bits, ev.seek * 1e3,
-                  ev.rotation * 1e3, ev.transfer * 1e3);
+                  run.pid, disk, ts, ev.request, ToBits(ev.bits),
+                  ToMilliseconds(ev.seek), ToMilliseconds(ev.rotation),
+                  ToMilliseconds(ev.transfer));
           emit(e);
           disk_slice_open[disk] = true;
           // Flow chain across this request's service slices.
@@ -213,7 +216,7 @@ std::string ToChromeTraceJson(const std::vector<TraceRun>& runs) {
                      "\"request\":%" PRIu64 ",\"n\":%d,\"k\":%d,"
                      "\"buffer_mbit\":%.3f,\"usage_period_s\":%.3f}}",
                   run.pid, kLifecycleTid, ts, ev.request, ev.n, ev.k,
-                  ev.bits * 1e-6, ev.usage_period);
+                  ToMegabits(ev.bits), ToSeconds(ev.usage_period));
           emit(e);
           break;
         }

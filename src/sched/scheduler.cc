@@ -17,7 +17,7 @@ std::optional<ServiceDecision> BufferScheduler::Next(
     // its deadline, in which case catch that one refill up first and retry.
     // The pacing rule below keeps every established buffer one
     // newcomer-slot ahead, so the displacement test normally passes.
-    Seconds elapsed = 0;
+    Seconds elapsed;
     std::size_t first_established = seq.size();
     for (std::size_t i = 0; i < seq.size(); ++i) {
       elapsed += ctx.WorstServiceTime(seq[i]);
@@ -59,8 +59,8 @@ std::optional<ServiceDecision> BufferScheduler::Next(
 
 Seconds LatestSafeStart(const SchedulerContext& ctx,
                         const std::vector<RequestId>& sequence) {
-  Seconds latest = std::numeric_limits<double>::infinity();
-  Seconds elapsed = 0;
+  Seconds latest = Seconds::Infinity();
+  Seconds elapsed;
   for (RequestId id : sequence) {
     elapsed += ctx.WorstServiceTime(id);
     latest = std::min(latest, ctx.BufferDeadline(id) - elapsed);

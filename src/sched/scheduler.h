@@ -49,7 +49,7 @@ class SchedulerContext {
 /// rule).
 struct ServiceDecision {
   RequestId id = kInvalidRequestId;
-  Seconds not_before = 0;
+  Seconds not_before;
 };
 
 /// Order-of-service policy (Sec. 2.2). The scheduler owns only ordering and

@@ -15,23 +15,28 @@ namespace vod::sim {
 
 namespace {
 
-constexpr Seconds kTimeEps = 1e-9;
+constexpr Seconds kTimeEps = Seconds(1e-9);
 /// Relative tolerance for analytic-form comparisons. The simulator and the
 /// closed forms evaluate the same expressions in different orders, so only
 /// rounding noise separates them.
 constexpr double kRelTol = 1e-6;
 /// Absolute slack for bit ledgers (values are O(1e6..1e9) bits).
-constexpr Bits kBitsEps = 1e-3;
+constexpr Bits kBitsEps = Bits(1e-3);
 
 bool NearlyEqual(double a, double b) {
   const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
   return std::fabs(a - b) <= kRelTol * scale;
 }
 
+template <typename D>
+bool NearlyEqual(Quantity<D> a, Quantity<D> b) {
+  return NearlyEqual(a.value(), b.value());
+}
+
 void AbortingHandler(const InvariantViolation& v) {
   std::fprintf(stderr,
                "InvariantAuditor: [%s] violated at t=%.9f\n  %s\n",
-               v.invariant.c_str(), v.time, v.detail.c_str());
+               v.invariant.c_str(), ToSeconds(v.time), v.detail.c_str());
   std::abort();
 }
 
@@ -41,7 +46,7 @@ InvariantAuditor::InvariantAuditor() : InvariantAuditor(Handler()) {}
 
 InvariantAuditor::InvariantAuditor(Handler handler)
     : handler_(std::move(handler)),
-      last_event_time_(-std::numeric_limits<double>::infinity()) {}
+      last_event_time_(-Seconds::Infinity()) {}
 
 void InvariantAuditor::set_handler(Handler handler) {
   handler_ = std::move(handler);
@@ -67,12 +72,12 @@ void InvariantAuditor::CheckEventTime(Seconds event_time) {
   // back-to-back events (e.g. a zero-length retry re-issued at the same
   // instant) differ only in bits below the representable resolution of
   // `now`, which an absolute 1e-9 would misread as time travel.
-  const Seconds tol = kTimeEps * std::max(1.0, std::fabs(last_event_time_));
+  const Seconds tol = kTimeEps * std::max(1.0, std::fabs(last_event_time_.value()));
   if (event_time < last_event_time_ - tol) {
     Report("event-time-monotonicity", event_time,
-           "event at t=" + std::to_string(event_time) +
+           "event at t=" + std::to_string(event_time.value()) +
                " precedes already-processed t=" +
-               std::to_string(last_event_time_));
+               std::to_string(last_event_time_.value()));
   }
   last_event_time_ = std::max(last_event_time_, event_time);
 }
@@ -80,24 +85,24 @@ void InvariantAuditor::CheckEventTime(Seconds event_time) {
 void InvariantAuditor::CheckMemoryConservation(Seconds now, Bits allocated,
                                                Bits free_mem, Bits total) {
   ++checks_;
-  const Bits slack = kBitsEps + kRelTol * std::max(total, 1.0);
+  const Bits slack = kBitsEps + kRelTol * std::max(total, Bits(1.0));
   if (allocated < -slack) {
     Report("memory-conservation", now,
-           "allocated share is negative: " + std::to_string(allocated));
+           "allocated share is negative: " + std::to_string(allocated.value()));
     return;
   }
   if (free_mem < -slack) {
     Report("memory-conservation", now,
-           "free share is negative: " + std::to_string(free_mem) +
-               " (allocated=" + std::to_string(allocated) +
-               ", total=" + std::to_string(total) + ")");
+           "free share is negative: " + std::to_string(free_mem.value()) +
+               " (allocated=" + std::to_string(allocated.value()) +
+               ", total=" + std::to_string(total.value()) + ")");
     return;
   }
-  if (std::fabs(allocated + free_mem - total) > slack) {
+  if (Abs(allocated + free_mem - total) > slack) {
     Report("memory-conservation", now,
-           "allocated+free != total: " + std::to_string(allocated) + " + " +
-               std::to_string(free_mem) +
-               " != " + std::to_string(total));
+           "allocated+free != total: " + std::to_string(allocated.value()) + " + " +
+               std::to_string(free_mem.value()) +
+               " != " + std::to_string(total.value()));
   }
 }
 
@@ -109,10 +114,10 @@ void InvariantAuditor::CheckBrokerReservation(Seconds now, Bits reserved,
     return;
   }
   ++checks_;
-  const Bits slack = kBitsEps + kRelTol * std::max(capacity, 1.0);
+  const Bits slack = kBitsEps + kRelTol * std::max(capacity, Bits(1.0));
   if (reserved < -slack) {
     Report("memory-conservation", now,
-           "broker reservation is negative: " + std::to_string(reserved));
+           "broker reservation is negative: " + std::to_string(reserved.value()));
   }
 }
 
@@ -122,8 +127,8 @@ void InvariantAuditor::CheckRequestAccounting(Seconds now, RequestId id,
   if (consumed > delivered + kBitsEps) {
     Report("request-accounting", now,
            "request " + std::to_string(id) + " consumed " +
-               std::to_string(consumed) + " bits > delivered " +
-               std::to_string(delivered));
+               std::to_string(consumed.value()) + " bits > delivered " +
+               std::to_string(delivered.value()));
   }
   if (consumed < -kBitsEps || delivered < -kBitsEps) {
     Report("request-accounting", now,
@@ -137,10 +142,10 @@ void InvariantAuditor::CheckRequestAccounting(Seconds now, RequestId id,
       Report("request-accounting", now,
              "request " + std::to_string(id) +
                  " ledger ran backwards: delivered " +
-                 std::to_string(prev_delivered) + " -> " +
-                 std::to_string(delivered) + ", consumed " +
-                 std::to_string(prev_consumed) + " -> " +
-                 std::to_string(consumed));
+                 std::to_string(prev_delivered.value()) + " -> " +
+                 std::to_string(delivered.value()) + ", consumed " +
+                 std::to_string(prev_consumed.value()) + " -> " +
+                 std::to_string(consumed.value()));
     }
   }
   ledger_[id] = {delivered, consumed};
@@ -157,9 +162,9 @@ void InvariantAuditor::CheckAllocation(const core::AllocParams& params,
   // Eq. (8): a minimal buffer holds exactly one usage period of data.
   if (!NearlyEqual(rec.usage_period, rec.buffer_size / params.cr)) {
     Report("usage-period", rec.time,
-           "usage_period " + std::to_string(rec.usage_period) +
+           "usage_period " + std::to_string(rec.usage_period.value()) +
                " != BS/CR = " +
-               std::to_string(rec.buffer_size / params.cr));
+               std::to_string((rec.buffer_size / params.cr).value()));
     return;
   }
 
@@ -189,10 +194,10 @@ void InvariantAuditor::CheckAllocation(const core::AllocParams& params,
   }
   if (!NearlyEqual(rec.buffer_size, expected.value())) {
     Report("theorem1-buffer-size", rec.time,
-           "allocated " + std::to_string(rec.buffer_size) +
+           "allocated " + std::to_string(rec.buffer_size.value()) +
                " bits at (n=" + std::to_string(rec.n) +
                ", k=" + std::to_string(rec.k) + "), analytic form gives " +
-               std::to_string(expected.value()));
+               std::to_string(expected.value().value()));
   }
 }
 
@@ -237,7 +242,7 @@ void InvariantAuditor::CheckServiceDecision(
     // BubbleUp front-newcomer rule: serve the newcomer unless worst-case
     // accounting shows the first established buffer would miss its
     // deadline; then that buffer must be caught up first.
-    Seconds elapsed = 0;
+    Seconds elapsed;
     std::size_t first_established = seq.size();
     for (std::size_t i = 0; i < seq.size(); ++i) {
       elapsed += ctx.WorstServiceTime(seq[i]);
@@ -262,7 +267,7 @@ void InvariantAuditor::CheckServiceDecision(
     if (decision.not_before > now + kTimeEps) {
       Report("bubbleup-ordering", now,
              "newcomer service delayed to t=" +
-                 std::to_string(decision.not_before));
+                 std::to_string(decision.not_before.value()));
     }
     return;
   }
@@ -281,7 +286,7 @@ void InvariantAuditor::CheckServiceDecision(
     if (decision.not_before > now + kTimeEps) {
       Report("bubbleup-ordering", now,
              "a newcomer is queued but service is delayed to t=" +
-                 std::to_string(decision.not_before));
+                 std::to_string(decision.not_before.value()));
     }
     return;
   }
@@ -291,8 +296,8 @@ void InvariantAuditor::CheckServiceDecision(
   if (!NearlyEqual(decision.not_before, latest) &&
       decision.not_before > latest + kTimeEps) {
     Report("bubbleup-ordering", now,
-           "lazy start t=" + std::to_string(decision.not_before) +
-               " exceeds the latest safe start " + std::to_string(latest));
+           "lazy start t=" + std::to_string(decision.not_before.value()) +
+               " exceeds the latest safe start " + std::to_string(latest.value()));
   }
 }
 

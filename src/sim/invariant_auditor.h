@@ -19,7 +19,7 @@ namespace vod::sim {
 /// a human-readable account of the numbers involved.
 struct InvariantViolation {
   std::string invariant;  ///< Stable name, e.g. "memory-conservation".
-  Seconds time = 0;
+  Seconds time;
   std::string detail;
 };
 

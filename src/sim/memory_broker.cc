@@ -9,7 +9,7 @@
 namespace vod::sim {
 
 Bits UnlimitedMemoryBroker::Capacity() const {
-  return std::numeric_limits<double>::infinity();
+  return Bits::Infinity();
 }
 
 AnalyticMemoryBroker::AnalyticMemoryBroker(core::AllocParams params,
@@ -23,7 +23,7 @@ AnalyticMemoryBroker::AnalyticMemoryBroker(core::AllocParams params,
 }
 
 Bits AnalyticMemoryBroker::PriceDisk(int n, int k) const {
-  if (n <= 0) return 0;
+  if (n <= 0) return Bits(0);
   n = std::min(n, params_.n_max);
   const Result<Bits> m =
       use_dynamic_
@@ -47,7 +47,7 @@ bool AnalyticMemoryBroker::CanAdmit(int disk, int new_n, int k) const {
   const std::size_t d = static_cast<std::size_t>(disk);
   VOD_CHECK(d < n_.size());
   if (new_n > params_.n_max) return false;
-  Bits total = 0;
+  Bits total;
   for (std::size_t i = 0; i < n_.size(); ++i) {
     if (i == d) {
       total += PriceDisk(new_n, k);
@@ -66,7 +66,7 @@ void AnalyticMemoryBroker::OnState(int disk, int n, int k) {
 }
 
 Bits AnalyticMemoryBroker::ReservedMemory() const {
-  Bits total = 0;
+  Bits total;
   for (std::size_t i = 0; i < n_.size(); ++i) total += PriceDisk(n_[i], k_[i]);
   return total;
 }

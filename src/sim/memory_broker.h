@@ -50,7 +50,7 @@ class UnlimitedMemoryBroker final : public MemoryBroker {
  public:
   [[nodiscard]] bool CanAdmit(int, int, int) const override { return true; }
   void OnState(int, int, int) override {}
-  [[nodiscard]] Bits ReservedMemory() const override { return 0; }
+  [[nodiscard]] Bits ReservedMemory() const override { return Bits(0); }
   [[nodiscard]] Bits Capacity() const override;
 };
 
@@ -93,7 +93,7 @@ class AnalyticMemoryBroker final : public MemoryBroker {
   std::vector<int> n_;
   std::vector<int> k_;
   const fault::Injector* injector_ = nullptr;  ///< Not owned; may be null.
-  Seconds clock_ = 0;  ///< Monotone; max over AdvanceTo calls.
+  Seconds clock_;  ///< Monotone; max over AdvanceTo calls.
 };
 
 }  // namespace vod::sim

@@ -59,8 +59,8 @@ void SimMetrics::PublishTo(obs::MetricsRegistry& registry,
   obs::Histogram& est_k =
       registry.histogram(p + "alloc.k", {.lo = 1.0, .growth = 1.5});
   for (const AllocationRecord& rec : allocations) {
-    buffer_mbit.Add(rec.buffer_size * 1e-6);
-    usage_s.Add(rec.usage_period);
+    buffer_mbit.Add(ToMegabits(rec.buffer_size));
+    usage_s.Add(ToSeconds(rec.usage_period));
     est_k.Add(static_cast<double>(rec.k));
   }
 
@@ -68,7 +68,7 @@ void SimMetrics::PublishTo(obs::MetricsRegistry& registry,
   registry.histogram(p + "run.initial_latency_mean_s", {.lo = 1e-3})
       .Add(initial_latency.mean());
   registry.histogram(p + "run.peak_memory_mb", {.lo = 1.0})
-      .Add(ToMegabytes(memory_usage.max_value()));
+      .Add(ToMebibytes(Bits(memory_usage.max_value())));
   registry.histogram(p + "run.peak_concurrency", {.lo = 1.0, .growth = 1.5})
       .Add(static_cast<double>(peak_concurrency));
 }

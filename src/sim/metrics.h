@@ -17,12 +17,12 @@ namespace vod::sim {
 /// One buffer allocation the simulator performed (for Figs. 7–8 and the
 /// assumption-invariant tests).
 struct AllocationRecord {
-  Seconds time = 0;
+  Seconds time;
   RequestId request = 0;
   int n = 0;
   int k = 0;
-  Bits buffer_size = 0;
-  Seconds usage_period = 0;
+  Bits buffer_size;
+  Seconds usage_period;
 };
 
 /// Everything a simulation run measures. Collected per disk; MultiDisk runs
@@ -70,8 +70,8 @@ struct SimMetrics {
   /// read delivers into a stream buffer is eventually tossed back by
   /// use-it-and-toss-it consumption (departure) or cancellation. At the end
   /// of a drained run allocated == released exactly, faults or not.
-  Bits buffer_bits_allocated = 0;
-  Bits buffer_bits_released = 0;
+  Bits buffer_bits_allocated;
+  Bits buffer_bits_released;
 
   // --- Resource usage over time ---
   StepTimeSeries concurrency;
@@ -80,7 +80,7 @@ struct SimMetrics {
   int peak_concurrency = 0;
 
   // --- Disk accounting ---
-  Seconds disk_busy_time = 0;
+  Seconds disk_busy_time;
   long services = 0;
 
   /// Resolves estimation success for all allocation records given the full

@@ -16,7 +16,7 @@ MultiDiskSimulator::MultiDiskSimulator(
 Result<std::unique_ptr<MultiDiskSimulator>> MultiDiskSimulator::Create(
     const SimConfig& base, int disk_count, Bits memory_capacity) {
   if (disk_count < 1) return Status::InvalidArgument("need >= 1 disk");
-  if (memory_capacity <= 0) {
+  if (memory_capacity <= Bits(0)) {
     return Status::InvalidArgument("memory capacity must be > 0");
   }
   VOD_RETURN_IF_ERROR(base.Validate());
@@ -68,7 +68,7 @@ Status MultiDiskSimulator::AddArrivals(
 void MultiDiskSimulator::RunToCompletion() {
   for (;;) {
     // Globally earliest next event across disks.
-    Seconds best = std::numeric_limits<double>::infinity();
+    Seconds best = Seconds::Infinity();
     VodSimulator* who = nullptr;
     for (auto& s : sims_) {
       const Seconds t = s->NextEventTime();

@@ -23,7 +23,7 @@ class Rng {
   /// Exponential with the given rate (mean 1/rate); rate must be > 0.
   /// The rate is a dimensionless distribution parameter (events per unit of
   /// whatever the caller measures), not a bits-per-second quantity.
-  double Exponential(double rate);  // vodb-lint: allow(raw-double-unit)
+  double Exponential(double rate);  // vodb-lint: allow(raw-double-unit, units-hygiene)
 
   /// Uniform integer in [0, n).
   std::uint32_t NextBelow(std::uint32_t n);

@@ -16,8 +16,8 @@
 namespace vod::sim {
 
 namespace {
-constexpr Seconds kEps = 1e-9;
-constexpr Seconds kInf = std::numeric_limits<double>::infinity();
+constexpr Seconds kEps = Seconds(1e-9);
+constexpr Seconds kInf = Seconds::Infinity();
 }  // namespace
 
 // The invariant-audit hooks below compile to nothing unless the tree is
@@ -47,16 +47,16 @@ std::string_view AllocSchemeName(AllocScheme s) {
 
 Status SimConfig::Validate() const {
   VOD_RETURN_IF_ERROR(profile.Validate());
-  if (consumption_rate <= 0) {
+  if (consumption_rate <= BitsPerSecond(0)) {
     return Status::InvalidArgument("consumption rate must be > 0");
   }
   if (gss_group_size < 1) {
     return Status::InvalidArgument("GSS group size must be >= 1");
   }
   if (alpha < 1) return Status::InvalidArgument("alpha must be >= 1");
-  if (t_log <= 0) return Status::InvalidArgument("T_log must be > 0");
+  if (t_log <= Seconds(0)) return Status::InvalidArgument("T_log must be > 0");
   if (video_count < 1) return Status::InvalidArgument("need >= 1 video");
-  if (video_length <= 0) {
+  if (video_length <= Seconds(0)) {
     return Status::InvalidArgument("video length must be > 0");
   }
   return Status::OK();
@@ -199,7 +199,7 @@ bool VodSimulator::Step() {
       HandleDeparture(ev);
       break;
     case EventKind::kWakeup:
-      if (wakeup_pending_ && std::abs(ev.time - scheduled_wakeup_) < kEps) {
+      if (wakeup_pending_ && Abs(ev.time - scheduled_wakeup_) < kEps) {
         wakeup_pending_ = false;
       }
       MaybeScheduleService();
@@ -227,9 +227,9 @@ void VodSimulator::Finalize() {
 // ---------------------------------------------------------------------------
 
 Bits VodSimulator::ConsumedAt(const Req& r, Seconds t) const {
-  if (!r.playing) return 0;
+  if (!r.playing) return Bits(0);
   const Bits grown =
-      r.consumed + alloc_params_.cr * std::max(0.0, t - r.consumed_at);
+      r.consumed + alloc_params_.cr * std::max(Seconds(0), t - r.consumed_at);
   // Consumption can neither exceed what has been delivered (underflow
   // stalls playback) nor the total the user will watch.
   return std::min({grown, r.delivered, r.total_bits});
@@ -245,7 +245,7 @@ Bits VodSimulator::BufferLevelAt(const Req& r, Seconds t) const {
 }
 
 Bits VodSimulator::TotalBufferedBits(Seconds t) const {
-  Bits total = 0;
+  Bits total;
   for (const auto& [id, r] : requests_) {
     if (r.admitted) total += BufferLevelAt(r, t);
   }
@@ -350,7 +350,7 @@ void VodSimulator::RecordConcurrency() {
   // Concurrency counts viewing users (n): admitted requests that have not
   // yet departed, including ones draining their final buffer.
   const int n = allocator_->active_count();
-  metrics_.concurrency.Record(now_, n);
+  metrics_.concurrency.Record(ToSeconds(now_), n);
   metrics_.peak_concurrency = std::max(metrics_.peak_concurrency, n);
 }
 
@@ -359,14 +359,15 @@ void VodSimulator::ReportBrokerState(int k_estimate, bool at_admission) {
   if (broker_ != nullptr) {
     broker_->AdvanceTo(now_);
     broker_->OnState(config_.disk_id, allocator_->active_count(), k_estimate);
-    metrics_.memory_reserved.Record(now_, broker_->ReservedMemory());
+    metrics_.memory_reserved.Record(ToSeconds(now_),
+                                    ToBits(broker_->ReservedMemory()));
 #if VODB_AUDIT_ENABLED
     // The reservation must partition the capacity at admission points (the
     // CanAdmit gate just approved this exact state); between admissions the
     // k estimate drifts and repricing may transiently exceed capacity by
     // design, so only non-negativity is enforced there.
     const Bits capacity = broker_->Capacity();
-    if (std::isfinite(capacity)) {
+    if (std::isfinite(capacity.value())) {
       auditor_.CheckBrokerReservation(now_, broker_->ReservedMemory(),
                                       capacity, at_admission);
     }
@@ -411,7 +412,7 @@ Result<RequestId> VodSimulator::ProcessArrival(const ArrivalEvent& a) {
   Result<disk::VideoInfo> info = layout_.Get(a.video);
   VOD_CHECK(info.ok());
   r.start_offset =
-      std::clamp(a.start_position * alloc_params_.cr, 0.0, info->size);
+      std::clamp(a.start_position * alloc_params_.cr, Bits(0), info->size);
   r.total_bits = std::min(a.viewing_time * alloc_params_.cr,
                           info->size - r.start_offset);
 #if VODB_TRACE_ENABLED
@@ -420,7 +421,7 @@ Result<RequestId> VodSimulator::ProcessArrival(const ArrivalEvent& a) {
     tracer_->Emit(ev);
   }
 #endif
-  if (r.total_bits <= 0) {
+  if (r.total_bits <= Bits(0)) {
     ++metrics_.rejected;
     ++metrics_.rejected_invalid;
 #if VODB_TRACE_ENABLED
@@ -607,10 +608,10 @@ void VodSimulator::MaybeScheduleService() {
     // Playback continues off buffered data, so streams may underflow while
     // the disk is dark — poll starvation on every visit (the normal
     // detection point, service completion, cannot fire here).
-    Seconds resume = 0;
+    Seconds resume;
     if (config_.injector->InOutage(config_.disk_id, now_, &resume)) {
       DetectStarvation();
-      if (std::isfinite(resume) &&
+      if (std::isfinite(resume.value()) &&
           (!wakeup_pending_ || resume < scheduled_wakeup_ - kEps)) {
         scheduled_wakeup_ = resume;
         wakeup_pending_ = true;
@@ -677,7 +678,7 @@ void VodSimulator::BeginService(RequestId id) {
     VOD_CHECK(timing.ok());
     disk_busy_ = true;
     in_service_ = id;
-    in_service_bits_ = 0;
+    in_service_bits_ = Bits(0);
     in_service_failed_ = true;
     in_service_timing_ = *timing;
     in_service_max_retries_ = f.max_retries;
@@ -700,7 +701,7 @@ void VodSimulator::BeginService(RequestId id) {
   Result<core::AllocationDecision> d = allocator_->Allocate(id, now_);
   VOD_CHECK(d.ok());
   const Bits bits = std::min(d->buffer_size, r.total_bits - r.delivered);
-  VOD_CHECK(bits > 0);
+  VOD_CHECK(bits > Bits(0));
 
   Result<double> cyl =
       layout_.CylinderOf(r.video, r.start_offset + r.delivered);
@@ -747,7 +748,7 @@ void VodSimulator::BeginService(RequestId id) {
                            config_.scheme == AllocScheme::kDynamic, rec);
 #endif
   metrics_.estimated_k.Add(d->k);
-  metrics_.memory_usage.Record(now_, TotalBufferedBits(now_));
+  metrics_.memory_usage.Record(ToSeconds(now_), ToBits(TotalBufferedBits(now_)));
   ++metrics_.services;
   metrics_.disk_busy_time += dur;
   ReportBrokerState(d->k);
@@ -757,7 +758,7 @@ void VodSimulator::DetectStarvation() {
   // A buffer that reaches zero exactly as its refill completes is the
   // intended just-in-time behaviour; only count underflows that persisted
   // beyond a 1 ms grace (a genuine playback glitch).
-  constexpr Seconds kGrace = 1e-3;
+  constexpr Seconds kGrace = Seconds(1e-3);
   for (auto& [id, r] : requests_) {
     if (!r.admitted || !r.playing) continue;
     if (r.delivered >= r.total_bits) continue;
@@ -846,16 +847,16 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
           tracer_->Emit(hiccup_ev);
         }
 #endif
-      } else if (in_service_retry_backoff_ > 0) {
+      } else if (in_service_retry_backoff_ > Seconds(0)) {
         // Bounded exponential backoff before the disk re-issues any I/O.
         const double doubling =
             std::pow(2.0, static_cast<double>(r.round_failures - 1));
         retry_cooldown_until_ = std::max(
             retry_cooldown_until_, now_ + in_service_retry_backoff_ * doubling);
       }
-      metrics_.memory_usage.Record(now_, TotalBufferedBits(now_));
+      metrics_.memory_usage.Record(ToSeconds(now_), ToBits(TotalBufferedBits(now_)));
     }
-    in_service_bits_ = 0;
+    in_service_bits_ = Bits(0);
     MaybeScheduleService();
     return;
   }
@@ -881,13 +882,13 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
 #if VODB_AUDIT_ENABLED
     auditor_.CheckRequestAccounting(now_, id, r.delivered, r.consumed);
 #endif
-    if (r.first_data < 0) {
+    if (r.first_data < Seconds(0)) {
       r.first_data = now_;
       const Seconds il = now_ - r.arrival;
-      metrics_.initial_latency.Add(il);
+      metrics_.initial_latency.Add(ToSeconds(il));
       const std::size_t bucket = static_cast<std::size_t>(
           std::clamp(r.n_at_admit, 1, alloc_params_.n_max));
-      metrics_.initial_latency_by_n[bucket].Add(il);
+      metrics_.initial_latency_by_n[bucket].Add(ToSeconds(il));
     }
     // Sweep* streams are double-buffered: the data filled in period p is
     // consumed during period p+1 (that lag is where Theorem 3's ~2·n·BS
@@ -899,7 +900,7 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
     if (!r.playing && (r.fill_count >= fills_before_playback ||
                        r.delivered >= r.total_bits)) {
       r.playing = true;
-      r.consumed = 0;
+      r.consumed = Bits(0);
       r.consumed_at = now_;
     }
     r.starved = false;
@@ -913,9 +914,9 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
       const Bits left = r.total_bits - ConsumedAt(r, now_);
       Push(now_ + left / alloc_params_.cr, EventKind::kDeparture, id);
     }
-    metrics_.memory_usage.Record(now_, TotalBufferedBits(now_));
+    metrics_.memory_usage.Record(ToSeconds(now_), ToBits(TotalBufferedBits(now_)));
   }
-  in_service_bits_ = 0;
+  in_service_bits_ = Bits(0);
   MaybeScheduleService();
 }
 

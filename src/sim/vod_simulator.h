@@ -146,7 +146,7 @@ class VodSimulator : public sched::SchedulerContext {
   enum class EventKind { kArrival, kServiceComplete, kDeparture, kWakeup };
 
   struct Event {
-    Seconds time = 0;
+    Seconds time;
     std::uint64_t seq = 0;  ///< FIFO tiebreak for equal times.
     EventKind kind = EventKind::kArrival;
     RequestId request = kInvalidRequestId;
@@ -160,13 +160,13 @@ class VodSimulator : public sched::SchedulerContext {
   struct Req {
     RequestId id = kInvalidRequestId;
     disk::VideoId video = 0;
-    Seconds arrival = 0;
-    Seconds viewing = 0;
-    Bits start_offset = 0;  ///< Playback start within the video (VCR).
-    Bits total_bits = 0;
-    Bits delivered = 0;
-    Bits consumed = 0;       ///< As of `consumed_at` (lazy).
-    Seconds consumed_at = 0;
+    Seconds arrival;
+    Seconds viewing;
+    Bits start_offset;  ///< Playback start within the video (VCR).
+    Bits total_bits;
+    Bits delivered;
+    Bits consumed;       ///< As of `consumed_at` (lazy).
+    Seconds consumed_at;
     bool playing = false;
     bool admitted = false;
     bool starved = false;    ///< Currently underflowed (edge counted once).
@@ -180,7 +180,7 @@ class VodSimulator : public sched::SchedulerContext {
     int round_failures = 0;  ///< Consecutive failed reads this round.
     int n_at_admit = 0;
     int fill_count = 0;
-    Seconds first_data = -1;
+    Seconds first_data = Seconds(-1);
   };
 
   VodSimulator(const SimConfig& config, core::AllocParams alloc_params,
@@ -234,7 +234,7 @@ class VodSimulator : public sched::SchedulerContext {
   MemoryBroker* broker_;  ///< Not owned; may be nullptr.
   Rng rng_;
 
-  Seconds now_ = 0;
+  Seconds now_;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   std::vector<ArrivalEvent> arrivals_;
@@ -246,25 +246,25 @@ class VodSimulator : public sched::SchedulerContext {
 
   bool disk_busy_ = false;
   RequestId in_service_ = kInvalidRequestId;
-  Bits in_service_bits_ = 0;
+  Bits in_service_bits_;
   disk::ServiceTiming in_service_timing_;  ///< Breakdown for the trace end event.
   /// Injected-fault state of the in-flight read (kEio): the completion
   /// handler turns a failed read into a retry or, past the budget, a hiccup.
   bool in_service_failed_ = false;
   int in_service_max_retries_ = 0;
-  Seconds in_service_retry_backoff_ = 0;
+  Seconds in_service_retry_backoff_;
   /// Disk-level cooldown after a failed read (bounded exponential backoff):
   /// no service is issued before this instant.
-  Seconds retry_cooldown_until_ = 0;
+  Seconds retry_cooldown_until_;
   int last_k_estimate_ = 0;
-  Seconds scheduled_wakeup_ = 0;
+  Seconds scheduled_wakeup_;
   bool wakeup_pending_ = false;
 
   /// Allocator Preview() is O(n); the scheduling lookahead asks for it once
   /// per sequence member, so cache it per (clock, state epoch).
   core::AllocationDecision CachedPreview() const;
   mutable core::AllocationDecision preview_cache_;
-  mutable Seconds preview_cache_time_ = -1;
+  mutable Seconds preview_cache_time_ = Seconds(-1);
   mutable std::uint64_t preview_cache_version_ = ~0ULL;
   std::uint64_t state_version_ = 0;
 

@@ -9,8 +9,8 @@
 namespace vod::sim {
 
 Status WorkloadConfig::Validate() const {
-  if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
-  if (slot_length <= 0 || slot_length > duration) {
+  if (duration <= Seconds(0)) return Status::InvalidArgument("duration must be > 0");
+  if (slot_length <= Seconds(0) || slot_length > duration) {
     return Status::InvalidArgument("bad slot length");
   }
   if (theta < 0 || theta > 1 || video_theta < 0 || video_theta > 1 ||
@@ -20,7 +20,7 @@ Status WorkloadConfig::Validate() const {
   if (total_expected_arrivals < 0) {
     return Status::InvalidArgument("total arrivals must be >= 0");
   }
-  if (max_viewing_time <= 0) {
+  if (max_viewing_time <= Seconds(0)) {
     return Status::InvalidArgument("max viewing time must be > 0");
   }
   if (video_count < 1) return Status::InvalidArgument("need >= 1 video");
@@ -71,14 +71,14 @@ Result<std::vector<ArrivalEvent>> GenerateWorkload(const WorkloadConfig& cfg) {
     const Seconds slot_end =
         std::min(cfg.duration, t + cfg.slot_length);
     for (;;) {
-      t += rng.Exponential(rate);
+      t += Seconds(rng.Exponential(rate));
       if (t >= slot_end) break;
       ArrivalEvent ev;
       ev.time = t;
       ev.video = SampleIndex(*video_w, rng);
-      ev.viewing_time = rng.Uniform(0.0, cfg.max_viewing_time);
+      ev.viewing_time = Seconds(rng.Uniform(0.0, cfg.max_viewing_time.value()));
       // Degenerate zero-length viewings are unhelpful; clamp to 1 s.
-      ev.viewing_time = std::max(ev.viewing_time, 1.0);
+      ev.viewing_time = std::max(ev.viewing_time, Seconds(1.0));
       ev.disk = SampleIndex(*disk_w, rng);
       out.push_back(ev);
     }

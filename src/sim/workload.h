@@ -16,15 +16,15 @@ namespace vod::sim {
 
 /// One generated user request before it reaches a server.
 struct ArrivalEvent {
-  Seconds time = 0;
+  Seconds time;
   int video = 0;            ///< Video chosen (Zipf popularity).
-  Seconds viewing_time = 0; ///< How long the user watches (U(0, 2h) [4]).
+  Seconds viewing_time; ///< How long the user watches (U(0, 2h) [4]).
   int disk = 0;             ///< Target disk (multi-disk experiments).
   /// Playback start position within the video. Non-zero for VCR
   /// repositioning, which the paper's model treats as a brand-new request
   /// (Sec. 1): fast-forward/rewind cancels the old stream and submits one
   /// starting here.
-  Seconds start_position = 0;
+  Seconds start_position;
 };
 
 /// Workload parameters matching Sec. 5.1.

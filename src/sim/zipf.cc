@@ -33,7 +33,8 @@ Result<ArrivalRateProfile> ArrivalRateProfile::Create(Seconds duration,
                                                       double theta,
                                                       Seconds peak_time,
                                                       double total_expected) {
-  if (duration <= 0 || slot_len <= 0 || slot_len > duration) {
+  if (duration <= Seconds(0) || slot_len <= Seconds(0) ||
+      slot_len > duration) {
     return Status::InvalidArgument("bad duration/slot length");
   }
   if (total_expected < 0) {
@@ -64,14 +65,15 @@ Result<ArrivalRateProfile> ArrivalRateProfile::Create(Seconds duration,
   for (int i = 0; i < slots; ++i) {
     const Seconds len = std::min(slot_len, duration - i * slot_len);
     rates[static_cast<std::size_t>(i)] =
-        len > 0 ? total_expected * share[static_cast<std::size_t>(i)] / len
+        len > Seconds(0)
+            ? total_expected * share[static_cast<std::size_t>(i)] / len.value()
                 : 0.0;
   }
   return ArrivalRateProfile(duration, slot_len, std::move(rates));
 }
 
 double ArrivalRateProfile::RateAt(Seconds t) const {
-  if (t < 0 || t >= duration_) return 0.0;
+  if (t < Seconds(0) || t >= duration_) return 0.0;
   const std::size_t slot = static_cast<std::size_t>(t / slot_len_);
   return slot < rates_.size() ? rates_[slot] : 0.0;
 }

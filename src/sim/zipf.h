@@ -45,7 +45,7 @@ class ArrivalRateProfile {
   Seconds slot_len_;
   std::vector<double> rates_;
   // Arrival rate in requests/second — not a units.h BitsPerSecond quantity.
-  double max_rate_ = 0;  // vodb-lint: allow(raw-double-unit)
+  double max_rate_ = 0;  // vodb-lint: allow(raw-double-unit, units-hygiene)
 };
 
 }  // namespace vod::sim

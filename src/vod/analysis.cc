@@ -45,7 +45,7 @@ Result<std::vector<SchemeComparisonPoint>> BufferSizeCurve(
     const int k = std::min(cfg.k, p->n_max - n);
     Result<Bits> dyn = core::DynamicBufferSize(*p, n, k);
     if (!dyn.ok()) return dyn.status();
-    out.push_back({n, *static_bs, *dyn});
+    out.push_back({n, static_bs->value(), dyn->value()});
   }
   return out;
 }
@@ -62,12 +62,12 @@ Result<std::vector<SchemeComparisonPoint>> WorstLatencyCurve(
     const int n_or_g =
         cfg.method == core::ScheduleMethod::kGss ? cfg.gss_group_size : pt.n;
     Result<Seconds> il_static =
-        core::WorstInitialLatency(*p, cfg.method, pt.stat, n_or_g);
+        core::WorstInitialLatency(*p, cfg.method, Bits(pt.stat), n_or_g);
     if (!il_static.ok()) return il_static.status();
     Result<Seconds> il_dyn =
-        core::WorstInitialLatency(*p, cfg.method, pt.dynamic, n_or_g);
+        core::WorstInitialLatency(*p, cfg.method, Bits(pt.dynamic), n_or_g);
     if (!il_dyn.ok()) return il_dyn.status();
-    out.push_back({pt.n, *il_static, *il_dyn});
+    out.push_back({pt.n, il_static->value(), il_dyn->value()});
   }
   return out;
 }
@@ -88,7 +88,7 @@ Result<std::vector<SchemeComparisonPoint>> MemoryRequirementCurve(
     Result<Bits> mem_dyn = core::DynamicMemoryRequirement(
         *p, cfg.method, n, k, cfg.gss_group_size);
     if (!mem_dyn.ok()) return mem_dyn.status();
-    out.push_back({n, *mem_static, *mem_dyn});
+    out.push_back({n, mem_static->value(), mem_dyn->value()});
   }
   return out;
 }
@@ -106,7 +106,7 @@ Result<std::vector<CapacityPoint>> CapacityVsMemoryCurve(
 
   // Memory cost of one disk holding n requests under each scheme.
   auto disk_cost = [&](int n, bool dynamic) -> Result<Bits> {
-    if (n == 0) return 0.0;
+    if (n == 0) return Bits(0);
     Result<core::AllocParams> p = ParamsAt(cfg, n);
     if (!p.ok()) return p.status();
     if (dynamic) {
@@ -141,7 +141,7 @@ Result<std::vector<CapacityPoint>> CapacityVsMemoryCurve(
         ++assigned;
       }
     }
-    Bits total = 0;
+    Bits total;
     for (int d = 0; d < disk_count; ++d) {
       Result<Bits> c = disk_cost(n_d[static_cast<std::size_t>(d)], dynamic);
       if (!c.ok()) return c.status();

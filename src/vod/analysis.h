@@ -55,7 +55,7 @@ Result<std::vector<SchemeComparisonPoint>> MemoryRequirementCurve(
 /// request counts in proportion to the Zipf weights until either every disk
 /// saturates (n_d = N) or the memory model's total exceeds `memory`.
 struct CapacityPoint {
-  Bits memory = 0;
+  Bits memory;
   int stat = 0;
   int dynamic = 0;
 };

@@ -13,7 +13,7 @@ VodServer::VodServer(std::unique_ptr<sim::MemoryBroker> broker,
 
 Result<std::unique_ptr<VodServer>> VodServer::Create(const Options& options) {
   std::unique_ptr<sim::MemoryBroker> broker;
-  if (options.memory_capacity > 0) {
+  if (options.memory_capacity > Bits(0)) {
     const sim::SimConfig& c = options.config;
     const int n_for_dl =
         c.method == core::ScheduleMethod::kGss

@@ -28,7 +28,7 @@ class VodServer {
   struct Options {
     sim::SimConfig config;
     /// Optional shared-memory constraint (bits); 0 means unconstrained.
-    Bits memory_capacity = 0;
+    Bits memory_capacity;
   };
 
   static Result<std::unique_ptr<VodServer>> Create(const Options& options);
@@ -43,7 +43,7 @@ class VodServer {
   /// with VcrReposition/Cancel. `start_position` is the playback offset
   /// into the video. CapacityExceeded if rejected on arrival.
   Result<RequestId> SubmitSession(int video, Seconds viewing_time,
-                                  Seconds start_position = 0);
+                                  Seconds start_position = Seconds(0));
 
   /// VCR fast-forward/rewind. The paper's model (Sec. 1): a reposition is
   /// a *new user request* — the old stream is cancelled and a fresh request
@@ -81,7 +81,7 @@ class VodServer {
 
   std::unique_ptr<sim::MemoryBroker> broker_;
   std::unique_ptr<sim::VodSimulator> sim_;
-  Seconds horizon_ = 0;
+  Seconds horizon_;
 };
 
 }  // namespace vod

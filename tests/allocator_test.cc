@@ -22,11 +22,11 @@ AllocParams SmallParams() {
 TEST(StaticAllocatorTest, AlwaysHandsOutFullyLoadedSize) {
   auto a = StaticBufferAllocator::Create(SmallParams());
   ASSERT_TRUE(a.ok());
-  ASSERT_TRUE((*a)->Admit(1, 0.0).ok());
-  auto d = (*a)->Allocate(1, 0.0);
+  ASSERT_TRUE((*a)->Admit(1, Seconds(0.0)).ok());
+  auto d = (*a)->Allocate(1, Seconds(0.0));
   ASSERT_TRUE(d.ok());
-  EXPECT_DOUBLE_EQ(d->buffer_size,
-                   StaticSchemeBufferSize(SmallParams()).value());
+  EXPECT_DOUBLE_EQ(ToBits(d->buffer_size),
+                   ToBits(StaticSchemeBufferSize(SmallParams()).value()));
   EXPECT_EQ(d->k, 0);
   EXPECT_EQ(d->n, 1);
 }
@@ -36,9 +36,9 @@ TEST(StaticAllocatorTest, AdmitsUpToNThenRejects) {
   auto a = StaticBufferAllocator::Create(p);
   ASSERT_TRUE(a.ok());
   for (int i = 1; i <= p.n_max; ++i) {
-    EXPECT_TRUE((*a)->Admit(static_cast<RequestId>(i), 0.0).ok()) << i;
+    EXPECT_TRUE((*a)->Admit(static_cast<RequestId>(i), Seconds(0.0)).ok()) << i;
   }
-  EXPECT_EQ((*a)->Admit(1000, 0.0).code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ((*a)->Admit(1000, Seconds(0.0)).code(), StatusCode::kCapacityExceeded);
   EXPECT_EQ((*a)->active_count(), p.n_max);
 }
 
@@ -47,24 +47,24 @@ TEST(StaticAllocatorTest, RemoveFreesCapacity) {
   auto a = StaticBufferAllocator::Create(p);
   ASSERT_TRUE(a.ok());
   for (int i = 1; i <= p.n_max; ++i) {
-    ASSERT_TRUE((*a)->Admit(static_cast<RequestId>(i), 0.0).ok());
+    ASSERT_TRUE((*a)->Admit(static_cast<RequestId>(i), Seconds(0.0)).ok());
   }
   (*a)->Remove(3);
   EXPECT_EQ((*a)->active_count(), p.n_max - 1);
-  EXPECT_TRUE((*a)->Admit(1000, 0.0).ok());
+  EXPECT_TRUE((*a)->Admit(1000, Seconds(0.0)).ok());
 }
 
 TEST(StaticAllocatorTest, DoubleAdmitFails) {
   auto a = StaticBufferAllocator::Create(SmallParams());
   ASSERT_TRUE(a.ok());
-  ASSERT_TRUE((*a)->Admit(1, 0.0).ok());
-  EXPECT_EQ((*a)->Admit(1, 0.0).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE((*a)->Admit(1, Seconds(0.0)).ok());
+  EXPECT_EQ((*a)->Admit(1, Seconds(0.0)).code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(StaticAllocatorTest, AllocateUnknownRequestFails) {
   auto a = StaticBufferAllocator::Create(SmallParams());
   ASSERT_TRUE(a.ok());
-  EXPECT_EQ((*a)->Allocate(9, 0.0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*a)->Allocate(9, Seconds(0.0)).status().code(), StatusCode::kNotFound);
 }
 
 // --- DynamicBufferAllocator ---
@@ -73,23 +73,23 @@ TEST(DynamicAllocatorTest, FirstAllocationUsesAlphaEstimate) {
   const AllocParams p = SmallParams();
   auto a = DynamicBufferAllocator::Create(p, Minutes(40));
   ASSERT_TRUE(a.ok());
-  (*a)->NoteArrival(0.0);
-  ASSERT_TRUE((*a)->Admit(1, 0.0).ok());
-  auto d = (*a)->Allocate(1, 0.0);
+  (*a)->NoteArrival(Seconds(0.0));
+  ASSERT_TRUE((*a)->Admit(1, Seconds(0.0)).ok());
+  auto d = (*a)->Allocate(1, Seconds(0.0));
   ASSERT_TRUE(d.ok());
   EXPECT_EQ(d->n, 1);
   // k_log = 1 (its own arrival is in the log) → k_c = k_log + α = 2.
   EXPECT_EQ(d->k, 2);
-  EXPECT_DOUBLE_EQ(d->buffer_size, DynamicBufferSize(p, 1, 2).value());
+  EXPECT_DOUBLE_EQ(ToBits(d->buffer_size), ToBits(DynamicBufferSize(p, 1, 2).value()));
 }
 
 TEST(DynamicAllocatorTest, BufferSizeTracksLoad) {
   const AllocParams p = SmallParams();
   auto a = DynamicBufferAllocator::Create(p, Minutes(40));
   ASSERT_TRUE(a.ok());
-  double prev = 0.0;
+  Bits prev = Bits(0.0);
   for (int i = 1; i <= 10; ++i) {
-    const double t = i * 1.0;
+    const Seconds t = Seconds(i * 1.0);
     ASSERT_TRUE((*a)->Admit(static_cast<RequestId>(i), t).ok());
     // One service round so the inertia snapshots track the new load.
     core::AllocationDecision last{};
@@ -110,12 +110,12 @@ TEST(DynamicAllocatorTest, Assumption2BoundsEstimateGrowth) {
   auto a = DynamicBufferAllocator::Create(p, Minutes(40));
   ASSERT_TRUE(a.ok());
   // Create a burst so k_log would be large.
-  for (int i = 0; i < 12; ++i) (*a)->NoteArrival(i * 0.01);
-  ASSERT_TRUE((*a)->Admit(1, 0.2).ok());
-  auto first = (*a)->Allocate(1, 0.2);
+  for (int i = 0; i < 12; ++i) (*a)->NoteArrival(Seconds(i * 0.01));
+  ASSERT_TRUE((*a)->Admit(1, Seconds(0.2)).ok());
+  auto first = (*a)->Allocate(1, Seconds(0.2));
   ASSERT_TRUE(first.ok());
-  ASSERT_TRUE((*a)->Admit(2, 0.3).ok());
-  auto second = (*a)->Allocate(2, 0.3);
+  ASSERT_TRUE((*a)->Admit(2, Seconds(0.3)).ok());
+  auto second = (*a)->Allocate(2, Seconds(0.3));
   ASSERT_TRUE(second.ok());
   EXPECT_LE(second->k, first->k + p.alpha);
 }
@@ -126,19 +126,19 @@ TEST(DynamicAllocatorTest, Assumption1DefersOverAdmission) {
   ASSERT_TRUE(a.ok());
   // One serviced request with a small snapshot: n_1 = 1, k_1 = α = 1
   // (empty log → k_log = 0 → k_c = 1): n_1 + k_1 = 2.
-  ASSERT_TRUE((*a)->Admit(1, 0.0).ok());
-  ASSERT_TRUE((*a)->Allocate(1, 0.0).ok());
+  ASSERT_TRUE((*a)->Admit(1, Seconds(0.0)).ok());
+  ASSERT_TRUE((*a)->Allocate(1, Seconds(0.0)).ok());
   auto snap = (*a)->snapshot(1);
   ASSERT_TRUE(snap.ok());
   ASSERT_EQ(snap->n + snap->k, 2);
   // Second admission is fine (n+1 = 2 <= 2), third must defer (3 > 2).
-  EXPECT_TRUE((*a)->Admit(2, 0.1).ok());
-  EXPECT_EQ((*a)->Admit(3, 0.2).code(), StatusCode::kDeferred);
+  EXPECT_TRUE((*a)->Admit(2, Seconds(0.1)).ok());
+  EXPECT_EQ((*a)->Admit(3, Seconds(0.2)).code(), StatusCode::kDeferred);
   // After request 1 is re-allocated at the higher load, its snapshot
   // loosens and the deferred admission proceeds.
-  ASSERT_TRUE((*a)->Allocate(1, 0.3).ok());
-  ASSERT_TRUE((*a)->Allocate(2, 0.35).ok());
-  EXPECT_TRUE((*a)->Admit(3, 0.4).ok());
+  ASSERT_TRUE((*a)->Allocate(1, Seconds(0.3)).ok());
+  ASSERT_TRUE((*a)->Allocate(2, Seconds(0.35)).ok());
+  EXPECT_TRUE((*a)->Admit(3, Seconds(0.4)).ok());
 }
 
 TEST(DynamicAllocatorTest, EnforcementCanBeDisabled) {
@@ -146,26 +146,26 @@ TEST(DynamicAllocatorTest, EnforcementCanBeDisabled) {
   auto a = DynamicBufferAllocator::Create(p, Minutes(40));
   ASSERT_TRUE(a.ok());
   (*a)->set_enforce_assumptions(false);
-  ASSERT_TRUE((*a)->Admit(1, 0.0).ok());
-  ASSERT_TRUE((*a)->Allocate(1, 0.0).ok());
-  EXPECT_TRUE((*a)->Admit(2, 0.1).ok());
-  EXPECT_TRUE((*a)->Admit(3, 0.2).ok());  // Would defer when enforcing.
-  EXPECT_TRUE((*a)->Admit(4, 0.3).ok());
+  ASSERT_TRUE((*a)->Admit(1, Seconds(0.0)).ok());
+  ASSERT_TRUE((*a)->Allocate(1, Seconds(0.0)).ok());
+  EXPECT_TRUE((*a)->Admit(2, Seconds(0.1)).ok());
+  EXPECT_TRUE((*a)->Admit(3, Seconds(0.2)).ok());  // Would defer when enforcing.
+  EXPECT_TRUE((*a)->Admit(4, Seconds(0.3)).ok());
 }
 
 TEST(DynamicAllocatorTest, MarkDrainedRetiresSnapshot) {
   const AllocParams p = SmallParams();
   auto a = DynamicBufferAllocator::Create(p, Minutes(40));
   ASSERT_TRUE(a.ok());
-  ASSERT_TRUE((*a)->Admit(1, 0.0).ok());
-  ASSERT_TRUE((*a)->Allocate(1, 0.0).ok());
-  ASSERT_TRUE((*a)->Admit(2, 0.1).ok());
-  EXPECT_EQ((*a)->Admit(3, 0.2).code(), StatusCode::kDeferred);
+  ASSERT_TRUE((*a)->Admit(1, Seconds(0.0)).ok());
+  ASSERT_TRUE((*a)->Allocate(1, Seconds(0.0)).ok());
+  ASSERT_TRUE((*a)->Admit(2, Seconds(0.1)).ok());
+  EXPECT_EQ((*a)->Admit(3, Seconds(0.2)).code(), StatusCode::kDeferred);
   // Draining request 1 removes its tight snapshot; admission unblocks,
   // while n still counts the drained request.
   (*a)->MarkDrained(1);
   EXPECT_EQ((*a)->active_count(), 2);
-  EXPECT_TRUE((*a)->Admit(3, 0.3).ok());
+  EXPECT_TRUE((*a)->Admit(3, Seconds(0.3)).ok());
 }
 
 /// Admits request i then re-allocates every admitted request (one service
@@ -173,7 +173,7 @@ TEST(DynamicAllocatorTest, MarkDrainedRetiresSnapshot) {
 /// keep growing — the same refresh the scheduler performs in a real run.
 void FillToLoad(DynamicBufferAllocator* a, int target) {
   for (int i = 1; i <= target; ++i) {
-    const double t = i * 0.1;
+    const Seconds t = Seconds(i * 0.1);
     ASSERT_TRUE(a->Admit(static_cast<RequestId>(i), t).ok()) << i;
     for (int j = 1; j <= i; ++j) {
       ASSERT_TRUE(a->Allocate(static_cast<RequestId>(j), t).ok()) << j;
@@ -186,7 +186,7 @@ TEST(DynamicAllocatorTest, FullLoadRejects) {
   auto a = DynamicBufferAllocator::Create(p, Minutes(40));
   ASSERT_TRUE(a.ok());
   FillToLoad(a->get(), p.n_max);
-  EXPECT_EQ((*a)->Admit(999, 100.0).code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ((*a)->Admit(999, Seconds(100.0)).code(), StatusCode::kCapacityExceeded);
 }
 
 TEST(DynamicAllocatorTest, FullLoadAllocatesStaticSize) {
@@ -194,36 +194,36 @@ TEST(DynamicAllocatorTest, FullLoadAllocatesStaticSize) {
   auto a = DynamicBufferAllocator::Create(p, Minutes(40));
   ASSERT_TRUE(a.ok());
   FillToLoad(a->get(), p.n_max);
-  auto d = (*a)->Allocate(1, 10.0);
+  auto d = (*a)->Allocate(1, Seconds(10.0));
   ASSERT_TRUE(d.ok());
   EXPECT_EQ(d->n, p.n_max);
   // k is not capped (Fig. 5), but the size saturates at BS(N).
-  EXPECT_DOUBLE_EQ(d->buffer_size, StaticSchemeBufferSize(p).value());
+  EXPECT_DOUBLE_EQ(ToBits(d->buffer_size), ToBits(StaticSchemeBufferSize(p).value()));
 }
 
 TEST(DynamicAllocatorTest, PreviewMatchesAllocateAndIsPure) {
   const AllocParams p = SmallParams();
   auto a = DynamicBufferAllocator::Create(p, Minutes(40));
   ASSERT_TRUE(a.ok());
-  ASSERT_TRUE((*a)->Admit(1, 0.0).ok());
-  auto preview1 = (*a)->Preview(0.0);
-  auto preview2 = (*a)->Preview(0.0);
+  ASSERT_TRUE((*a)->Admit(1, Seconds(0.0)).ok());
+  auto preview1 = (*a)->Preview(Seconds(0.0));
+  auto preview2 = (*a)->Preview(Seconds(0.0));
   ASSERT_TRUE(preview1.ok());
   ASSERT_TRUE(preview2.ok());
-  EXPECT_DOUBLE_EQ(preview1->buffer_size, preview2->buffer_size);
-  auto d = (*a)->Allocate(1, 0.0);
+  EXPECT_DOUBLE_EQ(ToBits(preview1->buffer_size), ToBits(preview2->buffer_size));
+  auto d = (*a)->Allocate(1, Seconds(0.0));
   ASSERT_TRUE(d.ok());
-  EXPECT_DOUBLE_EQ(d->buffer_size, preview1->buffer_size);
+  EXPECT_DOUBLE_EQ(ToBits(d->buffer_size), ToBits(preview1->buffer_size));
 }
 
 TEST(DynamicAllocatorTest, AllocateUnknownRequestFails) {
   auto a = DynamicBufferAllocator::Create(SmallParams(), Minutes(40));
   ASSERT_TRUE(a.ok());
-  EXPECT_EQ((*a)->Allocate(77, 0.0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*a)->Allocate(77, Seconds(0.0)).status().code(), StatusCode::kNotFound);
 }
 
 TEST(DynamicAllocatorTest, CreateValidatesTLog) {
-  EXPECT_FALSE(DynamicBufferAllocator::Create(SmallParams(), 0.0).ok());
+  EXPECT_FALSE(DynamicBufferAllocator::Create(SmallParams(), Seconds(0.0)).ok());
 }
 
 }  // namespace

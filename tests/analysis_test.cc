@@ -90,8 +90,8 @@ TEST(AnalysisTest, MemoryCurveShape) {
 TEST(AnalysisTest, CapacityCurveMonotoneInMemory) {
   auto curve = CapacityVsMemoryCurve(RrConfig(), /*disk_count=*/10,
                                      /*disk_theta=*/0.5,
-                                     {Gigabytes(1), Gigabytes(3),
-                                      Gigabytes(6), Gigabytes(11)});
+                                     {Gibibytes(1), Gibibytes(3),
+                                      Gibibytes(6), Gibibytes(11)});
   ASSERT_TRUE(curve.ok());
   int prev_s = 0, prev_d = 0;
   for (const auto& pt : *curve) {
@@ -105,7 +105,7 @@ TEST(AnalysisTest, CapacityCurveMonotoneInMemory) {
 
 TEST(AnalysisTest, CapacityConvergesWithAbundantMemory) {
   // Fig. 13: with ~11 GB both schemes hit the disk-bound ceiling.
-  auto curve = CapacityVsMemoryCurve(RrConfig(), 10, 1.0, {Gigabytes(30)});
+  auto curve = CapacityVsMemoryCurve(RrConfig(), 10, 1.0, {Gibibytes(30)});
   ASSERT_TRUE(curve.ok());
   EXPECT_EQ(curve->front().stat, curve->front().dynamic);
   EXPECT_EQ(curve->front().dynamic, 790);  // 10 disks × N = 79.
@@ -114,9 +114,9 @@ TEST(AnalysisTest, CapacityConvergesWithAbundantMemory) {
 TEST(AnalysisTest, CapacityImprovementInPaperBallpark) {
   // Table 5: averaged over 1–11 GB the dynamic/static ratio is ~2.4–3.3.
   auto curve = CapacityVsMemoryCurve(RrConfig(), 10, 0.5,
-                                     {Gigabytes(1), Gigabytes(2),
-                                      Gigabytes(4), Gigabytes(6),
-                                      Gigabytes(8)});
+                                     {Gibibytes(1), Gibibytes(2),
+                                      Gibibytes(4), Gibibytes(6),
+                                      Gibibytes(8)});
   ASSERT_TRUE(curve.ok());
   double ratio_sum = 0;
   for (const auto& pt : *curve) {
@@ -131,15 +131,15 @@ TEST(AnalysisTest, CapacityImprovementInPaperBallpark) {
 TEST(AnalysisTest, SkewedDiskLoadReducesCapacity) {
   // With θ = 0 one disk saturates early; the same memory serves fewer
   // total viewers than under a balanced load.
-  auto skewed = CapacityVsMemoryCurve(RrConfig(), 10, 0.0, {Gigabytes(6)});
-  auto flat = CapacityVsMemoryCurve(RrConfig(), 10, 1.0, {Gigabytes(6)});
+  auto skewed = CapacityVsMemoryCurve(RrConfig(), 10, 0.0, {Gibibytes(6)});
+  auto flat = CapacityVsMemoryCurve(RrConfig(), 10, 1.0, {Gibibytes(6)});
   ASSERT_TRUE(skewed.ok());
   ASSERT_TRUE(flat.ok());
   EXPECT_LE(skewed->front().dynamic, flat->front().dynamic);
 }
 
 TEST(AnalysisTest, CapacityValidates) {
-  EXPECT_FALSE(CapacityVsMemoryCurve(RrConfig(), 0, 0.5, {Gigabytes(1)}).ok());
+  EXPECT_FALSE(CapacityVsMemoryCurve(RrConfig(), 0, 0.5, {Gibibytes(1)}).ok());
 }
 
 }  // namespace

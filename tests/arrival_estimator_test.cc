@@ -14,41 +14,41 @@ namespace {
 
 TEST(ArrivalEstimatorTest, EmptyLogGivesZero) {
   ArrivalEstimator est(Minutes(40));
-  EXPECT_EQ(est.KLog(100.0, 10.0), 0);
+  EXPECT_EQ(est.KLog(Seconds(100.0), Seconds(10.0)), 0);
 }
 
 TEST(ArrivalEstimatorTest, SingleArrivalGivesOne) {
   ArrivalEstimator est(Minutes(40));
-  est.RecordArrival(10.0);
-  EXPECT_EQ(est.KLog(11.0, 5.0), 1);
+  est.RecordArrival(Seconds(10.0));
+  EXPECT_EQ(est.KLog(Seconds(11.0), Seconds(5.0)), 1);
 }
 
 TEST(ArrivalEstimatorTest, CountsWithinWindow) {
   ArrivalEstimator est(Minutes(40));
   // Three arrivals within 2 s, one far away.
-  est.RecordArrival(10.0);
-  est.RecordArrival(10.5);
-  est.RecordArrival(11.5);
-  est.RecordArrival(100.0);
-  EXPECT_EQ(est.KLog(101.0, 2.0), 3);
-  EXPECT_EQ(est.KLog(101.0, 0.8), 2);  // Only {10.0, 10.5} fit.
-  EXPECT_EQ(est.KLog(101.0, 0.2), 1);
+  est.RecordArrival(Seconds(10.0));
+  est.RecordArrival(Seconds(10.5));
+  est.RecordArrival(Seconds(11.5));
+  est.RecordArrival(Seconds(100.0));
+  EXPECT_EQ(est.KLog(Seconds(101.0), Seconds(2.0)), 3);
+  EXPECT_EQ(est.KLog(Seconds(101.0), Seconds(0.8)), 2);  // Only {10.0, 10.5} fit.
+  EXPECT_EQ(est.KLog(Seconds(101.0), Seconds(0.2)), 1);
 }
 
 TEST(ArrivalEstimatorTest, PrunesBeyondTLog) {
-  ArrivalEstimator est(60.0);  // T_log = 1 min.
-  est.RecordArrival(0.0);
-  est.RecordArrival(1.0);
-  est.RecordArrival(100.0);
+  ArrivalEstimator est(Seconds(60.0));  // T_log = 1 min.
+  est.RecordArrival(Seconds(0.0));
+  est.RecordArrival(Seconds(1.0));
+  est.RecordArrival(Seconds(100.0));
   // At t=130, arrivals at 0 and 1 are out of the log.
-  EXPECT_EQ(est.KLog(130.0, 10.0), 1);
+  EXPECT_EQ(est.KLog(Seconds(130.0), Seconds(10.0)), 1);
   EXPECT_EQ(est.logged_count(), 1u);
 }
 
 TEST(ArrivalEstimatorTest, ZeroPeriodGivesZero) {
-  ArrivalEstimator est(60.0);
-  est.RecordArrival(1.0);
-  EXPECT_EQ(est.KLog(2.0, 0.0), 0);
+  ArrivalEstimator est(Seconds(60.0));
+  est.RecordArrival(Seconds(1.0));
+  EXPECT_EQ(est.KLog(Seconds(2.0), Seconds(0.0)), 0);
 }
 
 TEST(ArrivalEstimatorTest, MatchesBruteForceOnRandomStreams) {
@@ -56,13 +56,13 @@ TEST(ArrivalEstimatorTest, MatchesBruteForceOnRandomStreams) {
   // arrival-anchored windows.
   sim::Rng rng(123);
   for (int trial = 0; trial < 30; ++trial) {
-    ArrivalEstimator est(1000.0);
+    ArrivalEstimator est(Seconds(1000.0));
     std::vector<double> times;
     double t = 0;
     for (int i = 0; i < 80; ++i) {
       t += rng.Exponential(0.5);
       times.push_back(t);
-      est.RecordArrival(t);
+      est.RecordArrival(Seconds(t));
     }
     const double sp = rng.Uniform(0.5, 20.0);
     int brute = 0;
@@ -73,23 +73,23 @@ TEST(ArrivalEstimatorTest, MatchesBruteForceOnRandomStreams) {
       }
       brute = std::max(brute, cnt);
     }
-    EXPECT_EQ(est.KLog(t, sp), brute) << "trial=" << trial << " sp=" << sp;
+    EXPECT_EQ(est.KLog(Seconds(t), Seconds(sp)), brute) << "trial=" << trial << " sp=" << sp;
   }
 }
 
 TEST(ArrivalEstimatorTest, KLogGrowsWithWindow) {
   ArrivalEstimator est(Minutes(40));
-  for (int i = 0; i < 20; ++i) est.RecordArrival(i * 1.0);
+  for (int i = 0; i < 20; ++i) est.RecordArrival(Seconds(i * 1.0));
   int prev = 0;
   for (double sp : {0.5, 1.5, 3.5, 7.5, 25.0}) {
-    const int k = est.KLog(20.0, sp);
+    const int k = est.KLog(Seconds(20.0), Seconds(sp));
     EXPECT_GE(k, prev);
     prev = k;
   }
 }
 
 TEST(ArrivalEstimatorTest, RequiresPositiveTLog) {
-  EXPECT_DEATH(ArrivalEstimator(-1.0), "t_log");
+  EXPECT_DEATH(ArrivalEstimator(Seconds(-1.0)), "t_log");
 }
 
 }  // namespace

@@ -23,9 +23,9 @@ TEST(BufferSizeTableTest, MatchesClosedFormEverywhere) {
   ASSERT_TRUE(table.ok());
   for (int n = 1; n <= p.n_max; ++n) {
     for (int k = 0; k <= p.n_max; ++k) {
-      const double expected =
+      const Bits expected =
           DynamicBufferSize(p, n, std::min(k, p.n_max - n)).value();
-      EXPECT_DOUBLE_EQ(table->Get(n, k).value(), expected)
+      EXPECT_DOUBLE_EQ(ToBits(table->Get(n, k).value()), ToBits(expected))
           << "n=" << n << " k=" << k;
     }
   }
@@ -44,8 +44,8 @@ TEST(BufferSizeTableTest, ClampsOversizedK) {
   const AllocParams p = SmallParams();
   auto table = BufferSizeTable::Build(p);
   ASSERT_TRUE(table.ok());
-  EXPECT_DOUBLE_EQ(table->Get(5, 1000).value(),
-                   table->Get(5, p.n_max).value());
+  EXPECT_DOUBLE_EQ(ToBits(table->Get(5, 1000).value()),
+                   ToBits(table->Get(5, p.n_max).value()));
 }
 
 TEST(BufferSizeTableTest, RejectsOutOfRange) {
@@ -72,8 +72,8 @@ TEST(BufferSizeTableTest, PerRowDlVariation) {
   for (int n : {1, 5, p.n_max}) {
     AllocParams row = p;
     row.dl = dl_for_n(n);
-    EXPECT_DOUBLE_EQ(table->Get(n, 0).value(),
-                     DynamicBufferSize(row, n, 0).value())
+    EXPECT_DOUBLE_EQ(ToBits(table->Get(n, 0).value()),
+                     ToBits(DynamicBufferSize(row, n, 0).value()))
         << "n=" << n;
   }
 }
@@ -82,7 +82,7 @@ TEST(BufferSizeTableTest, GetUncheckedAgreesWithGet) {
   const AllocParams p = SmallParams();
   auto table = BufferSizeTable::Build(p);
   ASSERT_TRUE(table.ok());
-  EXPECT_DOUBLE_EQ(table->GetUnchecked(3, 2), table->Get(3, 2).value());
+  EXPECT_DOUBLE_EQ(ToBits(table->GetUnchecked(3, 2)), ToBits(table->Get(3, 2).value()));
 }
 
 }  // namespace

@@ -72,10 +72,10 @@ struct ChaosScenario {
 };
 
 const ChaosScenario kScenarios[] = {
-    {"latency", "latency:start=1800,end=5400,factor=4,extra=0.01", 0},
-    {"eio", "eio:start=1800,end=5400,p=0.3,retries=3,backoff=0.05", 0},
+    {"latency", "latency:start=1800,end=5400,factor=4,extra=0.01", Bits(0)},
+    {"eio", "eio:start=1800,end=5400,p=0.3,retries=3,backoff=0.05", Bits(0)},
     {"memsqueeze", "memsqueeze:start=1800,end=5400,scale=0.1",
-     Megabytes(150)},
+     Mebibytes(150)},
 };
 
 struct ChaosRow {
@@ -138,7 +138,7 @@ TEST(ChaosGoldenTest, ScriptedFaultSchedulesMatchGoldenDegradedMetrics) {
     const ChaosScenario& scenario = ScenarioByName(golden.scenario);
     const DayRunConfig cfg = ChaosConfig(scenario, golden.scheme);
     const sim::SimMetrics m = RunDay(cfg);
-    const double peak_mb = ToMegabytes(m.memory_usage.max_value());
+    const double peak_mb = ToMebibytes(Bits(m.memory_usage.max_value()));
     if (dump) {
       std::printf("    {\"%s\", sim::AllocScheme::k%s,\n"
                   "     %ld, %ld, %ld, %ld, %ld, %ld, %.6f, %.6f},\n",
@@ -180,8 +180,8 @@ TEST(ChaosGoldenTest, ScriptedFaultSchedulesMatchGoldenDegradedMetrics) {
               m.rejected_capacity + m.rejected_memory + m.rejected_invalid);
     // The two ledger sides sum the same deliveries in different orders, so
     // only fp association noise separates them.
-    EXPECT_NEAR(m.buffer_bits_allocated, m.buffer_bits_released,
-                1e-9 * std::max(m.buffer_bits_allocated, 1.0));
+    EXPECT_NEAR(ToBits(m.buffer_bits_allocated), ToBits(m.buffer_bits_released),
+                1e-9 * std::max(ToBits(m.buffer_bits_allocated), 1.0));
   }
 }
 
@@ -269,7 +269,7 @@ struct ChaosOutcome {
   sim::SimMetrics metrics;
   std::vector<sim::InvariantViolation> violations;
   int final_active = 0;
-  Bits final_reserved = 0;
+  Bits final_reserved;
   long audit_checks = 0;
 };
 
@@ -291,7 +291,7 @@ ChaosOutcome RunChaosDay(const std::string& faults, std::uint64_t fault_seed,
 
   sim::AnalyticMemoryBroker broker(
       ChaosParams(sc), sc.method, /*use_dynamic=*/true, sc.gss_group_size,
-      /*disk_count=*/1, Megabytes(400));
+      /*disk_count=*/1, Mebibytes(400));
   broker.AttachInjector(&injector);
 
   auto simulator = sim::VodSimulator::Create(sc, &broker);
@@ -348,21 +348,21 @@ TEST(ChaosPropertyTest, FaultSchedulesNeverCorruptAccounting) {
                    std::string(core::ScheduleMethodName(method)));
       const ChaosOutcome out = RunChaosDay(faults, 11, method);
       for (const sim::InvariantViolation& v : out.violations) {
-        ADD_FAILURE() << "invariant " << v.invariant << " at t=" << v.time
+        ADD_FAILURE() << "invariant " << v.invariant << " at t=" << v.time.value()
                       << ": " << v.detail;
       }
       EXPECT_GT(out.audit_checks, 0);
       // Convergence: the run drained — no stream is stuck behind a closed
       // fault window.
       EXPECT_EQ(out.final_active, 0);
-      EXPECT_EQ(out.final_reserved, 0.0);
+      EXPECT_EQ(ToBits(out.final_reserved), 0.0);
       EXPECT_EQ(out.metrics.completed + out.metrics.cancelled,
                 out.metrics.admitted);
       // Conservation: use-it-and-toss-it still holds under degradation
       // (relative tolerance: the sides sum deliveries in different orders).
-      EXPECT_NEAR(out.metrics.buffer_bits_allocated,
-                  out.metrics.buffer_bits_released,
-                  1e-9 * std::max(out.metrics.buffer_bits_allocated, 1.0));
+      EXPECT_NEAR(ToBits(out.metrics.buffer_bits_allocated),
+                  ToBits(out.metrics.buffer_bits_released),
+                  1e-9 * std::max(ToBits(out.metrics.buffer_bits_allocated), 1.0));
     }
   }
 }
@@ -405,9 +405,9 @@ TEST(ChaosPropertyTest, ClosedFaultWindowLeavesNoResidue) {
     std::vector<sim::ArrivalEvent> arrivals;
     for (int i = 0; i < 20; ++i) {
       sim::ArrivalEvent ev;
-      ev.time = 50.0 + 30.0 * i;
+      ev.time = Seconds(50.0 + 30.0 * i);
       ev.video = i % 4;
-      ev.viewing_time = 600.0;
+      ev.viewing_time = Seconds(600.0);
       arrivals.push_back(ev);
     }
     VOD_CHECK((*simulator)->AddArrivals(arrivals).ok());

@@ -8,7 +8,7 @@ namespace vod::disk {
 namespace {
 
 ChunkedVideoStore MakeStore(Bits max_buffer = Megabits(200),
-                            Bits chunk = 0) {
+                            Bits chunk = Bits(0)) {
   auto store = ChunkedVideoStore::Create(SeagateBarracuda9LP(), max_buffer,
                                          chunk);
   EXPECT_TRUE(store.ok());
@@ -17,8 +17,8 @@ ChunkedVideoStore MakeStore(Bits max_buffer = Megabits(200),
 
 TEST(ChunkedStoreTest, DefaultChunkIsTwiceTheBuffer) {
   ChunkedVideoStore store = MakeStore(Megabits(200));
-  EXPECT_DOUBLE_EQ(store.chunk_size(), Megabits(400));
-  EXPECT_DOUBLE_EQ(store.stride(), Megabits(200));
+  EXPECT_DOUBLE_EQ(ToMegabits(store.chunk_size()), 400.0);
+  EXPECT_DOUBLE_EQ(ToMegabits(store.stride()), 200.0);
   EXPECT_DOUBLE_EQ(store.SpaceOverhead(), 2.0);
 }
 
@@ -40,8 +40,8 @@ TEST(ChunkedStoreTest, EveryBufferReadFitsOneChunk) {
   auto v = store.AddVideo("movie", Gigabits(10));
   ASSERT_TRUE(v.ok());
   for (double off = 0; off <= 10e9 - 200e6; off += 37e6) {
-    EXPECT_TRUE(store.SingleChunk(off, Megabits(200))) << "offset " << off;
-    EXPECT_TRUE(store.ReadLocation(*v, off, Megabits(200)).ok())
+    EXPECT_TRUE(store.SingleChunk(Bits(off), Megabits(200))) << "offset " << off;
+    EXPECT_TRUE(store.ReadLocation(*v, Bits(off), Megabits(200)).ok())
         << "offset " << off;
   }
 }
@@ -50,8 +50,8 @@ TEST(ChunkedStoreTest, OverlongReadRejected) {
   ChunkedVideoStore store = MakeStore(Megabits(200));
   auto v = store.AddVideo("movie", Gigabits(10));
   ASSERT_TRUE(v.ok());
-  EXPECT_FALSE(store.ReadLocation(*v, 0, Megabits(201)).ok());
-  EXPECT_FALSE(store.SingleChunk(0, Megabits(400)));
+  EXPECT_FALSE(store.ReadLocation(*v, Bits(0), Megabits(201)).ok());
+  EXPECT_FALSE(store.SingleChunk(Bits(0), Megabits(400)));
 }
 
 TEST(ChunkedStoreTest, PhysicalSpaceReflectsReplication) {
@@ -59,7 +59,7 @@ TEST(ChunkedStoreTest, PhysicalSpaceReflectsReplication) {
   // 1 Gbit of data, stride 200 Mbit → 5 chunks of 400 Mbit = 2 Gbit.
   auto v = store.AddVideo("movie", Gigabits(1));
   ASSERT_TRUE(v.ok());
-  EXPECT_DOUBLE_EQ(store.physical_used(), Gigabits(2));
+  EXPECT_DOUBLE_EQ(ToBits(store.physical_used()), ToBits(Gigabits(2)));
 }
 
 TEST(ChunkedStoreTest, CapacityEnforced) {
@@ -75,7 +75,7 @@ TEST(ChunkedStoreTest, ReadLocationValidates) {
   ChunkedVideoStore store = MakeStore(Megabits(200));
   auto v = store.AddVideo("movie", Gigabits(1));
   ASSERT_TRUE(v.ok());
-  EXPECT_FALSE(store.ReadLocation(99, 0, Megabits(1)).ok());
+  EXPECT_FALSE(store.ReadLocation(99, Bits(0), Megabits(1)).ok());
   EXPECT_FALSE(store.ReadLocation(*v, Gigabits(2), Megabits(1)).ok());
 }
 
@@ -85,7 +85,7 @@ TEST(ChunkedStoreTest, LocationsAdvanceMonotonically) {
   ASSERT_TRUE(v.ok());
   double prev = -1;
   for (double off = 0; off < 3.8e9; off += 100e6) {
-    auto cyl = store.ReadLocation(*v, off, Megabits(100));
+    auto cyl = store.ReadLocation(*v, Bits(off), Megabits(100));
     ASSERT_TRUE(cyl.ok());
     EXPECT_GT(*cyl, prev);
     prev = *cyl;

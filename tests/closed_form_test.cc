@@ -25,18 +25,18 @@ AllocParams PaperParams(int alpha = 1) {
 TEST(StaticAllocTest, FullyLoadedMatchesHandComputation) {
   const AllocParams p = PaperParams();
   // BS(79) = 79 · 1.5e6 · DL · 120e6 / (120e6 − 118.5e6), DL = 21.73 ms.
-  const double expected =
+  const Bits expected =
       79.0 * Mbps(1.5) * Milliseconds(21.73) * Mbps(120) /
       (Mbps(120) - 79.0 * Mbps(1.5));
-  EXPECT_NEAR(StaticSchemeBufferSize(p).value(), expected, 1.0);
+  EXPECT_NEAR(ToBits(StaticSchemeBufferSize(p).value()), ToBits(expected), 1.0);
   EXPECT_NEAR(ToMegabits(expected), 206.0, 0.5);  // ≈ 206 Mbit ≈ 24.6 MB.
 }
 
 TEST(StaticAllocTest, GrowsSuperlinearlyTowardN) {
   const AllocParams p = PaperParams();
-  const double bs40 = StaticBufferSize(p, 40).value();
-  const double bs78 = StaticBufferSize(p, 78).value();
-  const double bs79 = StaticBufferSize(p, 79).value();
+  const Bits bs40 = StaticBufferSize(p, 40).value();
+  const Bits bs78 = StaticBufferSize(p, 78).value();
+  const Bits bs79 = StaticBufferSize(p, 79).value();
   EXPECT_GT(bs78 / bs40, 78.0 / 40.0);  // Faster than linear.
   EXPECT_GT(bs79, bs78);
 }
@@ -49,8 +49,9 @@ TEST(StaticAllocTest, RejectsOutOfRangeN) {
 
 TEST(StaticAllocTest, ServicePeriodIsBufferOverConsumption) {
   const AllocParams p = PaperParams();
-  const double bs = StaticBufferSize(p, 50).value();
-  EXPECT_NEAR(StaticServicePeriod(p, 50).value(), bs / p.cr, 1e-9);
+  const Bits bs = StaticBufferSize(p, 50).value();
+  EXPECT_NEAR(ToSeconds(StaticServicePeriod(p, 50).value()),
+              ToSeconds(bs / p.cr), 1e-9);
 }
 
 // --- Expansion step count e ---
@@ -115,8 +116,8 @@ TEST_P(Theorem1Property, ClosedFormEqualsRecurrenceEverywhere) {
   const AllocParams p = pr.value();
   for (int n = 1; n <= p.n_max; ++n) {
     for (int k = 0; k <= p.n_max; ++k) {
-      const double closed = DynamicBufferSize(p, n, k).value();
-      const double direct = BufferSizeByRecurrence(p, n, k).value();
+      const double closed = ToBits(DynamicBufferSize(p, n, k).value());
+      const double direct = ToBits(BufferSizeByRecurrence(p, n, k).value());
       EXPECT_NEAR(closed / direct, 1.0, 1e-9)
           << "n=" << n << " k=" << k << " α=" << alpha
           << " profile=" << profile.name;
@@ -135,8 +136,8 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(ClosedFormTest, FullyLoadedEqualsStaticScheme) {
   const AllocParams p = PaperParams();
-  EXPECT_DOUBLE_EQ(DynamicBufferSize(p, p.n_max, 0).value(),
-                   StaticSchemeBufferSize(p).value());
+  EXPECT_DOUBLE_EQ(ToBits(DynamicBufferSize(p, p.n_max, 0).value()),
+                   ToBits(StaticSchemeBufferSize(p).value()));
 }
 
 TEST(ClosedFormTest, MonotoneInN) {
@@ -144,7 +145,7 @@ TEST(ClosedFormTest, MonotoneInN) {
   for (int k : {0, 1, 4}) {
     double prev = 0;
     for (int n = 1; n <= p.n_max; ++n) {
-      const double bs = DynamicBufferSize(p, n, k).value();
+      const double bs = ToBits(DynamicBufferSize(p, n, k).value());
       EXPECT_GE(bs, prev) << "n=" << n << " k=" << k;
       prev = bs;
     }
@@ -156,7 +157,7 @@ TEST(ClosedFormTest, MonotoneInK) {
   for (int n : {1, 10, 40, 70}) {
     double prev = 0;
     for (int k = 0; k <= p.n_max - n; ++k) {
-      const double bs = DynamicBufferSize(p, n, k).value();
+      const double bs = ToBits(DynamicBufferSize(p, n, k).value());
       EXPECT_GE(bs, prev - 1e-9) << "n=" << n << " k=" << k;
       prev = bs;
     }
@@ -165,10 +166,10 @@ TEST(ClosedFormTest, MonotoneInK) {
 
 TEST(ClosedFormTest, DynamicNeverExceedsFullyLoadedSize) {
   const AllocParams p = PaperParams();
-  const double full = StaticSchemeBufferSize(p).value();
+  const double full = ToBits(StaticSchemeBufferSize(p).value());
   for (int n = 1; n <= p.n_max; ++n) {
     for (int k = 0; k <= p.n_max; k += 7) {
-      EXPECT_LE(DynamicBufferSize(p, n, k).value(), full * (1 + 1e-12));
+      EXPECT_LE(ToBits(DynamicBufferSize(p, n, k).value()), full * (1 + 1e-12));
     }
   }
 }
@@ -178,8 +179,8 @@ TEST(ClosedFormTest, DynamicAtLeastStaticAtSameLoad) {
   // formula's BS(n) (which assumes the load never grows).
   const AllocParams p = PaperParams();
   for (int n = 1; n < p.n_max; n += 5) {
-    EXPECT_GE(DynamicBufferSize(p, n, 1).value(),
-              StaticBufferSize(p, n).value());
+    EXPECT_GE(ToBits(DynamicBufferSize(p, n, 1).value()),
+              ToBits(StaticBufferSize(p, n).value()));
   }
 }
 
@@ -187,9 +188,10 @@ TEST(ClosedFormTest, SaturatedKCollapsesToFullSize) {
   // k >= N − n means the very next expansion hits the boundary: the buffer
   // equals the fully loaded size regardless of how much bigger k gets.
   const AllocParams p = PaperParams();
-  const double full = StaticSchemeBufferSize(p).value();
-  EXPECT_NEAR(DynamicBufferSize(p, 10, p.n_max - 10).value(), full, 1e-6);
-  EXPECT_NEAR(DynamicBufferSize(p, 10, p.n_max).value(), full, 1e-6);
+  const double full = ToBits(StaticSchemeBufferSize(p).value());
+  EXPECT_NEAR(ToBits(DynamicBufferSize(p, 10, p.n_max - 10).value()), full,
+              1e-6);
+  EXPECT_NEAR(ToBits(DynamicBufferSize(p, 10, p.n_max).value()), full, 1e-6);
 }
 
 TEST(ClosedFormTest, RejectsBadInputs) {
@@ -201,14 +203,15 @@ TEST(ClosedFormTest, RejectsBadInputs) {
 
 TEST(ClosedFormTest, UsagePeriodIsBufferOverConsumption) {
   const AllocParams p = PaperParams();
-  EXPECT_DOUBLE_EQ(UsagePeriod(p, Megabits(3)), Megabits(3) / p.cr);
+  EXPECT_DOUBLE_EQ(ToSeconds(UsagePeriod(p, Megabits(3))),
+                   ToSeconds(Megabits(3) / p.cr));
 }
 
 TEST(ClosedFormTest, PaperScaleSanity) {
   // The dynamic buffer at n = 1 must be orders of magnitude below the
   // static scheme's 206 Mbit — this gap is the paper's whole point.
   const AllocParams p = PaperParams();
-  const double bs1 = DynamicBufferSize(p, 1, 4).value();
+  const Bits bs1 = DynamicBufferSize(p, 1, 4).value();
   EXPECT_LT(ToMegabits(bs1), 1.0);
   EXPECT_GT(ToMegabits(bs1), 0.01);
 }

@@ -1,0 +1,19 @@
+// Positive control for the compile-fail harness: exercises the same API
+// surface the negative cases abuse, written correctly. If this target ever
+// fails to build, the harness's WILL_FAIL results are meaningless (the
+// negative cases would "fail" for the wrong reason), so ctest runs it too.
+#include "common/units.h"
+
+namespace {
+double BufferFill(vod::Bits buffer) { return vod::ToMegabits(buffer); }
+double Halve(vod::Seconds t) { return vod::ToSeconds(t) / 2.0; }
+}  // namespace
+
+int main() {
+  const vod::Bits b = vod::Megabits(1.0);
+  const vod::Seconds t = vod::Seconds(2.0);
+  const vod::BitsPerSecond r = b / t;
+  const vod::Bits back = r * t;
+  const double raw = back.value();
+  return static_cast<int>(BufferFill(b) + Halve(t) + raw) * 0;
+}

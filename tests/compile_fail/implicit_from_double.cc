@@ -1,0 +1,12 @@
+// Compile-fail case: a raw double must not implicitly become a Quantity.
+// The constructor is explicit, so every entry into the typed domain names
+// its unit (Seconds(x), Megabits(x), ...).
+#include "common/units.h"
+
+namespace {
+double Halve(vod::Seconds t) { return vod::ToSeconds(t) / 2.0; }
+}  // namespace
+
+int main() {
+  return static_cast<int>(Halve(4.0));  // must not compile
+}

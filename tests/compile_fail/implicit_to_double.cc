@@ -1,0 +1,11 @@
+// Compile-fail case: a Quantity must not implicitly decay to double —
+// leaving the typed domain requires .value() or a named To* conversion,
+// so the unit of every serialized number is visible at the call site.
+#include "common/units.h"
+
+int main() {
+  const vod::Bits b = vod::Megabits(2.0);
+  double raw = b;  // must not compile
+  (void)raw;
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Compile-fail case: adding quantities of different dimensions must be
+// rejected. `Bits + Seconds` has no physical meaning; the hidden-friend
+// operator+ only accepts two operands of the same Quantity instantiation.
+#include "common/units.h"
+
+int main() {
+  const vod::Bits b = vod::Megabits(1.0);
+  const vod::Seconds t = vod::Seconds(1.0);
+  auto nonsense = b + t;  // must not compile
+  (void)nonsense;
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Compile-fail case: passing a Seconds where a Bits parameter is expected
+// must be rejected — distinct Quantity instantiations never interconvert.
+#include "common/units.h"
+
+namespace {
+double BufferFill(vod::Bits buffer) { return vod::ToMegabits(buffer); }
+}  // namespace
+
+int main() {
+  const vod::Seconds t = vod::Minutes(3.0);
+  return static_cast<int>(BufferFill(t));  // must not compile
+}

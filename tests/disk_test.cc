@@ -16,24 +16,26 @@ namespace {
 TEST(SeekModelTest, ZeroDistanceIsFree) {
   SeekModel m(Milliseconds(0.54), Milliseconds(0.26), Milliseconds(5.0),
               Milliseconds(0.0014), 400.0);
-  EXPECT_DOUBLE_EQ(m.SeekTime(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(m.SeekTime(0.0)), 0.0);
 }
 
 TEST(SeekModelTest, ShortSeekUsesSqrtBranch) {
   SeekModel m(Milliseconds(0.54), Milliseconds(0.26), Milliseconds(5.0),
               Milliseconds(0.0014), 400.0);
-  EXPECT_NEAR(m.SeekTime(100.0), Milliseconds(0.54 + 0.26 * 10.0), 1e-12);
+  EXPECT_NEAR(ToSeconds(m.SeekTime(100.0)),
+              ToSeconds(Milliseconds(0.54 + 0.26 * 10.0)), 1e-12);
 }
 
 TEST(SeekModelTest, LongSeekUsesLinearBranch) {
   SeekModel m(Milliseconds(0.54), Milliseconds(0.26), Milliseconds(5.0),
               Milliseconds(0.0014), 400.0);
-  EXPECT_NEAR(m.SeekTime(6000.0), Milliseconds(5.0 + 0.0014 * 6000.0), 1e-12);
+  EXPECT_NEAR(ToSeconds(m.SeekTime(6000.0)),
+              ToSeconds(Milliseconds(5.0 + 0.0014 * 6000.0)), 1e-12);
 }
 
 TEST(SeekModelTest, PaperModelHits13point4msMaxSeek) {
   const DiskProfile p = SeagateBarracuda9LP();
-  EXPECT_NEAR(p.MaxSeekTime(), Milliseconds(13.4), 1e-9);
+  EXPECT_NEAR(ToSeconds(p.MaxSeekTime()), ToSeconds(Milliseconds(13.4)), 1e-9);
 }
 
 TEST(SeekModelTest, MonotoneWithinBranchesAndNearlyContinuous) {
@@ -43,7 +45,7 @@ TEST(SeekModelTest, MonotoneWithinBranchesAndNearlyContinuous) {
   const SeekModel m = SeagateBarracuda9LP().seek;
   double prev = 0.0;
   for (double x = 1; x <= 6000; x += 7) {
-    const double t = m.SeekTime(x);
+    const double t = ToSeconds(m.SeekTime(x));
     if (x < 400 || x - 7 >= 400) {
       EXPECT_GE(t, prev) << "at x=" << x;
     } else {
@@ -54,7 +56,7 @@ TEST(SeekModelTest, MonotoneWithinBranchesAndNearlyContinuous) {
 }
 
 TEST(SeekModelTest, ValidateRejectsNegativeCoefficients) {
-  SeekModel bad(-1e-3, 0, 0, 0, 400.0);
+  SeekModel bad(Seconds(-1e-3), Seconds(0), Seconds(0), Seconds(0), 400.0);
   EXPECT_FALSE(bad.Validate().ok());
 }
 
@@ -74,31 +76,33 @@ TEST(SeekModelTest, PaperProfilesValidate) {
 
 TEST(DiskProfileTest, Barracuda9LPMatchesTable3) {
   const DiskProfile p = SeagateBarracuda9LP();
-  EXPECT_DOUBLE_EQ(p.transfer_rate, Mbps(120));
-  EXPECT_NEAR(p.max_rotational_latency, Milliseconds(8.33), 1e-12);
-  EXPECT_NEAR(ToGigabytes(p.capacity), 9.19, 1e-9);
+  EXPECT_DOUBLE_EQ(ToMbps(p.transfer_rate), 120.0);
+  EXPECT_NEAR(ToSeconds(p.max_rotational_latency), ToSeconds(Milliseconds(8.33)),
+              1e-12);
+  EXPECT_NEAR(ToGibibytes(p.capacity), 9.19, 1e-9);
   EXPECT_EQ(p.cylinders, 6000);
 }
 
 TEST(DiskProfileTest, WorstLatencyIsSeekPlusRotation) {
   const DiskProfile p = SeagateBarracuda9LP();
-  EXPECT_NEAR(p.WorstLatency(6000.0),
-              Milliseconds(13.4) + Milliseconds(8.33), 1e-9);
+  EXPECT_NEAR(ToSeconds(p.WorstLatency(6000.0)),
+              ToSeconds(Milliseconds(13.4) + Milliseconds(8.33)), 1e-9);
   // Span beyond the disk clamps to the full stroke.
-  EXPECT_DOUBLE_EQ(p.WorstLatency(1e9), p.WorstLatency(6000.0));
+  EXPECT_DOUBLE_EQ(ToSeconds(p.WorstLatency(1e9)),
+                   ToSeconds(p.WorstLatency(6000.0)));
 }
 
 TEST(DiskProfileTest, TransferTime) {
   const DiskProfile p = SeagateBarracuda9LP();
-  EXPECT_DOUBLE_EQ(p.TransferTime(Megabits(120)), 1.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(p.TransferTime(Megabits(120))), 1.0);
 }
 
 TEST(DiskProfileTest, ValidateCatchesBadFields) {
   DiskProfile p = SeagateBarracuda9LP();
-  p.capacity = 0;
+  p.capacity = Bits(0);
   EXPECT_FALSE(p.Validate().ok());
   p = SeagateBarracuda9LP();
-  p.transfer_rate = -1;
+  p.transfer_rate = BitsPerSecond(-1);
   EXPECT_FALSE(p.Validate().ok());
   p = SeagateBarracuda9LP();
   p.cylinders = 0;
@@ -113,8 +117,8 @@ TEST(VideoLayoutTest, PlacesVideosContiguously) {
   auto b = layout.AddVideo("b", Gigabits(10));
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_EQ(layout.Get(*a)->start_offset, 0);
-  EXPECT_DOUBLE_EQ(layout.Get(*b)->start_offset, Gigabits(10));
+  EXPECT_EQ(layout.Get(*a)->start_offset, Bits(0));
+  EXPECT_DOUBLE_EQ(ToBits(layout.Get(*b)->start_offset), ToBits(Gigabits(10)));
 }
 
 TEST(VideoLayoutTest, RejectsWhenFull) {
@@ -126,7 +130,7 @@ TEST(VideoLayoutTest, RejectsWhenFull) {
 
 TEST(VideoLayoutTest, RejectsNonPositiveSize) {
   VideoLayout layout(SmallTestDisk());
-  EXPECT_EQ(layout.AddVideo("z", 0).status().code(),
+  EXPECT_EQ(layout.AddVideo("z", Bits(0)).status().code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -135,14 +139,14 @@ TEST(VideoLayoutTest, CylinderOfMapsOffsets) {
   VideoLayout layout(p);
   auto v = layout.AddVideo("a", p.capacity / 2);
   ASSERT_TRUE(v.ok());
-  EXPECT_DOUBLE_EQ(layout.CylinderOf(*v, 0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(layout.CylinderOf(*v, Bits(0)).value(), 0.0);
   EXPECT_NEAR(layout.CylinderOf(*v, p.capacity / 2).value(), 3000.0, 1.0);
 }
 
 TEST(VideoLayoutTest, CylinderOfValidates) {
   VideoLayout layout(SeagateBarracuda9LP());
   auto v = layout.AddVideo("a", Gigabits(1));
-  EXPECT_EQ(layout.CylinderOf(99, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(layout.CylinderOf(99, Bits(0)).status().code(), StatusCode::kNotFound);
   EXPECT_EQ(layout.CylinderOf(*v, Gigabits(2)).status().code(),
             StatusCode::kOutOfRange);
 }
@@ -161,10 +165,13 @@ TEST(SimulatedDiskTest, ReadTimingBreakdown) {
   SimulatedDisk disk(p);
   auto t = disk.Read(1000.0, Megabits(12), 1.0);
   ASSERT_TRUE(t.ok());
-  EXPECT_NEAR(t->seek, p.seek.SeekTime(1000.0), 1e-12);
-  EXPECT_NEAR(t->rotation, p.max_rotational_latency, 1e-12);
-  EXPECT_NEAR(t->transfer, Megabits(12) / p.transfer_rate, 1e-12);
-  EXPECT_NEAR(t->total(), t->seek + t->rotation + t->transfer, 1e-12);
+  EXPECT_NEAR(ToSeconds(t->seek), ToSeconds(p.seek.SeekTime(1000.0)), 1e-12);
+  EXPECT_NEAR(ToSeconds(t->rotation), ToSeconds(p.max_rotational_latency),
+              1e-12);
+  EXPECT_NEAR(ToSeconds(t->transfer),
+              ToSeconds(Megabits(12) / p.transfer_rate), 1e-12);
+  EXPECT_NEAR(ToSeconds(t->total()),
+              ToSeconds(t->seek + t->rotation + t->transfer), 1e-12);
 }
 
 TEST(SimulatedDiskTest, HeadAdvancesWithRead) {
@@ -173,17 +180,17 @@ TEST(SimulatedDiskTest, HeadAdvancesWithRead) {
   ASSERT_TRUE(disk.Read(100.0, p.BitsPerCylinder() * 5, 0.0).ok());
   EXPECT_NEAR(disk.head_cylinder(), 105.0, 1e-9);
   // Second read from the same place has a small seek now.
-  auto t = disk.Read(105.0, 0.0, 0.0);
+  auto t = disk.Read(105.0, Bits(0), 0.0);
   ASSERT_TRUE(t.ok());
-  EXPECT_DOUBLE_EQ(t->seek, 0.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(t->seek), 0.0);
 }
 
 TEST(SimulatedDiskTest, RejectsBadArguments) {
   SimulatedDisk disk(SeagateBarracuda9LP());
-  EXPECT_FALSE(disk.Read(-1.0, 10, 0.5).ok());
-  EXPECT_FALSE(disk.Read(1e9, 10, 0.5).ok());
-  EXPECT_FALSE(disk.Read(0.0, -10, 0.5).ok());
-  EXPECT_FALSE(disk.Read(0.0, 10, 2.0).ok());
+  EXPECT_FALSE(disk.Read(-1.0, Bits(10), 0.5).ok());
+  EXPECT_FALSE(disk.Read(1e9, Bits(10), 0.5).ok());
+  EXPECT_FALSE(disk.Read(0.0, Bits(-10), 0.5).ok());
+  EXPECT_FALSE(disk.Read(0.0, Bits(10), 2.0).ok());
 }
 
 TEST(SimulatedDiskTest, CountersAccumulate) {
@@ -191,18 +198,18 @@ TEST(SimulatedDiskTest, CountersAccumulate) {
   ASSERT_TRUE(disk.Read(100.0, Megabits(1), 0.5).ok());
   ASSERT_TRUE(disk.Read(200.0, Megabits(1), 0.5).ok());
   EXPECT_EQ(disk.read_count(), 2);
-  EXPECT_GT(disk.total_seek_time(), 0.0);
-  EXPECT_GT(disk.total_rotation_time(), 0.0);
-  EXPECT_GT(disk.total_transfer_time(), 0.0);
+  EXPECT_GT(ToSeconds(disk.total_seek_time()), 0.0);
+  EXPECT_GT(ToSeconds(disk.total_rotation_time()), 0.0);
+  EXPECT_GT(ToSeconds(disk.total_transfer_time()), 0.0);
 }
 
 TEST(SimulatedDiskTest, WorstCaseReadTimeBoundsActual) {
   const DiskProfile p = SeagateBarracuda9LP();
   SimulatedDisk disk(p);
-  const double worst = disk.WorstCaseReadTime(6000.0, Megabits(10));
+  const Seconds worst = disk.WorstCaseReadTime(6000.0, Megabits(10));
   auto t = disk.Read(5999.0, Megabits(10), 1.0);
   ASSERT_TRUE(t.ok());
-  EXPECT_LE(t->total(), worst + 1e-12);
+  EXPECT_LE(ToSeconds(t->total()), ToSeconds(worst) + 1e-12);
 }
 
 }  // namespace

@@ -107,9 +107,9 @@ TEST(GridTest, PaperTLogFollowsMethod) {
       .WithReplications(1);
   const auto specs = grid.Expand();
   ASSERT_EQ(specs.size(), 3u);
-  EXPECT_DOUBLE_EQ(specs[0].config.t_log, Minutes(40));
-  EXPECT_DOUBLE_EQ(specs[1].config.t_log, Minutes(20));
-  EXPECT_DOUBLE_EQ(specs[2].config.t_log, Minutes(20));
+  EXPECT_DOUBLE_EQ(ToMinutes(specs[0].config.t_log), 40.0);
+  EXPECT_DOUBLE_EQ(ToMinutes(specs[1].config.t_log), 20.0);
+  EXPECT_DOUBLE_EQ(ToMinutes(specs[2].config.t_log), 20.0);
 }
 
 TEST(GridTest, HashedSeedsAreStableDistinctAndPositionIndependent) {

@@ -34,18 +34,18 @@ TEST(FaultSpecTest, ParsesFullLatencyClause) {
   ASSERT_EQ(spec.value().clauses.size(), 1u);
   const FaultClause& c = spec.value().clauses[0];
   EXPECT_EQ(c.kind, FaultKind::kLatency);
-  EXPECT_DOUBLE_EQ(c.start, 10.0);
-  EXPECT_DOUBLE_EQ(c.end, 20.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(c.start), 10.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(c.end), 20.0);
   EXPECT_EQ(c.disk, 1);
   EXPECT_DOUBLE_EQ(c.p, 0.5);
   EXPECT_DOUBLE_EQ(c.factor, 3.0);
-  EXPECT_DOUBLE_EQ(c.extra, 0.2);
+  EXPECT_DOUBLE_EQ(ToSeconds(c.extra), 0.2);
 }
 
 TEST(FaultSpecTest, OmittedEndIsInfinity) {
   const Result<FaultSpec> spec = ParseFaultSpec("outage:start=100");
   ASSERT_TRUE(spec.ok());
-  EXPECT_TRUE(std::isinf(spec.value().clauses[0].end));
+  EXPECT_TRUE(std::isinf(spec.value().clauses[0].end.value()));
 }
 
 TEST(FaultSpecTest, MultiClauseSpecKeepsOrder) {
@@ -118,12 +118,12 @@ FaultSpec MustParse(const char* text) {
 TEST(InjectorTest, InactiveInjectorIsStrictNoOp) {
   Injector inj(MustParse("none"), 7);
   EXPECT_FALSE(inj.active());
-  const ReadFault f = inj.OnRead(0, 123.0);
+  const ReadFault f = inj.OnRead(0, Seconds(123.0));
   EXPECT_FALSE(f.fail);
   EXPECT_DOUBLE_EQ(f.latency_factor, 1.0);
-  EXPECT_DOUBLE_EQ(f.extra_latency, 0.0);
-  EXPECT_FALSE(inj.InOutage(0, 123.0));
-  EXPECT_DOUBLE_EQ(inj.CapacityScale(123.0), 1.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(f.extra_latency), 0.0);
+  EXPECT_FALSE(inj.InOutage(0, Seconds(123.0)));
+  EXPECT_DOUBLE_EQ(inj.CapacityScale(Seconds(123.0)), 1.0);
   EXPECT_TRUE(inj.Bursts().empty());
 }
 
@@ -131,13 +131,13 @@ TEST(InjectorTest, DeterministicClausesRespectWindowAndDisk) {
   Injector inj(MustParse("latency:start=10,end=20,disk=1,factor=2,extra=0.5"),
                1);
   // Outside the window / wrong disk: identity.
-  EXPECT_DOUBLE_EQ(inj.OnRead(1, 9.999).latency_factor, 1.0);
-  EXPECT_DOUBLE_EQ(inj.OnRead(1, 20.0).latency_factor, 1.0);  // end exclusive
-  EXPECT_DOUBLE_EQ(inj.OnRead(0, 15.0).latency_factor, 1.0);
+  EXPECT_DOUBLE_EQ(inj.OnRead(1, Seconds(9.999)).latency_factor, 1.0);
+  EXPECT_DOUBLE_EQ(inj.OnRead(1, Seconds(20.0)).latency_factor, 1.0);  // end exclusive
+  EXPECT_DOUBLE_EQ(inj.OnRead(0, Seconds(15.0)).latency_factor, 1.0);
   // Inside: deterministic hit.
-  const ReadFault f = inj.OnRead(1, 10.0);  // start inclusive
+  const ReadFault f = inj.OnRead(1, Seconds(10.0));  // start inclusive
   EXPECT_DOUBLE_EQ(f.latency_factor, 2.0);
-  EXPECT_DOUBLE_EQ(f.extra_latency, 0.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(f.extra_latency), 0.5);
   EXPECT_FALSE(f.fail);
 }
 
@@ -145,20 +145,20 @@ TEST(InjectorTest, OverlappingLatencyClausesCompose) {
   Injector inj(MustParse(
       "latency:start=0,end=100,factor=2,extra=0.1;"
       "latency:start=50,end=100,factor=3,extra=0.2"), 1);
-  const ReadFault one = inj.OnRead(0, 25.0);
+  const ReadFault one = inj.OnRead(0, Seconds(25.0));
   EXPECT_DOUBLE_EQ(one.latency_factor, 2.0);
-  EXPECT_DOUBLE_EQ(one.extra_latency, 0.1);
-  const ReadFault both = inj.OnRead(0, 75.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(one.extra_latency), 0.1);
+  const ReadFault both = inj.OnRead(0, Seconds(75.0));
   EXPECT_DOUBLE_EQ(both.latency_factor, 6.0);  // Factors multiply.
-  EXPECT_NEAR(both.extra_latency, 0.3, 1e-12);  // Extras add.
+  EXPECT_NEAR(ToSeconds(both.extra_latency), 0.3, 1e-12);  // Extras add.
 }
 
 TEST(InjectorTest, EioCarriesRetryPolicy) {
   Injector inj(MustParse("eio:start=0,end=10,retries=2,backoff=0.25"), 1);
-  const ReadFault f = inj.OnRead(0, 5.0);
+  const ReadFault f = inj.OnRead(0, Seconds(5.0));
   EXPECT_TRUE(f.fail);
   EXPECT_EQ(f.max_retries, 2);
-  EXPECT_DOUBLE_EQ(f.retry_backoff, 0.25);
+  EXPECT_DOUBLE_EQ(ToSeconds(f.retry_backoff), 0.25);
 }
 
 TEST(InjectorTest, ProbabilisticEioTracksP) {
@@ -167,7 +167,7 @@ TEST(InjectorTest, ProbabilisticEioTracksP) {
   Injector inj(MustParse("eio:start=0,p=0.3"), 99);
   int failures = 0;
   for (int i = 0; i < kReads; ++i) {
-    if (inj.OnRead(0, static_cast<Seconds>(i)).fail) ++failures;
+    if (inj.OnRead(0, Seconds(static_cast<double>(i))).fail) ++failures;
   }
   const double rate = static_cast<double>(failures) / kReads;
   // ±4σ band for a Bernoulli(0.3) sample of 20k.
@@ -183,7 +183,7 @@ TEST(InjectorTest, SameSeedReplaysExactly) {
   Injector a(spec, 12345);
   Injector b(spec, 12345);
   for (int i = 0; i < 5000; ++i) {
-    const Seconds t = 0.2 * i;
+    const Seconds t = Seconds(0.2 * i);
     const ReadFault fa = a.OnRead(i % 3, t);
     const ReadFault fb = b.OnRead(i % 3, t);
     ASSERT_EQ(fa.fail, fb.fail) << i;
@@ -197,7 +197,7 @@ TEST(InjectorTest, DifferentSeedsDiffer) {
   Injector b(spec, 2);
   int differing = 0;
   for (int i = 0; i < 1000; ++i) {
-    if (a.OnRead(0, i).fail != b.OnRead(0, i).fail) ++differing;
+    if (a.OnRead(0, Seconds(i)).fail != b.OnRead(0, Seconds(i)).fail) ++differing;
   }
   EXPECT_GT(differing, 0);
 }
@@ -214,7 +214,7 @@ TEST(InjectorTest, OutOfWindowReadsConsumeNoRandomness) {
     EXPECT_FALSE(warmed.OnRead(0, static_cast<Seconds>(i % 90)).fail);
   }
   for (int i = 0; i < 200; ++i) {
-    const Seconds t = 100.0 + 0.5 * i;
+    const Seconds t = Seconds(100.0 + 0.5 * i);
     ASSERT_EQ(cold.OnRead(0, t).fail, warmed.OnRead(0, t).fail) << i;
   }
 }
@@ -229,7 +229,7 @@ TEST(InjectorTest, DeterministicClausesConsumeNoRandomness) {
   Injector b(without, 31);
   for (int i = 0; i < 100; ++i) a.OnRead(0, static_cast<Seconds>(i % 50));
   for (int i = 0; i < 200; ++i) {
-    const Seconds t = 100.0 + 0.5 * i;
+    const Seconds t = Seconds(100.0 + 0.5 * i);
     ASSERT_EQ(a.OnRead(0, t).fail, b.OnRead(0, t).fail) << i;
   }
 }
@@ -237,23 +237,23 @@ TEST(InjectorTest, DeterministicClausesConsumeNoRandomness) {
 TEST(InjectorTest, OutageWindowAndResumeTime) {
   Injector inj(MustParse("outage:start=50,end=60,disk=1;outage:start=55,end=70,disk=1"),
                1);
-  EXPECT_FALSE(inj.InOutage(1, 49.9));
-  EXPECT_FALSE(inj.InOutage(0, 55.0));  // Other disks unaffected.
-  Seconds resume = 0;
-  ASSERT_TRUE(inj.InOutage(1, 52.0, &resume));
-  EXPECT_DOUBLE_EQ(resume, 60.0);
-  ASSERT_TRUE(inj.InOutage(1, 57.0, &resume));
-  EXPECT_DOUBLE_EQ(resume, 70.0);  // Max end over covering windows.
-  EXPECT_FALSE(inj.InOutage(1, 70.0));
+  EXPECT_FALSE(inj.InOutage(1, Seconds(49.9)));
+  EXPECT_FALSE(inj.InOutage(0, Seconds(55.0)));  // Other disks unaffected.
+  Seconds resume;
+  ASSERT_TRUE(inj.InOutage(1, Seconds(52.0), &resume));
+  EXPECT_DOUBLE_EQ(ToSeconds(resume), 60.0);
+  ASSERT_TRUE(inj.InOutage(1, Seconds(57.0), &resume));
+  EXPECT_DOUBLE_EQ(ToSeconds(resume), 70.0);  // Max end over covering windows.
+  EXPECT_FALSE(inj.InOutage(1, Seconds(70.0)));
 }
 
 TEST(InjectorTest, CapacityScaleComposes) {
   Injector inj(MustParse(
       "memsqueeze:start=0,end=100,scale=0.5;"
       "memsqueeze:start=50,end=100,scale=0.5"), 1);
-  EXPECT_DOUBLE_EQ(inj.CapacityScale(25.0), 0.5);
-  EXPECT_DOUBLE_EQ(inj.CapacityScale(75.0), 0.25);
-  EXPECT_DOUBLE_EQ(inj.CapacityScale(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(inj.CapacityScale(Seconds(25.0)), 0.5);
+  EXPECT_DOUBLE_EQ(inj.CapacityScale(Seconds(75.0)), 0.25);
+  EXPECT_DOUBLE_EQ(inj.CapacityScale(Seconds(100.0)), 1.0);
 }
 
 TEST(InjectorTest, BurstsAreSortedSeededAndStable) {
@@ -269,13 +269,13 @@ TEST(InjectorTest, BurstsAreSortedSeededAndStable) {
   int in_first = 0;
   for (const BurstArrival& b : bursts) {
     if (b.video == 2) {
-      EXPECT_GE(b.time, 100.0);
-      EXPECT_LT(b.time, 130.0);
-      EXPECT_DOUBLE_EQ(b.viewing_time, 600.0);
+      EXPECT_GE(b.time, Seconds(100.0));
+      EXPECT_LT(b.time, Seconds(130.0));
+      EXPECT_DOUBLE_EQ(ToSeconds(b.viewing_time), 600.0);
       EXPECT_EQ(b.disk, 0);  // disk=-1 clamps to 0.
       ++in_first;
     } else {
-      EXPECT_GE(b.time, 50.0);
+      EXPECT_GE(b.time, Seconds(50.0));
       EXPECT_EQ(b.disk, 1);
     }
   }
@@ -286,7 +286,7 @@ TEST(InjectorTest, BurstsAreSortedSeededAndStable) {
   const std::vector<BurstArrival> replay = again.Bursts();
   ASSERT_EQ(replay.size(), bursts.size());
   for (std::size_t i = 0; i < bursts.size(); ++i) {
-    EXPECT_DOUBLE_EQ(replay[i].time, bursts[i].time);
+    EXPECT_DOUBLE_EQ(ToSeconds(replay[i].time), ToSeconds(bursts[i].time));
     EXPECT_EQ(replay[i].video, bursts[i].video);
   }
   // ... and calling Bursts() never disturbs the OnRead stream.
@@ -294,7 +294,7 @@ TEST(InjectorTest, BurstsAreSortedSeededAndStable) {
   Injector bursty(MustParse("eio:start=0,p=0.5;burst:at=0,count=16"), 8);
   (void)bursty.Bursts();
   for (int i = 0; i < 500; ++i) {
-    ASSERT_EQ(read_only.OnRead(0, i).fail, bursty.OnRead(0, i).fail) << i;
+    ASSERT_EQ(read_only.OnRead(0, Seconds(i)).fail, bursty.OnRead(0, Seconds(i)).fail) << i;
   }
 }
 

@@ -74,7 +74,7 @@ TEST(GoldenMetricsTest, AllMethodSchemeCombinationsMatchGoldenValues) {
   for (const GoldenRow& golden : kGolden) {
     const DayRunConfig cfg = GoldenConfig(golden.method, golden.scheme);
     const sim::SimMetrics m = RunDay(cfg);
-    const double peak_mb = ToMegabytes(m.memory_usage.max_value());
+    const double peak_mb = ToMebibytes(Bits(m.memory_usage.max_value()));
     if (dump) {
       const char* method_token =
           golden.method == core::ScheduleMethod::kRoundRobin ? "kRoundRobin"

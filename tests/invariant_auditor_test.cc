@@ -21,7 +21,7 @@
 namespace vod::sim {
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr Seconds kInf = Seconds::Infinity();
 
 /// Collects violations instead of aborting.
 class Recorder {
@@ -51,7 +51,7 @@ class FakeContext : public sched::SchedulerContext {
     double cylinder = 0;
     bool needs_service = true;
     bool fresh = false;
-    Seconds service_time = 1.0;
+    Seconds service_time = Seconds(1.0);
   };
 
   Entry& Set(RequestId id) { return entries_[id]; }
@@ -77,7 +77,7 @@ class FakeContext : public sched::SchedulerContext {
 
  private:
   std::map<RequestId, Entry> entries_;
-  Seconds reserve_ = 1.0;
+  Seconds reserve_ = Seconds(1.0);
 };
 
 core::AllocParams TestParams(core::ScheduleMethod method) {
@@ -93,10 +93,10 @@ core::AllocParams TestParams(core::ScheduleMethod method) {
 TEST(InvariantAuditorTest, AcceptsMonotoneEventTimes) {
   Recorder rec;
   InvariantAuditor auditor(rec.handler());
-  auditor.CheckEventTime(0.0);
-  auditor.CheckEventTime(1.0);
-  auditor.CheckEventTime(1.0);  // Equal times are fine (FIFO tiebreak).
-  auditor.CheckEventTime(2.5);
+  auditor.CheckEventTime(Seconds(0.0));
+  auditor.CheckEventTime(Seconds(1.0));
+  auditor.CheckEventTime(Seconds(1.0));  // Equal times are fine (FIFO tiebreak).
+  auditor.CheckEventTime(Seconds(2.5));
   EXPECT_TRUE(rec.violations().empty());
   EXPECT_EQ(auditor.checks(), 4);
 }
@@ -104,8 +104,8 @@ TEST(InvariantAuditorTest, AcceptsMonotoneEventTimes) {
 TEST(InvariantAuditorTest, FlagsBackwardsEventTime) {
   Recorder rec;
   InvariantAuditor auditor(rec.handler());
-  auditor.CheckEventTime(10.0);
-  auditor.CheckEventTime(5.0);
+  auditor.CheckEventTime(Seconds(10.0));
+  auditor.CheckEventTime(Seconds(5.0));
   ASSERT_EQ(rec.violations().size(), 1u);
   EXPECT_EQ(rec.violations()[0].invariant, "event-time-monotonicity");
   EXPECT_EQ(auditor.violations(), 1);
@@ -118,10 +118,10 @@ TEST(InvariantAuditorTest, ToleratesZeroLengthRetryStepsAtLargeClocks) {
   // steps pass while a genuine step backwards still fires.
   Recorder rec;
   InvariantAuditor auditor(rec.handler());
-  auditor.CheckEventTime(1e6);
-  auditor.CheckEventTime(1e6 - 1e-5);  // Within 1e-9 * 1e6 = 1e-3: fine.
+  auditor.CheckEventTime(Seconds(1e6));
+  auditor.CheckEventTime(Seconds(1e6 - 1e-5));  // Within 1e-9 * 1e6 = 1e-3: fine.
   EXPECT_TRUE(rec.violations().empty());
-  auditor.CheckEventTime(1e6 - 1.0);  // Way past the tolerance.
+  auditor.CheckEventTime(Seconds(1e6 - 1.0));  // Way past the tolerance.
   ASSERT_EQ(rec.violations().size(), 1u);
   EXPECT_EQ(rec.violations()[0].invariant, "event-time-monotonicity");
 }
@@ -131,10 +131,10 @@ TEST(InvariantAuditorTest, ToleratesZeroLengthRetryStepsAtLargeClocks) {
 TEST(InvariantAuditorTest, AcceptsBalancedMemoryLedger) {
   Recorder rec;
   InvariantAuditor auditor(rec.handler());
-  auditor.CheckMemoryConservation(1.0, Megabits(300), Megabits(700),
+  auditor.CheckMemoryConservation(Seconds(1.0), Megabits(300), Megabits(700),
                                   Megabits(1000));
-  auditor.CheckMemoryConservation(2.0, 0, Megabits(1000), Megabits(1000));
-  auditor.CheckMemoryConservation(3.0, Megabits(1000), 0, Megabits(1000));
+  auditor.CheckMemoryConservation(Seconds(2.0), Bits(0), Megabits(1000), Megabits(1000));
+  auditor.CheckMemoryConservation(Seconds(3.0), Megabits(1000), Bits(0), Megabits(1000));
   EXPECT_TRUE(rec.violations().empty());
 }
 
@@ -142,13 +142,13 @@ TEST(InvariantAuditorTest, FlagsCorruptMemoryLedger) {
   Recorder rec;
   InvariantAuditor auditor(rec.handler());
   // Over-reservation: the free share has gone negative.
-  auditor.CheckMemoryConservation(1.0, Megabits(1200), Megabits(-200),
+  auditor.CheckMemoryConservation(Seconds(1.0), Megabits(1200), Megabits(-200),
                                   Megabits(1000));
   // Leak: the two shares no longer sum to the total.
-  auditor.CheckMemoryConservation(2.0, Megabits(300), Megabits(300),
+  auditor.CheckMemoryConservation(Seconds(2.0), Megabits(300), Megabits(300),
                                   Megabits(1000));
   // Negative allocation.
-  auditor.CheckMemoryConservation(3.0, Megabits(-1), Megabits(1001),
+  auditor.CheckMemoryConservation(Seconds(3.0), Megabits(-1), Megabits(1001),
                                   Megabits(1000));
   EXPECT_EQ(rec.violations().size(), 3u);
   EXPECT_TRUE(rec.Fired("memory-conservation"));
@@ -159,10 +159,10 @@ TEST(InvariantAuditorTest, BrokerOvershootToleratedBetweenAdmissions) {
   InvariantAuditor auditor(rec.handler());
   // Between admissions the k estimate drifts and analytic repricing may
   // exceed capacity; only an admission-point partition is enforced.
-  auditor.CheckBrokerReservation(1.0, Megabits(1200), Megabits(1000),
+  auditor.CheckBrokerReservation(Seconds(1.0), Megabits(1200), Megabits(1000),
                                  /*capacity_enforced=*/false);
   EXPECT_TRUE(rec.violations().empty());
-  auditor.CheckBrokerReservation(2.0, Megabits(1200), Megabits(1000),
+  auditor.CheckBrokerReservation(Seconds(2.0), Megabits(1200), Megabits(1000),
                                  /*capacity_enforced=*/true);
   EXPECT_TRUE(rec.Fired("memory-conservation"));
 }
@@ -170,7 +170,7 @@ TEST(InvariantAuditorTest, BrokerOvershootToleratedBetweenAdmissions) {
 TEST(InvariantAuditorTest, FlagsNegativeBrokerReservation) {
   Recorder rec;
   InvariantAuditor auditor(rec.handler());
-  auditor.CheckBrokerReservation(1.0, Megabits(-5), Megabits(1000),
+  auditor.CheckBrokerReservation(Seconds(1.0), Megabits(-5), Megabits(1000),
                                  /*capacity_enforced=*/false);
   EXPECT_TRUE(rec.Fired("memory-conservation"));
 }
@@ -180,9 +180,9 @@ TEST(InvariantAuditorTest, FlagsNegativeBrokerReservation) {
 TEST(InvariantAuditorTest, FlagsConsumptionBeyondDelivery) {
   Recorder rec;
   InvariantAuditor auditor(rec.handler());
-  auditor.CheckRequestAccounting(1.0, 7, Megabits(10), Megabits(4));
+  auditor.CheckRequestAccounting(Seconds(1.0), 7, Megabits(10), Megabits(4));
   EXPECT_TRUE(rec.violations().empty());
-  auditor.CheckRequestAccounting(2.0, 7, Megabits(10), Megabits(11));
+  auditor.CheckRequestAccounting(Seconds(2.0), 7, Megabits(10), Megabits(11));
   ASSERT_EQ(rec.violations().size(), 1u);
   EXPECT_EQ(rec.violations()[0].invariant, "request-accounting");
 }
@@ -190,18 +190,18 @@ TEST(InvariantAuditorTest, FlagsConsumptionBeyondDelivery) {
 TEST(InvariantAuditorTest, FlagsLedgerRunningBackwards) {
   Recorder rec;
   InvariantAuditor auditor(rec.handler());
-  auditor.CheckRequestAccounting(1.0, 7, Megabits(10), Megabits(4));
-  auditor.CheckRequestAccounting(2.0, 7, Megabits(8), Megabits(4));
+  auditor.CheckRequestAccounting(Seconds(1.0), 7, Megabits(10), Megabits(4));
+  auditor.CheckRequestAccounting(Seconds(2.0), 7, Megabits(8), Megabits(4));
   EXPECT_TRUE(rec.Fired("request-accounting"));
 }
 
 TEST(InvariantAuditorTest, ForgetResetsTheLedger) {
   Recorder rec;
   InvariantAuditor auditor(rec.handler());
-  auditor.CheckRequestAccounting(1.0, 7, Megabits(10), Megabits(4));
+  auditor.CheckRequestAccounting(Seconds(1.0), 7, Megabits(10), Megabits(4));
   auditor.ForgetRequest(7);
   // Same id reused from zero: not a regression.
-  auditor.CheckRequestAccounting(2.0, 7, Megabits(1), Megabits(0));
+  auditor.CheckRequestAccounting(Seconds(2.0), 7, Megabits(1), Megabits(0));
   EXPECT_TRUE(rec.violations().empty());
 }
 
@@ -213,7 +213,7 @@ TEST(InvariantAuditorTest, AcceptsClosedFormAllocation) {
   const core::AllocParams params = TestParams(core::ScheduleMethod::kRoundRobin);
 
   AllocationRecord record;
-  record.time = 1.0;
+  record.time = Seconds(1.0);
   record.n = 5;
   record.k = 3;
   record.buffer_size = core::DynamicBufferSize(params, 5, 3).value();
@@ -230,7 +230,7 @@ TEST(InvariantAuditorTest, FlagsCorruptDynamicBufferSize) {
   const core::AllocParams params = TestParams(core::ScheduleMethod::kRoundRobin);
 
   AllocationRecord record;
-  record.time = 1.0;
+  record.time = Seconds(1.0);
   record.n = 5;
   record.k = 3;
   record.buffer_size = core::DynamicBufferSize(params, 5, 3).value() * 1.01;
@@ -248,7 +248,7 @@ TEST(InvariantAuditorTest, FlagsUsagePeriodMismatch) {
   const core::AllocParams params = TestParams(core::ScheduleMethod::kRoundRobin);
 
   AllocationRecord record;
-  record.time = 1.0;
+  record.time = Seconds(1.0);
   record.n = 5;
   record.k = 3;
   record.buffer_size = core::DynamicBufferSize(params, 5, 3).value();
@@ -265,7 +265,7 @@ TEST(InvariantAuditorTest, AcceptsStaticSchemeAllocation) {
   const core::AllocParams params = TestParams(core::ScheduleMethod::kRoundRobin);
 
   AllocationRecord record;
-  record.time = 1.0;
+  record.time = Seconds(1.0);
   record.n = 3;
   record.k = 0;
   record.buffer_size = core::StaticSchemeBufferSize(params).value();
@@ -291,7 +291,7 @@ TEST(InvariantAuditorTest, FlagsDuplicateInServiceSequence) {
   FakeContext ctx;
   ctx.Set(1);
   ctx.Set(2);
-  auditor.CheckServiceSequence(ctx, {1, 2, 1}, 0.0);
+  auditor.CheckServiceSequence(ctx, {1, 2, 1}, Seconds(0.0));
   EXPECT_TRUE(rec.Fired("service-sequence"));
 }
 
@@ -300,7 +300,7 @@ TEST(InvariantAuditorTest, FlagsSatisfiedRequestInSequence) {
   InvariantAuditor auditor(rec.handler());
   FakeContext ctx;
   ctx.Set(1).needs_service = false;
-  auditor.CheckServiceSequence(ctx, {1}, 0.0);
+  auditor.CheckServiceSequence(ctx, {1}, Seconds(0.0));
   EXPECT_TRUE(rec.Fired("service-sequence"));
 }
 
@@ -309,11 +309,11 @@ TEST(InvariantAuditorTest, AcceptsSafeNewcomerDecision) {
   InvariantAuditor auditor(rec.handler());
   FakeContext ctx;
   ctx.Set(1).fresh = true;
-  ctx.Set(1).service_time = 1.0;
-  ctx.Set(2).deadline = 10.0;  // Far away: the newcomer displaces nothing.
-  ctx.Set(2).service_time = 1.0;
-  sched::ServiceDecision d{1, 0.0};
-  auditor.CheckServiceDecision(ctx, {1, 2}, d, 0.0);
+  ctx.Set(1).service_time = Seconds(1.0);
+  ctx.Set(2).deadline = Seconds(10.0);  // Far away: the newcomer displaces nothing.
+  ctx.Set(2).service_time = Seconds(1.0);
+  sched::ServiceDecision d{1, Seconds(0.0)};
+  auditor.CheckServiceDecision(ctx, {1, 2}, d, Seconds(0.0));
   EXPECT_TRUE(rec.violations().empty());
 }
 
@@ -322,13 +322,13 @@ TEST(InvariantAuditorTest, FlagsNewcomerDisplacingTightDeadline) {
   InvariantAuditor auditor(rec.handler());
   FakeContext ctx;
   ctx.Set(1).fresh = true;
-  ctx.Set(1).service_time = 5.0;
-  ctx.Set(2).deadline = 3.0;  // Serving the newcomer first misses this.
-  ctx.Set(2).service_time = 1.0;
+  ctx.Set(1).service_time = Seconds(5.0);
+  ctx.Set(2).deadline = Seconds(3.0);  // Serving the newcomer first misses this.
+  ctx.Set(2).service_time = Seconds(1.0);
   // A correct scheduler would catch request 2 up first; serving the
   // newcomer anyway is an ordering violation.
-  sched::ServiceDecision d{1, 0.0};
-  auditor.CheckServiceDecision(ctx, {1, 2}, d, 0.0);
+  sched::ServiceDecision d{1, Seconds(0.0)};
+  auditor.CheckServiceDecision(ctx, {1, 2}, d, Seconds(0.0));
   EXPECT_TRUE(rec.Fired("bubbleup-ordering"));
 }
 
@@ -336,18 +336,18 @@ TEST(InvariantAuditorTest, FlagsLazyStartPastSafePoint) {
   Recorder rec;
   InvariantAuditor auditor(rec.handler());
   FakeContext ctx;
-  ctx.set_reserve(1.0);
-  ctx.Set(1).deadline = 10.0;
-  ctx.Set(1).service_time = 2.0;
+  ctx.set_reserve(Seconds(1.0));
+  ctx.Set(1).deadline = Seconds(10.0);
+  ctx.Set(1).service_time = Seconds(2.0);
   // Latest safe start is 10 − 2 = 8; minus the newcomer reserve → 7.
-  sched::ServiceDecision late{1, 8.5};
-  auditor.CheckServiceDecision(ctx, {1}, late, 0.0);
+  sched::ServiceDecision late{1, Seconds(8.5)};
+  auditor.CheckServiceDecision(ctx, {1}, late, Seconds(0.0));
   EXPECT_TRUE(rec.Fired("bubbleup-ordering"));
 
   Recorder rec2;
   auditor.set_handler(rec2.handler());
-  sched::ServiceDecision on_time{1, 7.0};
-  auditor.CheckServiceDecision(ctx, {1}, on_time, 0.0);
+  sched::ServiceDecision on_time{1, Seconds(7.0)};
+  auditor.CheckServiceDecision(ctx, {1}, on_time, Seconds(0.0));
   EXPECT_TRUE(rec2.violations().empty());
 }
 
@@ -356,8 +356,8 @@ TEST(InvariantAuditorTest, FlagsDecisionOutsideSequence) {
   InvariantAuditor auditor(rec.handler());
   FakeContext ctx;
   ctx.Set(1);
-  sched::ServiceDecision d{99, 0.0};
-  auditor.CheckServiceDecision(ctx, {1}, d, 0.0);
+  sched::ServiceDecision d{99, Seconds(0.0)};
+  auditor.CheckServiceDecision(ctx, {1}, d, Seconds(0.0));
   EXPECT_TRUE(rec.Fired("bubbleup-ordering"));
 }
 
@@ -411,7 +411,7 @@ class CorruptBroker final : public MemoryBroker {
   void OnState(int, int n, int) override { n_ = n; }
   [[nodiscard]] Bits ReservedMemory() const override {
     // "Leaks" 2 capacities' worth as soon as anything is admitted.
-    return n_ > 0 ? 3 * kCapacity : 0;
+    return n_ > 0 ? 3 * kCapacity : Bits(0);
   }
   [[nodiscard]] Bits Capacity() const override { return kCapacity; }
 

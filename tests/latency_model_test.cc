@@ -20,56 +20,57 @@ AllocParams Params(ScheduleMethod m, int n_or_g) {
 TEST(LatencyModelTest, RoundRobinEquation2) {
   const AllocParams p = Params(ScheduleMethod::kRoundRobin, 0);
   const Bits bs = Megabits(206);
-  EXPECT_NEAR(WorstInitialLatencyRoundRobin(p, bs),
-              2 * p.dl + bs / p.tr, 1e-12);
+  EXPECT_NEAR(ToSeconds(WorstInitialLatencyRoundRobin(p, bs)),
+              ToSeconds(2 * p.dl + bs / p.tr), 1e-12);
   // With the paper's numbers: 2·21.73ms + 1.717s ≈ 1.76 s.
-  EXPECT_NEAR(WorstInitialLatencyRoundRobin(p, bs), 1.76, 0.01);
+  EXPECT_NEAR(ToSeconds(WorstInitialLatencyRoundRobin(p, bs)), 1.76, 0.01);
 }
 
 TEST(LatencyModelTest, SweepEquation3) {
   const AllocParams p = Params(ScheduleMethod::kSweep, 79);
   const Bits bs = Megabits(100);
-  const double slot = p.dl + bs / p.tr;
-  EXPECT_NEAR(WorstInitialLatencySweep(p, bs, 79), (2 * 79 + 1) * slot,
-              1e-9);
+  const Seconds slot = p.dl + bs / p.tr;
+  EXPECT_NEAR(ToSeconds(WorstInitialLatencySweep(p, bs, 79)),
+              ToSeconds((2 * 79 + 1) * slot), 1e-9);
 }
 
 TEST(LatencyModelTest, GssEquation4) {
   const AllocParams p = Params(ScheduleMethod::kGss, 8);
   const Bits bs = Megabits(130);
-  EXPECT_NEAR(WorstInitialLatencyGss(p, bs, 8),
-              2 * 8 * (p.dl + bs / p.tr), 1e-9);
+  EXPECT_NEAR(ToSeconds(WorstInitialLatencyGss(p, bs, 8)),
+              ToSeconds(2 * 8 * (p.dl + bs / p.tr)), 1e-9);
 }
 
 TEST(LatencyModelTest, LatencyLinearInBufferSize) {
   // Sec. 2.2: "initial latency increases linearly in proportion to the
   // buffer size BS regardless of buffer scheduling methods".
   const AllocParams p = Params(ScheduleMethod::kRoundRobin, 0);
-  const double il1 = WorstInitialLatencyRoundRobin(p, Megabits(10));
-  const double il2 = WorstInitialLatencyRoundRobin(p, Megabits(20));
-  const double il3 = WorstInitialLatencyRoundRobin(p, Megabits(30));
-  EXPECT_NEAR(il3 - il2, il2 - il1, 1e-12);
+  const Seconds il1 = WorstInitialLatencyRoundRobin(p, Megabits(10));
+  const Seconds il2 = WorstInitialLatencyRoundRobin(p, Megabits(20));
+  const Seconds il3 = WorstInitialLatencyRoundRobin(p, Megabits(30));
+  EXPECT_NEAR(ToSeconds(il3 - il2), ToSeconds(il2 - il1), 1e-12);
 }
 
 TEST(LatencyModelTest, DispatchMatchesDirectCalls) {
   const AllocParams p = Params(ScheduleMethod::kSweep, 40);
   const Bits bs = Megabits(50);
   EXPECT_DOUBLE_EQ(
-      WorstInitialLatency(p, ScheduleMethod::kSweep, bs, 40).value(),
-      WorstInitialLatencySweep(p, bs, 40));
+      ToSeconds(WorstInitialLatency(p, ScheduleMethod::kSweep, bs, 40).value()),
+      ToSeconds(WorstInitialLatencySweep(p, bs, 40)));
   EXPECT_DOUBLE_EQ(
-      WorstInitialLatency(p, ScheduleMethod::kRoundRobin, bs, 0).value(),
-      WorstInitialLatencyRoundRobin(p, bs));
+      ToSeconds(
+          WorstInitialLatency(p, ScheduleMethod::kRoundRobin, bs, 0).value()),
+      ToSeconds(WorstInitialLatencyRoundRobin(p, bs)));
   EXPECT_DOUBLE_EQ(
-      WorstInitialLatency(p, ScheduleMethod::kGss, bs, 8).value(),
-      WorstInitialLatencyGss(p, bs, 8));
+      ToSeconds(WorstInitialLatency(p, ScheduleMethod::kGss, bs, 8).value()),
+      ToSeconds(WorstInitialLatencyGss(p, bs, 8)));
 }
 
 TEST(LatencyModelTest, DispatchValidates) {
   const AllocParams p = Params(ScheduleMethod::kSweep, 40);
-  EXPECT_FALSE(WorstInitialLatency(p, ScheduleMethod::kSweep, -1.0, 4).ok());
-  EXPECT_FALSE(WorstInitialLatency(p, ScheduleMethod::kSweep, 1.0, 0).ok());
-  EXPECT_FALSE(WorstInitialLatency(p, ScheduleMethod::kGss, 1.0, 0).ok());
+  EXPECT_FALSE(WorstInitialLatency(p, ScheduleMethod::kSweep, Bits(-1.0), 4).ok());
+  EXPECT_FALSE(WorstInitialLatency(p, ScheduleMethod::kSweep, Bits(1.0), 0).ok());
+  EXPECT_FALSE(WorstInitialLatency(p, ScheduleMethod::kGss, Bits(1.0), 0).ok());
 }
 
 TEST(LatencyModelTest, DynamicBeatsStaticBelowFullLoad) {

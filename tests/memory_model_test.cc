@@ -27,15 +27,16 @@ AllocParams PaperParams(ScheduleMethod m = ScheduleMethod::kRoundRobin,
 /// memory requirement is the max of the sum over the service instants.
 double BruteForceRoundRobinMemory(const AllocParams& p, Bits bs, int n,
                                   int slots) {
-  const double t_period = bs / p.cr;
+  const double t_period = ToSeconds(bs / p.cr);
   const double delta = t_period / slots;
+  const double cr = p.cr.value();
   double best = 0.0;
   for (int j = 0; j < n; ++j) {
     const double t = j * delta;
     double total = 0.0;
     for (int i = 0; i < n; ++i) {
       double dt = std::fmod(t - i * delta + 2 * t_period, t_period);
-      total += bs - p.cr * dt + p.cr * p.dl;
+      total += bs.value() - cr * dt + cr * p.dl.value();
     }
     best = std::max(best, total);
   }
@@ -49,7 +50,7 @@ TEST(MemoryModelTest, Theorem2MatchesBruteForce) {
       if (n + k > p.n_max) continue;
       const Bits bs = DynamicBufferSize(p, n, k).value();
       const double expected = BruteForceRoundRobinMemory(p, bs, n, n + k);
-      const double got = MemoryRequirementRoundRobin(p, bs, n, n + k);
+      const double got = ToBits(MemoryRequirementRoundRobin(p, bs, n, n + k));
       EXPECT_NEAR(got / expected, 1.0, 1e-9) << "n=" << n << " k=" << k;
     }
   }
@@ -59,7 +60,7 @@ TEST(MemoryModelTest, Theorem2StaticInstantiationMatchesBruteForce) {
   const AllocParams p = PaperParams();
   const Bits bs = StaticSchemeBufferSize(p).value();
   for (int n : {1, 10, 50, 79}) {
-    EXPECT_NEAR(MemoryRequirementRoundRobin(p, bs, n, p.n_max) /
+    EXPECT_NEAR(ToBits(MemoryRequirementRoundRobin(p, bs, n, p.n_max)) /
                     BruteForceRoundRobinMemory(p, bs, n, p.n_max),
                 1.0, 1e-9)
         << "n=" << n;
@@ -69,40 +70,40 @@ TEST(MemoryModelTest, Theorem2StaticInstantiationMatchesBruteForce) {
 TEST(MemoryModelTest, SweepSingleRequestCase) {
   const AllocParams p = PaperParams(ScheduleMethod::kSweep, 1);
   const Bits bs = Megabits(10);
-  EXPECT_NEAR(MemoryRequirementSweep(p, bs, 1, 5),
-              bs + (bs / p.tr + p.dl) * p.cr, 1e-6);
+  EXPECT_NEAR(ToBits(MemoryRequirementSweep(p, bs, 1, 5)),
+              ToBits(bs + (bs / p.tr + p.dl) * p.cr), 1e-6);
 }
 
 TEST(MemoryModelTest, SweepFormulaForTwoRequests) {
   const AllocParams p = PaperParams(ScheduleMethod::kSweep, 2);
   const Bits bs = Megabits(10);
-  const double t = bs / p.cr;
+  const Seconds t = bs / p.cr;
   // n = 2: (n−1)·BS + (n·T/slots − (n−2)·BS/TR)·CR·n with slots = 3.
-  EXPECT_NEAR(MemoryRequirementSweep(p, bs, 2, 3),
-              bs + (2 * t / 3) * p.cr * 2, 1e-6);
+  EXPECT_NEAR(ToBits(MemoryRequirementSweep(p, bs, 2, 3)),
+              ToBits(bs + (2 * t / 3) * p.cr * 2), 1e-6);
 }
 
 TEST(MemoryModelTest, GssDegeneratesToSweepWhenGroupCoversAll) {
   const AllocParams p = PaperParams(ScheduleMethod::kGss, 8);
   const Bits bs = Megabits(20);
-  EXPECT_DOUBLE_EQ(MemoryRequirementGss(p, bs, 6, 10, 8),
-                   MemoryRequirementSweep(p, bs, 6, 10));
+  EXPECT_DOUBLE_EQ(ToBits(MemoryRequirementGss(p, bs, 6, 10, 8)),
+                   ToBits(MemoryRequirementSweep(p, bs, 6, 10)));
 }
 
 TEST(MemoryModelTest, GssDegeneratesToRoundRobinWhenGroupOfOne) {
   const AllocParams p = PaperParams(ScheduleMethod::kGss, 1);
   const Bits bs = Megabits(20);
-  EXPECT_DOUBLE_EQ(MemoryRequirementGss(p, bs, 6, 10, 1),
-                   MemoryRequirementRoundRobin(p, bs, 6, 10));
+  EXPECT_DOUBLE_EQ(ToBits(MemoryRequirementGss(p, bs, 6, 10, 1)),
+                   ToBits(MemoryRequirementRoundRobin(p, bs, 6, 10)));
 }
 
 TEST(MemoryModelTest, GssHandlesExactAndRemainderGroups) {
   const AllocParams p = PaperParams(ScheduleMethod::kGss, 8);
   const Bits bs = Megabits(20);
   // g | n and g ∤ n both produce positive, finite, ordered values.
-  const double m16 = MemoryRequirementGss(p, bs, 16, 20, 8);
-  const double m17 = MemoryRequirementGss(p, bs, 17, 21, 8);
-  const double m24 = MemoryRequirementGss(p, bs, 24, 28, 8);
+  const double m16 = ToBits(MemoryRequirementGss(p, bs, 16, 20, 8));
+  const double m17 = ToBits(MemoryRequirementGss(p, bs, 17, 21, 8));
+  const double m24 = ToBits(MemoryRequirementGss(p, bs, 24, 28, 8));
   EXPECT_GT(m16, 0);
   EXPECT_GT(m17, m16 * 0.9);
   EXPECT_GT(m24, m17 * 0.9);
@@ -116,7 +117,7 @@ TEST(MemoryModelTest, DynamicRequirementIncreasesWithN) {
     double prev = 0;
     for (int n = 1; n <= p.n_max; n += 6) {
       const double mem =
-          DynamicMemoryRequirement(p, m, n, 3, 8).value();
+          ToBits(DynamicMemoryRequirement(p, m, n, 3, 8).value());
       EXPECT_GT(mem, prev * 0.999) << ScheduleMethodName(m) << " n=" << n;
       prev = mem;
     }
@@ -131,8 +132,8 @@ TEST(MemoryModelTest, DynamicBelowStaticBelowFullLoad) {
     const AllocParams p =
         PaperParams(m, m == ScheduleMethod::kGss ? 8 : 79);
     for (int n = 1; n < p.n_max; n += 9) {
-      const double dyn = DynamicMemoryRequirement(p, m, n, 3, 8).value();
-      const double stat = StaticMemoryRequirement(p, m, n, 8).value();
+      const double dyn = ToBits(DynamicMemoryRequirement(p, m, n, 3, 8).value());
+      const double stat = ToBits(StaticMemoryRequirement(p, m, n, 8).value());
       EXPECT_LT(dyn, stat) << ScheduleMethodName(m) << " n=" << n;
     }
   }
@@ -144,8 +145,9 @@ TEST(MemoryModelTest, SchemesConvergeAtFullLoad) {
     const AllocParams p =
         PaperParams(m, m == ScheduleMethod::kGss ? 8 : 79);
     const double dyn =
-        DynamicMemoryRequirement(p, m, p.n_max, 0, 8).value();
-    const double stat = StaticMemoryRequirement(p, m, p.n_max, 8).value();
+        ToBits(DynamicMemoryRequirement(p, m, p.n_max, 0, 8).value());
+    const double stat =
+        ToBits(StaticMemoryRequirement(p, m, p.n_max, 8).value());
     EXPECT_NEAR(dyn / stat, 1.0, 1e-9) << ScheduleMethodName(m);
   }
 }
@@ -154,11 +156,11 @@ TEST(MemoryModelTest, LowLoadGapIsLarge) {
   // At n = 1 the static scheme already reserves a share of the huge BS(N)
   // buffers; the dynamic scheme's requirement is orders of magnitude less.
   const AllocParams p = PaperParams();
-  const double dyn =
+  const double dyn = ToBits(
       DynamicMemoryRequirement(p, ScheduleMethod::kRoundRobin, 1, 4, 8)
-          .value();
-  const double stat =
-      StaticMemoryRequirement(p, ScheduleMethod::kRoundRobin, 1, 8).value();
+          .value());
+  const double stat = ToBits(
+      StaticMemoryRequirement(p, ScheduleMethod::kRoundRobin, 1, 8).value());
   EXPECT_GT(stat / dyn, 50.0);
 }
 
@@ -180,8 +182,9 @@ TEST(MemoryModelTest, MemoryAtLeastSumOfLiveBuffers) {
   // (n−1) filled streams (the Sweep bound) or ~half the ring (RR).
   const AllocParams p = PaperParams();
   const Bits bs = DynamicBufferSize(p, 20, 3).value();
-  EXPECT_GE(MemoryRequirementRoundRobin(p, bs, 20, 23), 10 * bs);
-  EXPECT_GE(MemoryRequirementSweep(p, bs, 20, 23), 19 * bs);
+  EXPECT_GE(ToBits(MemoryRequirementRoundRobin(p, bs, 20, 23)),
+            ToBits(10 * bs));
+  EXPECT_GE(ToBits(MemoryRequirementSweep(p, bs, 20, 23)), ToBits(19 * bs));
 }
 
 }  // namespace

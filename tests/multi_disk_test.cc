@@ -25,27 +25,27 @@ TEST(AnalyticMemoryBrokerTest, PricesWithMemoryModel) {
   const core::AllocParams p = SmallParams();
   AnalyticMemoryBroker broker(p, core::ScheduleMethod::kRoundRobin,
                               /*use_dynamic=*/true, 8, /*disk_count=*/2,
-                              Gigabytes(1));
-  EXPECT_DOUBLE_EQ(broker.PriceDisk(0, 0), 0.0);
-  const double price =
+                              Gibibytes(1));
+  EXPECT_DOUBLE_EQ(ToBits(broker.PriceDisk(0, 0)), 0.0);
+  const Bits price =
       core::DynamicMemoryRequirement(p, core::ScheduleMethod::kRoundRobin, 5,
                                      2, 8)
           .value();
-  EXPECT_DOUBLE_EQ(broker.PriceDisk(5, 2), price);
+  EXPECT_DOUBLE_EQ(ToBits(broker.PriceDisk(5, 2)), ToBits(price));
 }
 
 TEST(AnalyticMemoryBrokerTest, AdmitsWithinBudgetOnly) {
   const core::AllocParams p = SmallParams();
   // Budget = exactly the cost of 3 requests on disk 0.
-  const double budget = core::DynamicMemoryRequirement(
-                            p, core::ScheduleMethod::kRoundRobin, 3, 1, 8)
-                            .value();
+  const Bits budget = core::DynamicMemoryRequirement(
+                          p, core::ScheduleMethod::kRoundRobin, 3, 1, 8)
+                          .value();
   AnalyticMemoryBroker broker(p, core::ScheduleMethod::kRoundRobin, true, 8,
                               2, budget);
   EXPECT_TRUE(broker.CanAdmit(0, 3, 1));
   EXPECT_FALSE(broker.CanAdmit(0, 4, 1));
   broker.OnState(0, 3, 1);
-  EXPECT_DOUBLE_EQ(broker.ReservedMemory(), budget);
+  EXPECT_DOUBLE_EQ(ToBits(broker.ReservedMemory()), ToBits(budget));
   // The other disk has no room left.
   EXPECT_FALSE(broker.CanAdmit(1, 1, 1));
 }
@@ -53,7 +53,7 @@ TEST(AnalyticMemoryBrokerTest, AdmitsWithinBudgetOnly) {
 TEST(AnalyticMemoryBrokerTest, RefusesBeyondDiskCapacity) {
   const core::AllocParams p = SmallParams();
   AnalyticMemoryBroker broker(p, core::ScheduleMethod::kRoundRobin, true, 8,
-                              1, Gigabytes(100));
+                              1, Gibibytes(100));
   EXPECT_FALSE(broker.CanAdmit(0, p.n_max + 1, 0));
 }
 
@@ -61,7 +61,7 @@ TEST(UnlimitedMemoryBrokerTest, AlwaysAdmits) {
   UnlimitedMemoryBroker broker;
   EXPECT_TRUE(broker.CanAdmit(0, 1000, 50));
   broker.OnState(0, 10, 3);
-  EXPECT_DOUBLE_EQ(broker.ReservedMemory(), 0.0);
+  EXPECT_DOUBLE_EQ(ToBits(broker.ReservedMemory()), 0.0);
 }
 
 // --- MultiDiskSimulator ---
@@ -72,7 +72,7 @@ TEST(MultiDiskTest, RunsToCompletionAcrossDisks) {
   base.scheme = AllocScheme::kDynamic;
   base.t_log = Minutes(40);
   auto md = MultiDiskSimulator::Create(base, /*disk_count=*/3,
-                                       Gigabytes(4));
+                                       Gibibytes(4));
   ASSERT_TRUE(md.ok()) << md.status().ToString();
 
   WorkloadConfig w;
@@ -100,8 +100,8 @@ TEST(MultiDiskTest, TightMemoryForcesRejections) {
   SimConfig base;
   base.method = core::ScheduleMethod::kRoundRobin;
   base.scheme = AllocScheme::kStatic;  // Static is hungriest.
-  auto md_small = MultiDiskSimulator::Create(base, 2, Megabytes(80));
-  auto md_large = MultiDiskSimulator::Create(base, 2, Gigabytes(8));
+  auto md_small = MultiDiskSimulator::Create(base, 2, Mebibytes(80));
+  auto md_large = MultiDiskSimulator::Create(base, 2, Gibibytes(8));
   ASSERT_TRUE(md_small.ok());
   ASSERT_TRUE(md_large.ok());
 
@@ -137,7 +137,7 @@ TEST(MultiDiskTest, DynamicSchemeFitsMoreInSameMemory) {
     SimConfig base;
     base.method = core::ScheduleMethod::kRoundRobin;
     base.scheme = scheme;
-    auto md = MultiDiskSimulator::Create(base, 2, Gigabytes(0.5));
+    auto md = MultiDiskSimulator::Create(base, 2, Gibibytes(0.5));
     ASSERT_TRUE(md.ok());
     ASSERT_TRUE((*md)->AddArrivals(*arr).ok());
     (*md)->RunToCompletion();
@@ -160,7 +160,7 @@ TEST(MultiDiskTest, DiskOutageDoesNotStallHealthyDisks) {
     base.injector = injector;
     // Budget far above demand so the broker never couples the disks.
     auto md = MultiDiskSimulator::Create(base, /*disk_count=*/3,
-                                         Gigabytes(100));
+                                         Gibibytes(100));
     EXPECT_TRUE(md.ok()) << md.status().ToString();
 
     WorkloadConfig w;
@@ -208,8 +208,8 @@ TEST(MultiDiskTest, DiskOutageDoesNotStallHealthyDisks) {
 
 TEST(MultiDiskTest, CreateValidates) {
   SimConfig base;
-  EXPECT_FALSE(MultiDiskSimulator::Create(base, 0, Gigabytes(1)).ok());
-  EXPECT_FALSE(MultiDiskSimulator::Create(base, 2, 0).ok());
+  EXPECT_FALSE(MultiDiskSimulator::Create(base, 0, Gibibytes(1)).ok());
+  EXPECT_FALSE(MultiDiskSimulator::Create(base, 2, Bits(0)).ok());
 }
 
 }  // namespace

@@ -63,7 +63,7 @@ TEST(EventTracerTest, CapacityRoundsUpToPowerOfTwo) {
 TEST(EventTracerTest, RetainsAllEventsBelowCapacity) {
   EventTracer tracer(8);
   for (RequestId id = 1; id <= 5; ++id) {
-    tracer.Emit(Ev(TraceEventKind::kAdmit, static_cast<double>(id), id));
+    tracer.Emit(Ev(TraceEventKind::kAdmit, Seconds(static_cast<double>(id)), id));
   }
   EXPECT_EQ(tracer.size(), 5u);
   EXPECT_EQ(tracer.total_emitted(), 5u);
@@ -80,7 +80,7 @@ TEST(EventTracerTest, WraparoundKeepsMostRecentWindowInOrder) {
   ASSERT_EQ(tracer.capacity(), 8u);
   const std::uint64_t total = 3 * 8 + 5;  // Wraps several times.
   for (std::uint64_t i = 1; i <= total; ++i) {
-    tracer.Emit(Ev(TraceEventKind::kServiceStart, static_cast<double>(i), i));
+    tracer.Emit(Ev(TraceEventKind::kServiceStart, Seconds(static_cast<double>(i)), i));
   }
   EXPECT_EQ(tracer.size(), 8u);
   EXPECT_EQ(tracer.total_emitted(), total);
@@ -95,7 +95,7 @@ TEST(EventTracerTest, WraparoundKeepsMostRecentWindowInOrder) {
 
 TEST(EventTracerTest, ClearResets) {
   EventTracer tracer(8);
-  tracer.Emit(Ev(TraceEventKind::kArrival, 0.0, 1));
+  tracer.Emit(Ev(TraceEventKind::kArrival, Seconds(0.0), 1));
   tracer.Clear();
   EXPECT_EQ(tracer.size(), 0u);
   EXPECT_EQ(tracer.total_emitted(), 0u);
@@ -278,7 +278,7 @@ TEST(ProfilerTest, RegisterIsIdempotentAndScopesAccumulate) {
     if (s.name == "obs_test.site") {
       found = true;
       EXPECT_GE(s.calls, 10);
-      EXPECT_GE(s.total, 0.0);
+      EXPECT_GE(s.total, Seconds(0.0));
     }
   }
   EXPECT_TRUE(found);
@@ -369,7 +369,7 @@ TEST(DetTest, AuditOrderedKeysAcceptsOrderedMapIteration) {
 TEST(ProgressReporterTest, CountsAndFinishesIdempotently) {
   std::FILE* sink = std::tmpfile();
   ASSERT_NE(sink, nullptr);
-  ProgressReporter progress(3, "units", sink, /*min_interval=*/0.0);
+  ProgressReporter progress(3, "units", sink, /*min_interval=*/Seconds(0.0));
   progress.OnComplete();
   progress.OnComplete();
   progress.OnComplete();
@@ -395,14 +395,14 @@ std::vector<TraceRun> SampleRuns() {
   run.label = "rr/dynamic/t40/a1/r0";
   run.pid = 0;
   run.events = {
-      Ev(TraceEventKind::kArrival, 0.0, 7),
-      Ev(TraceEventKind::kAdmit, 0.0, 7),
-      Ev(TraceEventKind::kAllocation, 0.0, 7),
-      Ev(TraceEventKind::kServiceStart, 0.1, 7),
-      Ev(TraceEventKind::kServiceEnd, 0.2, 7),
-      Ev(TraceEventKind::kServiceStart, 1.1, 7),
-      Ev(TraceEventKind::kServiceEnd, 1.2, 7),
-      Ev(TraceEventKind::kDeparture, 2.0, 7),
+      Ev(TraceEventKind::kArrival, Seconds(0.0), 7),
+      Ev(TraceEventKind::kAdmit, Seconds(0.0), 7),
+      Ev(TraceEventKind::kAllocation, Seconds(0.0), 7),
+      Ev(TraceEventKind::kServiceStart, Seconds(0.1), 7),
+      Ev(TraceEventKind::kServiceEnd, Seconds(0.2), 7),
+      Ev(TraceEventKind::kServiceStart, Seconds(1.1), 7),
+      Ev(TraceEventKind::kServiceEnd, Seconds(1.2), 7),
+      Ev(TraceEventKind::kDeparture, Seconds(2.0), 7),
   };
   return {run};
 }
@@ -439,9 +439,9 @@ TEST(TraceExportTest, OrphanServiceEndIsDroppedAfterRingWrap) {
   run.label = "wrapped";
   run.pid = 3;
   run.events = {
-      Ev(TraceEventKind::kServiceEnd, 0.2, 9),  // Orphan.
-      Ev(TraceEventKind::kServiceStart, 0.3, 9),
-      Ev(TraceEventKind::kServiceEnd, 0.4, 9),
+      Ev(TraceEventKind::kServiceEnd, Seconds(0.2), 9),  // Orphan.
+      Ev(TraceEventKind::kServiceStart, Seconds(0.3), 9),
+      Ev(TraceEventKind::kServiceEnd, Seconds(0.4), 9),
   };
   const std::string json = ToChromeTraceJson({run});
   EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""), 1u);

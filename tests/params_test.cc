@@ -18,8 +18,8 @@ TEST(ParamsTest, MaxConcurrentRequestsNonIntegralRatio) {
 }
 
 TEST(ParamsTest, MaxConcurrentRequestsDegenerate) {
-  EXPECT_EQ(MaxConcurrentRequests(0, Mbps(1)), 0);
-  EXPECT_EQ(MaxConcurrentRequests(Mbps(1), 0), 0);
+  EXPECT_EQ(MaxConcurrentRequests(BitsPerSecond(0), Mbps(1)), 0);
+  EXPECT_EQ(MaxConcurrentRequests(Mbps(1), BitsPerSecond(0)), 0);
 }
 
 TEST(ParamsTest, ValidateAcceptsPaperConfig) {
@@ -39,8 +39,8 @@ TEST(ParamsTest, ValidateRejectsAlphaZero) {
 TEST(ParamsTest, ValidateRejectsBadRates) {
   AllocParams p;
   p.tr = Mbps(120);
-  p.cr = 0;
-  p.dl = 0.01;
+  p.cr = BitsPerSecond(0);
+  p.dl = Seconds(0.01);
   p.n_max = 79;
   EXPECT_FALSE(p.Validate().ok());
   p.cr = Mbps(1.5);
@@ -50,25 +50,28 @@ TEST(ParamsTest, ValidateRejectsBadRates) {
 
 TEST(ParamsTest, WorstDiskLatencyRoundRobinIsFullStroke) {
   const auto prof = disk::SeagateBarracuda9LP();
-  EXPECT_NEAR(WorstDiskLatency(prof, ScheduleMethod::kRoundRobin, 0),
-              Milliseconds(13.4 + 8.33), 1e-9);
+  EXPECT_NEAR(ToSeconds(WorstDiskLatency(prof, ScheduleMethod::kRoundRobin, 0)),
+              ToSeconds(Milliseconds(13.4 + 8.33)), 1e-9);
 }
 
 TEST(ParamsTest, WorstDiskLatencySweepShrinksWithN) {
   const auto prof = disk::SeagateBarracuda9LP();
   const Seconds dl1 = WorstDiskLatency(prof, ScheduleMethod::kSweep, 1);
   const Seconds dl79 = WorstDiskLatency(prof, ScheduleMethod::kSweep, 79);
-  EXPECT_GT(dl1, dl79);
+  EXPECT_GT(ToSeconds(dl1), ToSeconds(dl79));
   // γ(6000/79) + θ = γ(75.9) + θ.
-  EXPECT_NEAR(dl79,
-              prof.seek.SeekTime(6000.0 / 79.0) + prof.max_rotational_latency,
+  EXPECT_NEAR(ToSeconds(dl79),
+              ToSeconds(prof.seek.SeekTime(6000.0 / 79.0) +
+                        prof.max_rotational_latency),
               1e-12);
 }
 
 TEST(ParamsTest, WorstDiskLatencyGssUsesGroupSize) {
   const auto prof = disk::SeagateBarracuda9LP();
-  EXPECT_NEAR(WorstDiskLatency(prof, ScheduleMethod::kGss, 8),
-              prof.seek.SeekTime(750.0) + prof.max_rotational_latency, 1e-12);
+  EXPECT_NEAR(ToSeconds(WorstDiskLatency(prof, ScheduleMethod::kGss, 8)),
+              ToSeconds(prof.seek.SeekTime(750.0) +
+                        prof.max_rotational_latency),
+              1e-12);
 }
 
 TEST(ParamsTest, ScheduleMethodNames) {

@@ -34,14 +34,14 @@ class ChurnContext : public sched::SchedulerContext {
   void Track(RequestId id, double cylinder) { cylinders_[id] = cylinder; }
   void Untrack(RequestId id) { cylinders_.erase(id); }
 
-  Seconds BufferDeadline(RequestId) const override { return 1e9; }
+  Seconds BufferDeadline(RequestId) const override { return Seconds(1e9); }
   bool NeverServiced(RequestId) const override { return false; }
   double CurrentCylinder(RequestId id) const override {
     return cylinders_.at(id);
   }
   bool NeedsService(RequestId) const override { return true; }
-  Seconds WorstServiceTime(RequestId) const override { return 1.0; }
-  Seconds NewcomerReserve() const override { return 1.0; }
+  Seconds WorstServiceTime(RequestId) const override { return Seconds(1.0); }
+  Seconds NewcomerReserve() const override { return Seconds(1.0); }
 
  private:
   std::map<RequestId, double> cylinders_;
@@ -56,7 +56,7 @@ void RunChurn(Scheduler&& sched, std::uint64_t seed) {
   std::set<RequestId> live;
   RequestId next = 1;
   for (int step = 0; step < 400; ++step) {
-    const double now = step * 1.0;
+    const Seconds now = Seconds(step * 1.0);
     const std::uint32_t action = rng.NextBelow(10);
     if (action < 4 || live.empty()) {
       const RequestId id = next++;
@@ -113,14 +113,14 @@ TEST(SchedulerChurnTest, GssSequenceCoversEveryNeedyRequestOnceAcrossCycle) {
   ChurnContext ctx;
   for (RequestId id = 1; id <= 10; ++id) {
     ctx.Track(id, id * 100.0);
-    gss.Add(id, 0.0);
+    gss.Add(id, Seconds(0.0));
   }
   std::map<RequestId, int> serviced;
   for (int i = 0; i < 10; ++i) {
-    auto seq = gss.ServiceSequence(ctx, i * 1.0);
+    auto seq = gss.ServiceSequence(ctx, Seconds(i * 1.0));
     ASSERT_FALSE(seq.empty());
     ++serviced[seq.front()];
-    gss.OnServiceComplete(seq.front(), i * 1.0);
+    gss.OnServiceComplete(seq.front(), Seconds(i * 1.0));
   }
   EXPECT_EQ(serviced.size(), 10u);
   for (const auto& [id, count] : serviced) EXPECT_EQ(count, 1) << id;
@@ -214,8 +214,8 @@ TEST(SimulatorPropertyTest, AnyFaultSeedConservesBufferAccounting) {
     EXPECT_GT(m.read_faults, 0) << "fault_seed " << fault_seed;
     // Relative tolerance: summation order shifts under faults perturb the
     // ~1e11-bit totals by a few bits of rounding.
-    EXPECT_NEAR(m.buffer_bits_allocated, m.buffer_bits_released,
-                1e-9 * std::max(m.buffer_bits_allocated, 1.0))
+    EXPECT_NEAR(ToBits(m.buffer_bits_allocated), ToBits(m.buffer_bits_released),
+                1e-9 * std::max(ToBits(m.buffer_bits_allocated), 1.0))
         << "fault_seed " << fault_seed;
   }
 }

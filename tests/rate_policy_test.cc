@@ -11,28 +11,28 @@ TEST(RatePolicyTest, MaximalRatePicksMax) {
   auto cr = EffectiveConsumptionRate({Mbps(1.5), Mbps(4.0), Mbps(2.0)},
                                      RatePolicy::kMaximalRate);
   ASSERT_TRUE(cr.ok());
-  EXPECT_DOUBLE_EQ(*cr, Mbps(4.0));
+  EXPECT_DOUBLE_EQ(ToMbps(*cr), 4.0);
 }
 
 TEST(RatePolicyTest, UnitRateIsGcd) {
   auto cr = EffectiveConsumptionRate({Mbps(1.5), Mbps(4.5), Mbps(3.0)},
                                      RatePolicy::kUnitRate);
   ASSERT_TRUE(cr.ok());
-  EXPECT_NEAR(*cr, Mbps(1.5), 2.0);
+  EXPECT_NEAR(cr->value(), Mbps(1.5).value(), 2.0);
 }
 
 TEST(RatePolicyTest, SingleRateIsItselfUnderBothPolicies) {
   for (RatePolicy p : {RatePolicy::kMaximalRate, RatePolicy::kUnitRate}) {
     auto cr = EffectiveConsumptionRate({Mbps(1.5)}, p);
     ASSERT_TRUE(cr.ok());
-    EXPECT_NEAR(*cr, Mbps(1.5), 2.0);
+    EXPECT_NEAR(cr->value(), Mbps(1.5).value(), 2.0);
   }
 }
 
 TEST(RatePolicyTest, RejectsEmptyAndNonPositive) {
   EXPECT_FALSE(EffectiveConsumptionRate({}, RatePolicy::kMaximalRate).ok());
   EXPECT_FALSE(
-      EffectiveConsumptionRate({Mbps(1.5), 0.0}, RatePolicy::kUnitRate).ok());
+      EffectiveConsumptionRate({Mbps(1.5), BitsPerSecond(0.0)}, RatePolicy::kUnitRate).ok());
 }
 
 TEST(RatePolicyTest, MaximalRateUsesOneSlot) {
@@ -61,11 +61,11 @@ TEST(RatePolicyTest, UnitRateSlotsRoundUp) {
 TEST(RatePolicyTest, UnitRateSlotsConserveThroughput) {
   // slots · unit >= rate for every stream (the unit decomposition never
   // under-provisions the stream's bandwidth).
-  const double unit = Mbps(0.5);
-  for (double rate : {Mbps(0.5), Mbps(1.5), Mbps(2.2), Mbps(6.0)}) {
+  const BitsPerSecond unit = Mbps(0.5);
+  for (BitsPerSecond rate : {Mbps(0.5), Mbps(1.5), Mbps(2.2), Mbps(6.0)}) {
     auto s = RequestSlots(rate, unit, RatePolicy::kUnitRate);
     ASSERT_TRUE(s.ok());
-    EXPECT_GE(*s * unit, rate - 1e-6);
+    EXPECT_GE(*s * unit, rate - BitsPerSecond(1e-6));
     EXPECT_LT((*s - 1) * unit, rate);
   }
 }

@@ -52,7 +52,7 @@ TEST(VodServerTest, SubmitAfterRunUsesCurrentTime) {
 TEST(VodServerTest, MemoryCapacityLimitsAdmission) {
   VodServer::Options opt = DefaultOptions();
   opt.config.scheme = sim::AllocScheme::kStatic;
-  opt.memory_capacity = Megabytes(60);  // ~2 static buffers' worth.
+  opt.memory_capacity = Mebibytes(60);  // ~2 static buffers' worth.
   auto server = VodServer::Create(opt);
   ASSERT_TRUE(server.ok());
   for (int i = 0; i < 10; ++i) {

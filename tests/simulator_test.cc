@@ -65,16 +65,16 @@ TEST_P(SimulatorInvariants, FullRunConservesRequestsAndContinuity) {
   // Every allocation is within the model's domain. (k itself is uncapped —
   // Fig. 5 — but the size saturates at the fully loaded BS(N).)
   const int n_max = (*sim)->alloc_params().n_max;
-  const double bs_full =
+  const Bits bs_full =
       core::StaticSchemeBufferSize((*sim)->alloc_params()).value();
   for (const AllocationRecord& rec : m.allocations) {
     EXPECT_GE(rec.n, 1);
     EXPECT_LE(rec.n, n_max);
     EXPECT_GE(rec.k, 0);
-    EXPECT_GT(rec.buffer_size, 0);
+    EXPECT_GT(rec.buffer_size, Bits(0));
     EXPECT_LE(rec.buffer_size, bs_full * (1 + 1e-9));
-    EXPECT_NEAR(rec.usage_period,
-                rec.buffer_size / (*sim)->alloc_params().cr, 1e-9);
+    EXPECT_NEAR(ToSeconds(rec.usage_period),
+                ToSeconds(rec.buffer_size / (*sim)->alloc_params().cr), 1e-9);
   }
 
   // Concurrency never exceeds N.
@@ -166,7 +166,7 @@ TEST(SimulatorTest, FailureInjectionShowsWhatEnforcementPrevents) {
   std::vector<ArrivalEvent> burst;
   for (int i = 0; i < 50; ++i) {
     ArrivalEvent ev;
-    ev.time = 10.0 + i * 0.01;  // 50 requests within half a second.
+    ev.time = Seconds(10.0 + i * 0.01);  // 50 requests within half a second.
     ev.video = i % 6;
     ev.viewing_time = Minutes(30);
     burst.push_back(ev);
@@ -222,7 +222,7 @@ TEST(SimulatorTest, StepAndRunUntilAdvanceTheClock) {
   ASSERT_TRUE(sim.ok());
   ASSERT_TRUE((*sim)->AddArrivals(*arr).ok());
   const Seconds first = (*sim)->NextEventTime();
-  EXPECT_DOUBLE_EQ(first, arr->front().time);
+  EXPECT_DOUBLE_EQ(ToSeconds(first), ToSeconds(arr->front().time));
   EXPECT_TRUE((*sim)->Step());
   EXPECT_GE((*sim)->now(), first);
   (*sim)->RunUntil(Hours(1));
@@ -235,9 +235,9 @@ TEST(SimulatorTest, AddArrivalsValidates) {
       nullptr);
   ASSERT_TRUE(sim.ok());
   ArrivalEvent bad;
-  bad.time = 1.0;
+  bad.time = Seconds(1.0);
   bad.video = 999;
-  bad.viewing_time = 60;
+  bad.viewing_time = Seconds(60);
   EXPECT_FALSE((*sim)->AddArrivals({bad}).ok());
 }
 
@@ -246,7 +246,7 @@ TEST(SimulatorTest, ConfigValidation) {
   cfg.alpha = 0;
   EXPECT_FALSE(VodSimulator::Create(cfg, nullptr).ok());
   cfg = SimConfig{};
-  cfg.t_log = 0;
+  cfg.t_log = Seconds(0);
   EXPECT_FALSE(VodSimulator::Create(cfg, nullptr).ok());
   cfg = SimConfig{};
   cfg.video_count = 100;  // Does not fit the disk.
@@ -266,7 +266,7 @@ TEST(SimulatorTest, MemoryUsageTrackedAndBounded) {
   EXPECT_FALSE(m.memory_usage.empty());
   EXPECT_GT(m.memory_usage.max_value(), 0.0);
   // A loose upper bound: nothing should ever exceed N fully loaded buffers.
-  const double cap = 79.0 * Megabits(206) * 2;
+  const double cap = ToBits(79.0 * Megabits(206) * 2);
   EXPECT_LT(m.memory_usage.max_value(), cap);
 }
 

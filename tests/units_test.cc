@@ -1,0 +1,153 @@
+// Unit tests for the strong-typed quantity layer (common/units.h):
+// arithmetic closure over the dimension algebra, conversion round-trips,
+// comparisons, and compile-time guarantees as static_asserts. The cases
+// that must NOT compile live in tests/compile_fail/ and are exercised by
+// ctest via inverted build targets.
+
+#include "common/units.h"
+
+#include <cmath>
+#include <type_traits>
+
+#include "gtest/gtest.h"
+
+namespace vod {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compile-time properties. Zero-overhead claim: a Quantity is exactly one
+// double, trivially copyable, and all arithmetic is constexpr.
+
+static_assert(sizeof(Bits) == sizeof(double));
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(BitsPerSecond) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Bits>);
+static_assert(std::is_trivially_destructible_v<Seconds>);
+
+// Construction from double is explicit in both directions: no implicit
+// double -> Quantity, no implicit Quantity -> double.
+static_assert(!std::is_convertible_v<double, Bits>);
+static_assert(!std::is_convertible_v<Bits, double>);
+static_assert(!std::is_convertible_v<double, Seconds>);
+static_assert(!std::is_convertible_v<Seconds, double>);
+// Distinct dimensions never interconvert.
+static_assert(!std::is_convertible_v<Bits, Seconds>);
+static_assert(!std::is_convertible_v<Seconds, Bits>);
+static_assert(!std::is_convertible_v<BitsPerSecond, Bits>);
+
+// The dimension algebra resolves at compile time.
+static_assert(std::is_same_v<decltype(Bits(1) / Seconds(1)), BitsPerSecond>);
+static_assert(std::is_same_v<decltype(Mbps(1) * Seconds(1)), Bits>);
+static_assert(std::is_same_v<decltype(Seconds(1) * Mbps(1)), Bits>);
+static_assert(std::is_same_v<decltype(Bits(1) / Mbps(1)), Seconds>);
+// Fully-cancelled ratios decay to plain double.
+static_assert(std::is_same_v<decltype(Bits(2) / Bits(1)), double>);
+static_assert(std::is_same_v<decltype(Seconds(2) / Seconds(1)), double>);
+static_assert(std::is_same_v<decltype(Mbps(2) / Mbps(1)), double>);
+// The count axis stays separate from the data axis.
+static_assert(
+    std::is_same_v<decltype(Requests(1) / Seconds(1)), RequestsPerSecond>);
+static_assert(
+    std::is_same_v<decltype(RequestsPerSecond(1) * Seconds(1)), Requests>);
+static_assert(!std::is_same_v<RequestsPerSecond, BitsPerSecond>);
+
+// Constexpr evaluation all the way through a mixed expression.
+static_assert(ToBits(Mbps(4.0) * Seconds(2.0)) == 8e6);
+static_assert((Megabits(10) / Mbps(2)).value() == 5.0);
+
+TEST(UnitsTest, ArithmeticClosure) {
+  const Bits b = Megabits(6.0);
+  const Seconds t = Seconds(3.0);
+  const BitsPerSecond r = b / t;
+  EXPECT_DOUBLE_EQ(ToMbps(r), 2.0);
+
+  // rate * time round-trips back to the original size, both orders.
+  EXPECT_DOUBLE_EQ(ToBits(r * t), ToBits(b));
+  EXPECT_DOUBLE_EQ(ToBits(t * r), ToBits(b));
+
+  // size / rate recovers the time.
+  EXPECT_DOUBLE_EQ(ToSeconds(b / r), ToSeconds(t));
+
+  // Same-dimension add/subtract and scalar scaling.
+  EXPECT_DOUBLE_EQ(ToBits(b + b), 12e6);
+  EXPECT_DOUBLE_EQ(ToBits(b - Megabits(2.0)), 4e6);
+  EXPECT_DOUBLE_EQ(ToBits(b * 2.0), 12e6);
+  EXPECT_DOUBLE_EQ(ToBits(0.5 * b), 3e6);
+  EXPECT_DOUBLE_EQ(ToBits(b / 3.0), 2e6);
+  EXPECT_DOUBLE_EQ(ToBits(-b), -6e6);
+
+  // Dimensionless ratio feeds plain math directly.
+  const double ratio = b / Megabits(2.0);
+  EXPECT_DOUBLE_EQ(ratio, 3.0);
+  EXPECT_DOUBLE_EQ(std::pow(ratio, 2.0), 9.0);
+}
+
+TEST(UnitsTest, CompoundAssignment) {
+  Bits acc = Bits(0.0);
+  acc += Megabits(1.0);
+  acc += Megabits(2.0);
+  acc -= Megabits(0.5);
+  EXPECT_DOUBLE_EQ(ToMegabits(acc), 2.5);
+  acc *= 2.0;
+  EXPECT_DOUBLE_EQ(ToMegabits(acc), 5.0);
+  acc /= 5.0;
+  EXPECT_DOUBLE_EQ(ToMegabits(acc), 1.0);
+}
+
+TEST(UnitsTest, ScalarInversion) {
+  // 1 / Seconds is a frequency (Dim<0,-1,0>); multiplying by Seconds
+  // cancels back to a plain double.
+  const auto freq = 1.0 / Seconds(0.25);
+  EXPECT_DOUBLE_EQ(freq * Seconds(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(freq.value(), 4.0);
+}
+
+TEST(UnitsTest, ConversionRoundTrips) {
+  // Decimal (SI) bit helpers.
+  EXPECT_DOUBLE_EQ(ToMegabits(Megabits(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(ToBits(Gigabits(2.0)), 2e9);
+  EXPECT_DOUBLE_EQ(ToMbps(Mbps(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(ToBytes(Bytes(123.0)), 123.0);
+
+  // Binary (IEC) byte helpers: 1 KiB = 1024 B, 1 MiB = 2^20 B, 1 GiB = 2^30 B.
+  EXPECT_DOUBLE_EQ(ToBits(Kibibytes(1.0)), 8.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(ToBits(Mebibytes(1.0)), 8.0 * 1048576.0);
+  EXPECT_DOUBLE_EQ(ToBits(Gibibytes(1.0)), 8.0 * 1073741824.0);
+  EXPECT_DOUBLE_EQ(ToMebibytes(Mebibytes(3.25)), 3.25);
+  EXPECT_DOUBLE_EQ(ToGibibytes(Gibibytes(0.5)), 0.5);
+  // Cross-family sanity: one binary MiB holds more bits than one decimal
+  // megabyte's worth (8e6).
+  EXPECT_GT(Mebibytes(1.0), Megabits(8.0));
+
+  // Time helpers.
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Milliseconds(250.0)), 250.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Minutes(2.0)), 120.0);
+  EXPECT_DOUBLE_EQ(ToMinutes(Hours(1.5)), 90.0);
+  EXPECT_DOUBLE_EQ(ToHours(Hours(24.0)), 24.0);
+}
+
+TEST(UnitsTest, Comparisons) {
+  EXPECT_LT(Seconds(1.0), Seconds(2.0));
+  EXPECT_LE(Seconds(2.0), Seconds(2.0));
+  EXPECT_GT(Megabits(3.0), Megabits(2.0));
+  EXPECT_GE(Bits(0.0), Bits(0.0));
+  EXPECT_EQ(Minutes(1.0), Seconds(60.0));
+  EXPECT_NE(Bits(1.0), Bits(2.0));
+
+  // Infinity behaves as the ordering's top element.
+  EXPECT_GT(Seconds::Infinity(), Hours(1e9));
+  EXPECT_LT(-Seconds::Infinity(), Seconds(0.0));
+  EXPECT_TRUE(std::isinf(Seconds::Infinity().value()));
+}
+
+TEST(UnitsTest, AbsAndDefaults) {
+  EXPECT_DOUBLE_EQ(ToBits(Abs(Bits(-4.0))), 4.0);
+  EXPECT_DOUBLE_EQ(ToBits(Abs(Bits(4.0))), 4.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Abs(Seconds(-0.25))), 0.25);
+  // Default construction is zero, so accumulators start clean.
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds{}), 0.0);
+  EXPECT_DOUBLE_EQ(ToBits(Bits{}), 0.0);
+}
+
+}  // namespace
+}  // namespace vod

@@ -341,6 +341,66 @@ std::string Dump(const std::map<int, int>& table) {
 }  // namespace t
 """
 
+UNITS_BAD_H = """#pragma once
+namespace t {
+struct Config {
+  double timeout_seconds = 5.0;
+  int max_requests = 8;
+};
+void SetBudget(double budget_bits);
+double PeakRate();
+}  // namespace t
+"""
+
+UNITS_BAD_CC = """#include "x/units_bad.h"
+namespace t {
+void SetBudget(double budget_bits) { (void)budget_bits; }
+double PeakRate() { return 0.0; }
+}  // namespace t
+"""
+
+UNITS_OK_H = """#pragma once
+namespace t {
+struct Config {
+  double alpha = 0.5;
+  double load_factor = 0.75;
+};
+void SetBudget(double fraction);
+double PeakRate();
+}  // namespace t
+"""
+
+UNITS_OK_CC = """#include "x/units_ok.h"
+namespace t {
+void SetBudget(double fraction) { (void)fraction; }
+double PeakRate() { return 0.0; }
+}  // namespace t
+"""
+
+UNITS_ALLOWED_H = """#pragma once
+namespace t {
+struct Sampler {
+  // Events per abstract tick — a distribution parameter, not bits/second.
+  double arrival_rate = 1.0;  // vodb-lint: allow(units-hygiene)
+};
+}  // namespace t
+"""
+
+UNITS_ALLOWED_CC = """#include "x/units_allowed.h"
+namespace t {
+double Peek(const Sampler& s) { return s.arrival_rate; }
+}  // namespace t
+"""
+
+UNITS_MULTI_ALLOWED_H = """#pragma once
+namespace t {
+struct Sampler {
+  // Events per abstract tick — a distribution parameter, not bits/second.
+  double arrival_rate = 1.0;  // vodb-lint: allow(raw-double-unit, units-hygiene)
+};
+}  // namespace t
+"""
+
 UNORDERED_ALLOWED_CC = """#include <sstream>
 #include <string>
 #include <unordered_map>
@@ -446,6 +506,37 @@ class StructuralTokenTest(unittest.TestCase):
         self.fix.write("src/x/dump.cc", UNORDERED_ALLOWED_CC)
         self.assertEqual(structural_items(self.fix), [])
 
+    def test_units_hygiene_fires_on_param_and_field(self) -> None:
+        self.fix.write("src/x/units_bad.h", UNITS_BAD_H)
+        self.fix.write("src/x/units_bad.cc", UNITS_BAD_CC)
+        items = structural_items(self.fix)
+        self.assertEqual(rules_of(items), {"units-hygiene"})
+        names = {msg.split("`")[3] for _, _, _, msg in items}
+        self.assertEqual(names, {"timeout_seconds", "budget_bits"})
+        # Findings attach to the header, not the .cc definition.
+        self.assertTrue(all(p == os.path.join("src", "x", "units_bad.h")
+                            for p, _, _, _ in items))
+        # The message names the alias to migrate to.
+        by_name = {msg.split("`")[3]: msg for _, _, _, msg in items}
+        self.assertIn("vod::Seconds", by_name["timeout_seconds"])
+        self.assertIn("vod::Bits", by_name["budget_bits"])
+
+    def test_units_hygiene_ignores_unsuffixed_doubles(self) -> None:
+        self.fix.write("src/x/units_ok.h", UNITS_OK_H)
+        self.fix.write("src/x/units_ok.cc", UNITS_OK_CC)
+        self.assertEqual(structural_items(self.fix), [])
+
+    def test_units_hygiene_allow_comment_suppresses(self) -> None:
+        self.fix.write("src/x/units_allowed.h", UNITS_ALLOWED_H)
+        self.fix.write("src/x/units_allowed.cc", UNITS_ALLOWED_CC)
+        self.assertEqual(structural_items(self.fix), [])
+
+    def test_units_hygiene_comma_list_allow_suppresses(self) -> None:
+        # One declaration, two rules: allow(<a>, <b>) silences both.
+        self.fix.write("src/x/units_allowed.h", UNITS_MULTI_ALLOWED_H)
+        self.fix.write("src/x/units_allowed.cc", UNITS_ALLOWED_CC)
+        self.assertEqual(structural_items(self.fix), [])
+
 
 # ---------------------------------------------------------------------------
 # Structural rules, AST backend (CI; skipped where libclang is absent)
@@ -492,6 +583,26 @@ class StructuralAstTest(unittest.TestCase):
         self.assertTrue(
             all(p == os.path.join("src", "x", "dump.cc")
                 for p, _, _, _ in items))
+
+    def test_units_hygiene_fires_on_param_and_field(self) -> None:
+        self.fix.write("src/x/units_bad.h", UNITS_BAD_H)
+        self.fix.write("src/x/units_bad.cc", UNITS_BAD_CC)
+        items = structural_items(self.fix, backend="ast")
+        self.assertEqual(rules_of(items), {"units-hygiene"})
+        names = {msg.split("`")[3] for _, _, _, msg in items}
+        self.assertEqual(names, {"timeout_seconds", "budget_bits"})
+        # The AST backend knows the exact declaration kind.
+        kinds = {msg.split("`")[3]: msg.split("`")[2].strip()
+                 for _, _, _, msg in items}
+        self.assertEqual(kinds["timeout_seconds"], "field")
+        self.assertEqual(kinds["budget_bits"], "parameter")
+
+    def test_units_hygiene_clean_and_allowed(self) -> None:
+        self.fix.write("src/x/units_ok.h", UNITS_OK_H)
+        self.fix.write("src/x/units_ok.cc", UNITS_OK_CC)
+        self.fix.write("src/x/units_allowed.h", UNITS_ALLOWED_H)
+        self.fix.write("src/x/units_allowed.cc", UNITS_ALLOWED_CC)
+        self.assertEqual(structural_items(self.fix, backend="ast"), [])
 
 
 # ---------------------------------------------------------------------------

@@ -116,7 +116,7 @@ TEST(ArrivalProfileTest, RatesIntegrateToTotal) {
                                       1000);
   ASSERT_TRUE(p.ok());
   double total = 0;
-  for (double r : p->slot_rates()) total += r * Minutes(30);
+  for (double r : p->slot_rates()) total += r * ToSeconds(Minutes(30));
   EXPECT_NEAR(total, 1000.0, 1e-6);
 }
 
@@ -124,7 +124,7 @@ TEST(ArrivalProfileTest, ZeroOutsideDay) {
   auto p = ArrivalRateProfile::Create(Hours(24), Minutes(30), 0.5, Hours(9),
                                       1000);
   ASSERT_TRUE(p.ok());
-  EXPECT_DOUBLE_EQ(p->RateAt(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(p->RateAt(Seconds(-1.0)), 0.0);
   EXPECT_DOUBLE_EQ(p->RateAt(Hours(25)), 0.0);
 }
 
@@ -148,7 +148,7 @@ TEST(WorkloadTest, ArrivalsSortedWithinDay) {
   for (std::size_t i = 1; i < arr->size(); ++i) {
     EXPECT_LE((*arr)[i - 1].time, (*arr)[i].time);
   }
-  EXPECT_GE(arr->front().time, 0.0);
+  EXPECT_GE(arr->front().time, Seconds(0.0));
   EXPECT_LT(arr->back().time, cfg.duration);
 }
 
@@ -158,7 +158,7 @@ TEST(WorkloadTest, ViewingTimesWithinBounds) {
   auto arr = GenerateWorkload(cfg);
   ASSERT_TRUE(arr.ok());
   for (const ArrivalEvent& ev : *arr) {
-    EXPECT_GE(ev.viewing_time, 1.0);
+    EXPECT_GE(ev.viewing_time, Seconds(1.0));
     EXPECT_LE(ev.viewing_time, cfg.max_viewing_time);
     EXPECT_GE(ev.video, 0);
     EXPECT_LT(ev.video, cfg.video_count);
@@ -174,7 +174,7 @@ TEST(WorkloadTest, DeterministicPerSeed) {
   ASSERT_TRUE(b.ok());
   ASSERT_EQ(a->size(), b->size());
   for (std::size_t i = 0; i < a->size(); ++i) {
-    EXPECT_DOUBLE_EQ((*a)[i].time, (*b)[i].time);
+    EXPECT_DOUBLE_EQ(ToSeconds((*a)[i].time), ToSeconds((*b)[i].time));
     EXPECT_EQ((*a)[i].video, (*b)[i].video);
   }
 }
@@ -220,7 +220,7 @@ TEST(WorkloadTest, ValidatesConfig) {
   cfg.video_count = 0;
   EXPECT_FALSE(GenerateWorkload(cfg).ok());
   cfg = WorkloadConfig{};
-  cfg.duration = -1;
+  cfg.duration = Seconds(-1);
   EXPECT_FALSE(GenerateWorkload(cfg).ok());
 }
 
@@ -230,8 +230,8 @@ TEST(OfferedLoadTest, CountsConcurrencyAndRejections) {
   std::vector<ArrivalEvent> arr;
   for (int i = 0; i < 5; ++i) {
     ArrivalEvent ev;
-    ev.time = i * 10.0;
-    ev.viewing_time = 100.0;
+    ev.time = Seconds(i * 10.0);
+    ev.viewing_time = Seconds(100.0);
     arr.push_back(ev);
   }
   OfferedLoad load = ComputeOfferedLoad(arr, /*cap=*/3);
@@ -243,8 +243,8 @@ TEST(OfferedLoadTest, UncappedTracksAll) {
   std::vector<ArrivalEvent> arr;
   for (int i = 0; i < 4; ++i) {
     ArrivalEvent ev;
-    ev.time = i * 1.0;
-    ev.viewing_time = 2.5;
+    ev.time = Seconds(i * 1.0);
+    ev.viewing_time = Seconds(2.5);
     arr.push_back(ev);
   }
   OfferedLoad load = ComputeOfferedLoad(arr, /*cap=*/0);
