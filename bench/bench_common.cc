@@ -3,7 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 
+#include "bench_kit/json.h"
+#include "bench_kit/report.h"
 #include "obs/metrics_registry.h"
 #include "obs/profile.h"
 #include "obs/trace_export.h"
@@ -75,10 +79,29 @@ Result<BenchOptions> BenchOptions::TryParse(int argc, char** argv) {
             text + "\"");
       }
       opt.fault_seed = v;
+    } else if (std::strcmp(argv[i], "--spans") == 0) {
+      opt.spans = true;
+    } else if (std::strncmp(argv[i], "--timeseries=", 13) == 0) {
+      opt.timeseries = argv[i] + 13;
+      if (opt.timeseries.empty()) {
+        return Status::InvalidArgument("--timeseries= wants a file path");
+      }
+    } else if (std::strncmp(argv[i], "--postmortem-dir=", 17) == 0) {
+      opt.postmortem_dir = argv[i] + 17;
+      if (opt.postmortem_dir.empty()) {
+        return Status::InvalidArgument(
+            "--postmortem-dir= wants a directory path");
+      }
     } else {
       return Status::InvalidArgument(std::string("unknown option \"") +
                                      argv[i] + "\"");
     }
+  }
+  // Spans render inside the trace file; without one they would vanish
+  // silently — reject instead (flags may appear in either order, so this
+  // check must run after the loop).
+  if (opt.spans && opt.trace.empty()) {
+    return Status::InvalidArgument("--spans needs --trace[=FILE]");
   }
   return opt;
 }
@@ -89,8 +112,9 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
     std::fprintf(stderr,
                  "%s: %s\n"
                  "usage: [--full] [--seeds=K] [--threads=N] [--json]\n"
-                 "       [--trace[=FILE]] [--metrics=FILE] [--progress]\n"
-                 "       [--faults=SPEC] [--fault-seed=S]\n",
+                 "       [--trace[=FILE]] [--spans] [--metrics=FILE]\n"
+                 "       [--timeseries=FILE] [--postmortem-dir=DIR]\n"
+                 "       [--progress] [--faults=SPEC] [--fault-seed=S]\n",
                  argc > 0 ? argv[0] : "bench",
                  opt.status().ToString().c_str());
     std::exit(2);
@@ -119,13 +143,14 @@ std::string SpecLabel(const exp::RunSpec& spec) {
   return label;
 }
 
-void WriteMetricsArtifacts(const std::string& path,
-                           const std::vector<exp::RunResult>& results) {
+void WriteMetricsArtifacts(
+    const std::string& path, const std::vector<exp::RunResult>& results,
+    const std::map<std::size_t, std::vector<std::string>>& postmortems) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   for (const exp::RunResult& r : results) r.metrics.PublishTo(registry);
 
   std::string out = "{\n\"runs\": ";
-  out += exp::RunLogJson(results);
+  out += exp::RunLogJson(results, postmortems);
   out += ",\n\"registry\": ";
   out += registry.ToJson();
   out += ",\n\"profile\": ";
@@ -144,17 +169,80 @@ void WriteMetricsArtifacts(const std::string& path,
   if (!table.empty()) std::fprintf(stderr, "%s", table.c_str());
 }
 
+namespace {
+
+/// The run configuration embedded in a postmortem dump: grid coordinates,
+/// seeds, fault spec, and provenance (git SHA via bench_kit). Everything a
+/// postmortem reader needs to replay the exact run that died.
+bench_kit::JsonValue PostmortemConfig(const exp::RunSpec& spec) {
+  using bench_kit::JsonValue;
+  JsonValue cfg = JsonValue::Object();
+  cfg.Set("label", JsonValue::Str(SpecLabel(spec)));
+  cfg.Set("index", JsonValue::Number(static_cast<double>(spec.index)));
+  cfg.Set("method", JsonValue::Str(std::string(
+                        core::ScheduleMethodName(spec.config.method))));
+  cfg.Set("scheme", JsonValue::Str(std::string(
+                        sim::AllocSchemeName(spec.config.scheme))));
+  cfg.Set("t_log_min", JsonValue::Number(ToMinutes(spec.config.t_log)));
+  cfg.Set("alpha", JsonValue::Number(spec.config.alpha));
+  cfg.Set("theta", JsonValue::Number(spec.config.theta));
+  cfg.Set("replication", JsonValue::Number(spec.replication));
+  cfg.Set("seed", JsonValue::Number(static_cast<double>(spec.config.seed)));
+  cfg.Set("faults", JsonValue::Str(spec.config.faults));
+  cfg.Set("fault_seed",
+          JsonValue::Number(static_cast<double>(spec.config.fault_seed)));
+  cfg.Set("git_sha", JsonValue::Str(bench_kit::GitSha()));
+  return cfg;
+}
+
+}  // namespace
+
 ObsSession::ObsSession(const BenchOptions& opt, std::size_t total_runs)
-    : trace_path_(opt.trace), metrics_path_(opt.metrics) {
-  if (trace_path_.empty()) return;
-  if (!obs::kTraceHooksCompiledIn) {
-    std::fprintf(stderr,
-                 "warning: --trace set but this build has no trace hooks; "
-                 "reconfigure with -DVODB_TRACE=ON for events\n");
+    : trace_path_(opt.trace),
+      metrics_path_(opt.metrics),
+      timeseries_path_(opt.timeseries),
+      spans_(opt.spans) {
+  // Tracers feed the trace file, the span derivation, *and* the postmortem
+  // ring tail — any of the three wants per-run rings.
+  const bool want_tracers = !trace_path_.empty() || !opt.postmortem_dir.empty();
+  if (want_tracers) {
+    if (!obs::kTraceHooksCompiledIn) {
+      std::fprintf(stderr,
+                   "warning: --trace/--postmortem-dir set but this build has "
+                   "no trace hooks; reconfigure with -DVODB_TRACE=ON for "
+                   "events\n");
+    }
+    tracers_.reserve(total_runs);
+    for (std::size_t i = 0; i < total_runs; ++i) {
+      tracers_.push_back(std::make_unique<obs::EventTracer>());
+    }
   }
-  tracers_.reserve(total_runs);
-  for (std::size_t i = 0; i < total_runs; ++i) {
-    tracers_.push_back(std::make_unique<obs::EventTracer>());
+  if (!timeseries_path_.empty()) {
+    recorders_.reserve(total_runs);
+    for (std::size_t i = 0; i < total_runs; ++i) {
+      recorders_.push_back(std::make_unique<obs::TimeseriesRecorder>());
+    }
+  }
+  if (!opt.postmortem_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.postmortem_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "warning: cannot create --postmortem-dir %s: %s\n",
+                   opt.postmortem_dir.c_str(), ec.message().c_str());
+    }
+    obs::PostmortemSink::Options po;
+    po.dir = opt.postmortem_dir;
+    // Under fault injection the first lost round is already the anomaly a
+    // flight recorder exists for; fault-free runs keep thresholds disabled
+    // (invariant violations still trigger).
+    if (!opt.faults.empty()) po.hiccup_threshold = 1;
+    sinks_.reserve(total_runs);
+    for (std::size_t i = 0; i < total_runs; ++i) {
+      // Per-run label: the grid index keys dump filenames, so parallel runs
+      // never collide (the config JSON inside carries the human label).
+      po.run_label = "run" + std::to_string(i);
+      sinks_.push_back(std::make_unique<obs::PostmortemSink>(po));
+    }
   }
 }
 
@@ -162,8 +250,25 @@ exp::Runner::RunSpecFn ObsSession::MakeRunFn() const {
   return [this](const exp::RunSpec& spec) {
     exp::DayRunConfig cfg = spec.config;
     if (!tracers_.empty()) cfg.tracer = tracers_[spec.index].get();
+    if (!recorders_.empty()) cfg.timeseries = recorders_[spec.index].get();
+    if (!sinks_.empty()) {
+      obs::PostmortemSink* sink = sinks_[spec.index].get();
+      // Mutating the per-run sink here is safe: one run owns one sink, and
+      // the runner never executes the same index twice.
+      sink->set_config(PostmortemConfig(spec));
+      cfg.postmortem = sink;
+    }
     return exp::RunDay(cfg);
   };
+}
+
+std::map<std::size_t, std::vector<std::string>> ObsSession::PostmortemPaths()
+    const {
+  std::map<std::size_t, std::vector<std::string>> paths;
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    if (sinks_[i]->triggered()) paths[i] = sinks_[i]->paths();
+  }
+  return paths;
 }
 
 void ObsSession::Finish(const std::vector<exp::RunResult>& results) const {
@@ -177,12 +282,39 @@ void ObsSession::Finish(const std::vector<exp::RunResult>& results) const {
       tr.events = tracers_[r.spec.index]->Snapshot();
       runs.push_back(std::move(tr));
     }
-    const Status st = obs::WriteTraceFile(trace_path_, runs);
+    obs::TraceExportOptions topt;
+    topt.spans = spans_;
+    const Status st = obs::WriteTraceFile(trace_path_, runs, topt);
     if (!st.ok()) {
       std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
     }
   }
-  if (!metrics_path_.empty()) WriteMetricsArtifacts(metrics_path_, results);
+  if (!timeseries_path_.empty()) {
+    std::vector<obs::TimeseriesRun> runs;
+    runs.reserve(results.size());
+    for (const exp::RunResult& r : results) {
+      obs::TimeseriesRun tr;
+      tr.label = SpecLabel(r.spec);
+      tr.run = static_cast<int>(r.spec.index);
+      tr.recorder = recorders_[r.spec.index].get();
+      runs.push_back(std::move(tr));
+    }
+    const Status st = obs::WriteTimeseriesCsv(timeseries_path_, runs);
+    if (!st.ok()) {
+      std::fprintf(stderr, "timeseries write failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  const auto postmortems = PostmortemPaths();
+  for (const auto& [index, paths] : postmortems) {
+    for (const std::string& p : paths) {
+      std::fprintf(stderr, "postmortem: run %zu dumped %s\n", index,
+                   p.c_str());
+    }
+  }
+  if (!metrics_path_.empty()) {
+    WriteMetricsArtifacts(metrics_path_, results, postmortems);
+  }
 }
 
 void PrintCsvHeader(const std::string& columns) {

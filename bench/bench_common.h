@@ -2,6 +2,7 @@
 #define VODB_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,8 @@
 #include "exp/day_run.h"
 #include "exp/runner.h"
 #include "obs/event_tracer.h"
+#include "obs/postmortem.h"
+#include "obs/timeseries_recorder.h"
 #include "sim/vod_simulator.h"
 #include "sim/workload.h"
 
@@ -37,8 +40,19 @@ namespace vod::bench {
 ///                   builds an inactive injector, unset skips it entirely
 ///   --fault-seed=S  injector RNG seed (default derives from spec + run
 ///                   seed; either way fully deterministic)
+///   --spans         add per-stream lifecycle span tracks (admission_wait /
+///                   service / degraded / retry_burst) to the --trace file;
+///                   requires --trace
+///   --timeseries=FILE  write a sim-time telemetry CSV (broker reservation,
+///                   buffered bits, queue depth, active/degraded streams,
+///                   disk busy fraction, one row per 60 s sim-time bucket);
+///                   scripts/plot_timeseries.py renders it
+///   --postmortem-dir=DIR  arm a per-run postmortem black box writing
+///                   postmortem_<run>_<reason>.json dumps into DIR on
+///                   invariant violations / fault-layer hiccups (with
+///                   --faults, the first hiccup triggers a dump)
 /// Default configurations are scaled to finish in seconds-to-a-minute.
-/// All three observability flags are pure observers: the stdout CSV/JSON is
+/// All observability flags are pure observers: the stdout CSV/JSON is
 /// byte-identical with or without them. --faults is NOT an observer — it is
 /// the one flag meant to change results (though "none" and unset are
 /// bit-identical to each other).
@@ -52,10 +66,14 @@ struct BenchOptions {
   bool progress = false;
   std::string faults;   ///< Empty = no injector.
   std::uint64_t fault_seed = 0;  ///< 0 = derived.
+  bool spans = false;        ///< Span tracks in the --trace file.
+  std::string timeseries;    ///< Empty = no telemetry CSV.
+  std::string postmortem_dir;  ///< Empty = no black box.
 
   /// Strict parse: rejects unknown options and malformed values
   /// (non-numeric or out-of-range --seeds/--threads/--fault-seed, empty
-  /// --trace=/--metrics= paths) instead of silently ignoring them.
+  /// --trace=/--metrics=/--timeseries=/--postmortem-dir= paths, --spans
+  /// without --trace) instead of silently ignoring them.
   static Result<BenchOptions> TryParse(int argc, char** argv);
 
   /// TryParse that prints the error + usage and exits(2) on failure — the
@@ -80,29 +98,42 @@ std::string SpecLabel(const exp::RunSpec& spec);
 
 /// Writes the --metrics JSON artifact: {"runs": [...], "registry": {...},
 /// "profile": [...]}. Publishes every result's SimMetrics into the global
-/// registry first, and prints the profiling table to stderr.
-void WriteMetricsArtifacts(const std::string& path,
-                           const std::vector<exp::RunResult>& results);
+/// registry first, and prints the profiling table to stderr. `postmortems`
+/// (grid index -> dump paths) adds per-run postmortem pointers to the log.
+void WriteMetricsArtifacts(
+    const std::string& path, const std::vector<exp::RunResult>& results,
+    const std::map<std::size_t, std::vector<std::string>>& postmortems = {});
 
 /// Observability wiring shared by the runner-based harnesses: one
-/// EventTracer per run when --trace is set (the tracer is single-producer,
-/// so parallel sweeps need per-run instances), a spec-aware RunDay wrapper
-/// that attaches them, and artifact writing after the sweep.
+/// EventTracer per run when --trace, --spans, or --postmortem-dir is set
+/// (the tracer is single-producer, so parallel sweeps need per-run
+/// instances — and the postmortem black box dumps the ring tail), one
+/// TimeseriesRecorder per run when --timeseries is set, one PostmortemSink
+/// per run when --postmortem-dir is set, a spec-aware RunDay wrapper that
+/// attaches them, and artifact writing after the sweep.
 class ObsSession {
  public:
   ObsSession(const BenchOptions& opt, std::size_t total_runs);
 
   /// RunDay wrapper for Runner::RunWithSpecs that attaches this session's
-  /// tracer for the run's grid index.
+  /// observers for the run's grid index.
   exp::Runner::RunSpecFn MakeRunFn() const;
 
-  /// Writes the --trace and --metrics artifacts (no-ops for unset flags).
+  /// Writes the --trace / --timeseries / --metrics artifacts (no-ops for
+  /// unset flags) and reports any postmortem dumps on stderr.
   void Finish(const std::vector<exp::RunResult>& results) const;
+
+  /// Dump files written so far, keyed by grid index (for RunLogJson).
+  std::map<std::size_t, std::vector<std::string>> PostmortemPaths() const;
 
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string timeseries_path_;
+  bool spans_ = false;
   std::vector<std::unique_ptr<obs::EventTracer>> tracers_;
+  std::vector<std::unique_ptr<obs::TimeseriesRecorder>> recorders_;
+  std::vector<std::unique_ptr<obs::PostmortemSink>> sinks_;
 };
 
 /// Prints a CSV header + rows helper.

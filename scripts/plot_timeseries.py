@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Renders the --timeseries CSV (obs/timeseries_recorder.h) per run.
+
+Input columns (one row per 60 s sim-time bucket, per run):
+  run,label,disk,time_s,reserved_mbit,buffered_mbit,queue_depth,active,
+  degraded,busy_fraction
+
+With matplotlib available, writes a PNG per input file: one column of
+stacked panels (memory, streams, queue depth, disk busy) sharing the
+sim-time axis, one line per run. Without matplotlib, prints a per-run
+ASCII sparkline summary to stdout instead — stdlib only, so CI can
+sanity-check the CSV without plotting dependencies.
+
+Usage: plot_timeseries.py <timeseries.csv> [<out.png>]
+Exit status: 0 on success, 1 on malformed input.
+"""
+
+from __future__ import annotations
+
+import csv
+import signal
+import sys
+
+# Piping the ASCII report into `head`/`less` is normal usage; die quietly
+# on SIGPIPE instead of tracebacking with BrokenPipeError.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+COLUMNS = [
+    "run", "label", "disk", "time_s", "reserved_mbit", "buffered_mbit",
+    "queue_depth", "active", "degraded", "busy_fraction",
+]
+
+SPARK = "▁▂▃▄▅▆▇█"
+
+
+def read_series(path: str) -> dict[tuple[int, str], list[dict[str, float]]]:
+    """CSV -> {(run, label): [row dicts]}, rows in file order."""
+    series: dict[tuple[int, str], list[dict[str, float]]] = {}
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.DictReader(f)
+        if reader.fieldnames != COLUMNS:
+            raise ValueError(
+                f"unexpected header {reader.fieldnames!r}; want {COLUMNS!r}")
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                key = (int(row["run"]), row["label"])
+                point = {c: float(row[c]) for c in COLUMNS
+                         if c not in ("run", "label")}
+            except (TypeError, ValueError) as e:
+                raise ValueError(f"{path}:{lineno}: bad row: {e}") from e
+            series.setdefault(key, []).append(point)
+    return series
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    if not values:
+        return ""
+    # Downsample to `width` buckets by max (peaks matter more than means).
+    step = max(1, len(values) // width)
+    sampled = [max(values[i:i + step]) for i in range(0, len(values), step)]
+    lo, hi = min(sampled), max(sampled)
+    span = hi - lo or 1.0
+    return "".join(
+        SPARK[min(len(SPARK) - 1, int((v - lo) / span * len(SPARK)))]
+        for v in sampled)
+
+
+def ascii_report(series: dict[tuple[int, str], list[dict[str, float]]]) -> None:
+    for (run, label), points in sorted(series.items()):
+        print(f"run {run} ({label}): {len(points)} buckets, "
+              f"t = [{points[0]['time_s']:.0f}, {points[-1]['time_s']:.0f}] s")
+        for col, unit in (("reserved_mbit", "Mbit"), ("buffered_mbit", "Mbit"),
+                          ("queue_depth", ""), ("active", ""),
+                          ("degraded", ""), ("busy_fraction", "")):
+            vals = [p[col] for p in points]
+            print(f"  {col:<14} peak {max(vals):>10.3f} {unit:<5} "
+                  f"{sparkline(vals)}")
+
+
+def png_report(series: dict[tuple[int, str], list[dict[str, float]]],
+               out: str) -> None:
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    panels = [
+        ("reserved_mbit", "reserved (Mbit)"),
+        ("buffered_mbit", "buffered (Mbit)"),
+        ("active", "active streams"),
+        ("degraded", "degraded streams"),
+        ("queue_depth", "event-queue depth"),
+        ("busy_fraction", "disk busy fraction"),
+    ]
+    fig, axes = plt.subplots(len(panels), 1, sharex=True,
+                             figsize=(10, 2.2 * len(panels)))
+    for (run, label), points in sorted(series.items()):
+        hours = [p["time_s"] / 3600.0 for p in points]
+        for ax, (col, _) in zip(axes, panels):
+            ax.plot(hours, [p[col] for p in points],
+                    label=f"{run}: {label}", linewidth=0.9)
+    for ax, (_, title) in zip(axes, panels):
+        ax.set_ylabel(title, fontsize=8)
+        ax.grid(True, alpha=0.3)
+    axes[-1].set_xlabel("sim time (h)")
+    if len(series) <= 12:
+        axes[0].legend(fontsize=6, ncol=2)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"plot_timeseries: wrote {out}")
+
+
+def main() -> int:
+    if len(sys.argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    try:
+        series = read_series(path)
+    except (OSError, ValueError) as e:
+        print(f"plot_timeseries: {e}", file=sys.stderr)
+        return 1
+    if not series:
+        print(f"plot_timeseries: {path} has no data rows", file=sys.stderr)
+        return 1
+    try:
+        import matplotlib  # noqa: F401
+        have_mpl = True
+    except ImportError:
+        have_mpl = False
+    if have_mpl:
+        out = sys.argv[2] if len(sys.argv) == 3 else path + ".png"
+        png_report(series, out)
+    else:
+        ascii_report(series)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,10 +21,20 @@ Two formats, selected by file suffix exactly like obs::WriteTraceFile:
             non-decreasing over non-metadata events; B/E slice nesting per
             (pid, tid) never goes negative and ends balanced; async b/e
             per id open before close and all close; flow chains per id are
-            s (t)* f with the terminal f carrying bp="e".
+            s (t)* f with the terminal f carrying bp="e"; X span events
+            (--spans) carry a non-negative `dur`, a known span name, cat
+            "span", and sit on the stream track derived from args.request
+            (tid = 2000 + request).
 
-Usage: validate_trace.py <trace-file>
-Exit status: 0 when valid, 1 with findings on stderr otherwise.
+A file whose basename starts with "postmortem" and ends in ".json" is
+validated as a postmortem black-box dump instead (schema
+"vodb-postmortem-v1"): required top-level keys with correct types, ring
+tail entries shaped like trace events, and embedded config/metrics
+objects.
+
+Usage: validate_trace.py <file> [<file> ...]
+Exit status: 0 when all files are valid, 1 with findings on stderr
+otherwise.
 """
 
 from __future__ import annotations
@@ -47,6 +57,16 @@ KIND_PAYLOAD = {
     "service_end": ["bits", "seek", "rotation", "transfer"],
     "read_fault": ["seek", "rotation"],
 }
+
+# Per-stream lifecycle spans emitted by --spans (obs/span_tracker.h).
+SPAN_NAMES = {"admission_wait", "service", "degraded", "retry_burst"}
+
+# X span events live on per-stream tracks at tid = base + request
+# (obs::kSpanTrackTidBase).
+SPAN_TID_BASE = 2000
+
+POSTMORTEM_SCHEMA = "vodb-postmortem-v1"
+POSTMORTEM_REASONS = {"invariant", "hiccup", "signal", "explicit"}
 
 
 class Findings:
@@ -139,7 +159,7 @@ def validate_chrome(path: str, findings: Findings) -> int:
         findings.report(path, "`traceEvents` is not a list")
         return 0
 
-    known_phases = {"M", "B", "E", "i", "b", "e", "s", "t", "f"}
+    known_phases = {"M", "B", "E", "X", "i", "b", "e", "s", "t", "f"}
     named_pids: set[int] = set()
     named_tids: set[tuple[int, int]] = set()
     used_pids: set[int] = set()
@@ -197,7 +217,25 @@ def validate_chrome(path: str, findings: Findings) -> int:
             continue
         used_tids.add((pid, tid))
 
-        if ph == "B":
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                findings.report(where, "X event missing/non-numeric `dur`")
+            elif dur < 0:
+                findings.report(where, f"X event with negative dur {dur}")
+            name = ev.get("name")
+            if name not in SPAN_NAMES:
+                findings.report(where, f"unknown span name `{name}`")
+            if ev.get("cat") != "span":
+                findings.report(where, "X event without cat=\"span\"")
+            request = ev.get("args", {}).get("request")
+            if not isinstance(request, int):
+                findings.report(where, "X event missing integer args.request")
+            elif tid != SPAN_TID_BASE + request:
+                findings.report(
+                    where, f"span for request {request} on tid {tid}, "
+                           f"expected {SPAN_TID_BASE + request}")
+        elif ph == "B":
             slice_depth[(pid, tid)] = slice_depth.get((pid, tid), 0) + 1
         elif ph == "E":
             depth = slice_depth.get((pid, tid), 0) - 1
@@ -262,26 +300,116 @@ def validate_chrome(path: str, findings: Findings) -> int:
                if isinstance(ev, dict) and ev.get("ph") != "M")
 
 
-def main() -> int:
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    path = sys.argv[1]
-    findings = Findings()
-    if path.endswith(".jsonl"):
+# ---------------------------------------------------------------------------
+# Postmortem dumps
+# ---------------------------------------------------------------------------
+
+
+def validate_postmortem(path: str, findings: Findings) -> int:
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            findings.report(path, f"unparseable JSON: {e}")
+            return 0
+    if not isinstance(doc, dict):
+        findings.report(path, "dump is not a JSON object")
+        return 0
+
+    required = {
+        "schema": str, "reason": str, "detail": str,
+        "sim_time_s": (int, float), "run_label": str, "config": dict,
+        "ring": dict,
+    }
+    for key, ty in required.items():
+        if key not in doc:
+            findings.report(path, f"missing key `{key}`")
+        elif not isinstance(doc[key], ty) or isinstance(doc[key], bool):
+            findings.report(path, f"key `{key}` has wrong type "
+                                  f"({type(doc[key]).__name__})")
+    if doc.get("schema") not in (None, POSTMORTEM_SCHEMA):
+        findings.report(path, f"unknown schema `{doc['schema']}`")
+    if isinstance(doc.get("reason"), str) and \
+            doc["reason"] not in POSTMORTEM_REASONS:
+        findings.report(path, f"unknown reason `{doc['reason']}`")
+    if isinstance(doc.get("sim_time_s"), (int, float)) and \
+            doc["sim_time_s"] < 0:
+        findings.report(path, f"negative sim_time_s {doc['sim_time_s']}")
+    for key in ("metrics", "profile"):
+        if key not in doc:
+            findings.report(path, f"missing key `{key}`")
+
+    tail_events = 0
+    ring = doc.get("ring")
+    if isinstance(ring, dict):
+        for key in ("total", "dropped"):
+            v = ring.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                findings.report(path, f"ring.{key} missing or negative")
+        tail = ring.get("tail")
+        if not isinstance(tail, list):
+            findings.report(path, "ring.tail is not a list")
+        else:
+            last_t = None
+            for i, ev in enumerate(tail):
+                where = f"{path}: ring.tail[{i}]"
+                if not isinstance(ev, dict):
+                    findings.report(where, "entry is not an object")
+                    continue
+                tail_events += 1
+                kind = ev.get("kind")
+                if kind not in KNOWN_KINDS:
+                    findings.report(where, f"unknown kind `{kind}`")
+                t = ev.get("time_s")
+                if not isinstance(t, (int, float)) or isinstance(t, bool):
+                    findings.report(where, "missing/non-numeric `time_s`")
+                    continue
+                if last_t is not None and t < last_t:
+                    findings.report(where, f"time went backwards: {t} "
+                                           f"after {last_t}")
+                last_t = t
+            total = ring.get("total")
+            if isinstance(total, (int, float)) and tail_events > total:
+                findings.report(path, f"ring.tail has {tail_events} events "
+                                      f"but ring.total is {total}")
+    # A dump counts as "having events" even with an empty ring — tracer-less
+    # sinks still capture config + metrics, which is the point of the file.
+    return 1 + tail_events
+
+
+def validate_one(path: str, findings: Findings) -> None:
+    base = path.rsplit("/", 1)[-1]
+    if base.startswith("postmortem") and base.endswith(".json"):
+        events = validate_postmortem(path, findings)
+        label = "entries"
+    elif path.endswith(".jsonl"):
         events = validate_jsonl(path, findings)
+        label = "events"
     else:
         events = validate_chrome(path, findings)
-    if findings.count:
-        print(f"validate_trace: {findings.count} finding(s) in {path}",
-              file=sys.stderr)
-        return 1
-    if events == 0:
+        label = "events"
+    if events == 0 and not findings.count:
         print(f"validate_trace: {path} contains no events (was the binary "
               "built with -DVODB_TRACE=ON?)", file=sys.stderr)
-        return 1
-    print(f"validate_trace: {path} OK ({events} events)")
-    return 0
+        findings.count += 1
+        return
+    if not findings.count:
+        print(f"validate_trace: {path} OK ({events} {label})")
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = 0
+    for path in sys.argv[1:]:
+        findings = Findings()
+        validate_one(path, findings)
+        if findings.count:
+            print(f"validate_trace: {findings.count} finding(s) in {path}",
+                  file=sys.stderr)
+            failed += 1
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

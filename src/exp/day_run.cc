@@ -88,6 +88,8 @@ sim::SimMetrics RunDay(const DayRunConfig& cfg) {
   auto simulator = sim::VodSimulator::Create(sc, broker.get());
   VOD_CHECK(simulator.ok());
   (*simulator)->set_tracer(cfg.tracer);
+  (*simulator)->set_postmortem(cfg.postmortem);
+  (*simulator)->set_timeseries(cfg.timeseries);
   VOD_CHECK((*simulator)->AddArrivals(*arrivals).ok());
   (*simulator)->RunToCompletion();
   (*simulator)->Finalize();

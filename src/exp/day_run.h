@@ -11,6 +11,8 @@
 
 namespace vod::obs {
 class EventTracer;
+class PostmortemSink;
+class TimeseriesRecorder;
 }  // namespace vod::obs
 
 namespace vod::exp {
@@ -41,6 +43,14 @@ struct DayRunConfig {
   /// are identical with or without it. Excluded from grid seeding (seeds
   /// hash simulation parameters by value, never this pointer).
   obs::EventTracer* tracer = nullptr;
+  /// Optional postmortem black box (obs/postmortem.h). The run's simulator
+  /// arms the auditor's capture-then-fail observer and the fault-layer
+  /// degradation thresholds against it. Pure observer, excluded from grid
+  /// seeding like the tracer.
+  obs::PostmortemSink* postmortem = nullptr;
+  /// Optional sim-time telemetry recorder (one per run, single-producer
+  /// like the tracer). Pure observer, excluded from grid seeding.
+  obs::TimeseriesRecorder* timeseries = nullptr;
   /// Fault-injection schedule (fault/fault_spec.h grammar). "" skips the
   /// injector entirely; "none"/"off" builds an *inactive* injector (handy
   /// for observer-effect tests — metrics must stay bit-identical either

@@ -63,6 +63,12 @@ std::vector<RunResult> Runner::RunWithSpecs(const Grid& grid,
 }
 
 std::string RunLogJson(const std::vector<RunResult>& results) {
+  return RunLogJson(results, {});
+}
+
+std::string RunLogJson(
+    const std::vector<RunResult>& results,
+    const std::map<std::size_t, std::vector<std::string>>& postmortems) {
   std::string out = "[\n";
   char buf[512];
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -92,11 +98,29 @@ std::string RunLogJson(const std::vector<RunResult>& results) {
     out += buf;
     std::snprintf(buf, sizeof(buf),
                   " \"avg_latency_s\": %.6f, \"success_prob\": %.6f, "
-                  "\"peak_memory_mb\": %.3f, \"peak_concurrency\": %d}%s\n",
+                  "\"peak_memory_mb\": %.3f, \"peak_concurrency\": %d",
                   m.initial_latency.mean(), m.SuccessProbability(),
                   ToMebibytes(Bits(m.memory_usage.max_value())),
-                  m.peak_concurrency, i + 1 < results.size() ? "," : "");
+                  m.peak_concurrency);
     out += buf;
+    const auto pm = postmortems.find(r.spec.index);
+    if (pm != postmortems.end() && !pm->second.empty()) {
+      out += ", \"postmortems\": [";
+      for (std::size_t j = 0; j < pm->second.size(); ++j) {
+        if (j > 0) out += ", ";
+        out += '"';
+        // Filenames are sanitized at write time, but the directory part is
+        // caller-supplied — escape the two JSON-hostile characters.
+        for (const char c : pm->second[j]) {
+          if (c == '"' || c == '\\') out += '\\';
+          out += c;
+        }
+        out += '"';
+      }
+      out += ']';
+    }
+    out += '}';
+    out += i + 1 < results.size() ? ",\n" : "\n";
   }
   out += "]\n";
   return out;

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,15 @@ class Runner {
 /// Joins external artifacts — trace files, registry dumps — back to grid
 /// points. Deterministic except for the wall_ms field.
 std::string RunLogJson(const std::vector<RunResult>& results);
+
+/// Variant with per-run postmortem pointers: `postmortems` maps a run's
+/// grid index (RunSpec::index) to the postmortem dump files its black box
+/// wrote. Runs with an entry gain a "postmortems": [paths...] field, so a
+/// crash/violation dump is joinable back to the exact grid point that
+/// produced it; runs without one serialize exactly as before.
+std::string RunLogJson(
+    const std::vector<RunResult>& results,
+    const std::map<std::size_t, std::vector<std::string>>& postmortems);
 
 /// Mean/stddev/CI summary of one metric across a grid point's replications.
 /// ci95_half is the normal-approximation half-width 1.96·s/√n (0 for a

@@ -1,0 +1,202 @@
+#include "obs/postmortem.h"
+
+#include <cctype>
+#include <csignal>
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
+
+namespace vod::obs {
+
+namespace {
+
+/// Filename-safe projection of a run label: [A-Za-z0-9._-] pass through,
+/// everything else becomes '-' ("rr/dynamic/t40" → "rr-dynamic-t40").
+std::string Sanitize(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char ch : label) {
+    const unsigned char u = static_cast<unsigned char>(ch);
+    out += (std::isalnum(u) != 0 || ch == '.' || ch == '_' || ch == '-')
+               ? ch
+               : '-';
+  }
+  return out.empty() ? std::string("run") : out;
+}
+
+/// Embeds a producer's own JSON text under `key`. The registry/profiler
+/// serializers emit canonical JSON already; parsing through JsonValue both
+/// validates them and re-sorts keys into the dump's canonical order.
+void SetParsedOrRaw(bench_kit::JsonValue* doc, const std::string& key,
+                    const std::string& text) {
+  auto parsed = bench_kit::JsonValue::Parse(text);
+  if (parsed.ok()) {
+    doc->Set(key, std::move(parsed).value());
+  } else {
+    doc->Set(key, bench_kit::JsonValue::Str(text));
+  }
+}
+
+bench_kit::JsonValue EventToJson(const TraceEvent& ev) {
+  using bench_kit::JsonValue;
+  JsonValue e = JsonValue::Object();
+  e.Set("time_s", JsonValue::Number(ToSeconds(ev.time)));
+  e.Set("kind", JsonValue::Str(std::string(TraceEventKindName(ev.kind))));
+  e.Set("disk", JsonValue::Number(static_cast<double>(ev.disk)));
+  e.Set("request", JsonValue::Number(static_cast<double>(ev.request)));
+  e.Set("n", JsonValue::Number(static_cast<double>(ev.n)));
+  e.Set("k", JsonValue::Number(static_cast<double>(ev.k)));
+  e.Set("bits", JsonValue::Number(ToBits(ev.bits)));
+  e.Set("usage_period_s", JsonValue::Number(ToSeconds(ev.usage_period)));
+  e.Set("seek_s", JsonValue::Number(ToSeconds(ev.seek)));
+  e.Set("rotation_s", JsonValue::Number(ToSeconds(ev.rotation)));
+  e.Set("transfer_s", JsonValue::Number(ToSeconds(ev.transfer)));
+  return e;
+}
+
+PostmortemSink* g_signal_sink = nullptr;
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE};
+
+extern "C" void PostmortemSignalHandler(int signum) {
+  // Restore default dispositions first so anything going wrong inside the
+  // capture terminates instead of recursing.
+  for (int s : kFatalSignals) std::signal(s, SIG_DFL);
+  PostmortemSink* sink = g_signal_sink;
+  g_signal_sink = nullptr;
+  if (sink != nullptr) {
+    char detail[32];
+    std::snprintf(detail, sizeof(detail), "signal %d", signum);
+    (void)sink->Capture(PostmortemReason::kFatalSignal, detail, Seconds(0.0));
+  }
+  std::raise(signum);
+}
+
+}  // namespace
+
+std::string_view PostmortemReasonName(PostmortemReason reason) {
+  switch (reason) {
+    case PostmortemReason::kInvariantViolation:
+      return "invariant";
+    case PostmortemReason::kHiccupThreshold:
+      return "hiccup";
+    case PostmortemReason::kFatalSignal:
+      return "signal";
+    case PostmortemReason::kExplicit:
+      return "explicit";
+  }
+  return "unknown";
+}
+
+PostmortemSink::PostmortemSink(const Options& options) : options_(options) {
+  // Move-assign a temporary: GCC 12 -O2 misfires -Wrestrict on the
+  // const char* assignment path here.
+  if (options_.dir.empty()) options_.dir = std::string(".");
+  if (options_.ring_tail == 0) options_.ring_tail = 1;
+}
+
+Result<std::string> PostmortemSink::Capture(PostmortemReason reason,
+                                            const std::string& detail,
+                                            Seconds sim_time) {
+  using bench_kit::JsonValue;
+  if (sim_time.value() == 0.0 && last_time_.value() > 0.0) {
+    sim_time = last_time_;  // Signal-path dumps fall back to the last tick.
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::Str("vodb-postmortem-v1"));
+  doc.Set("reason",
+          JsonValue::Str(std::string(PostmortemReasonName(reason))));
+  doc.Set("detail", JsonValue::Str(detail));
+  doc.Set("sim_time_s", JsonValue::Number(ToSeconds(sim_time)));
+  doc.Set("run_label", JsonValue::Str(options_.run_label));
+  doc.Set("config", config_);
+
+  JsonValue ring = JsonValue::Object();
+  JsonValue tail = JsonValue::Array();
+  std::uint64_t total = 0, dropped = 0;
+  if (tracer_ != nullptr) {
+    const std::vector<TraceEvent> events = tracer_->Snapshot();
+    total = tracer_->total_emitted();
+    dropped = tracer_->dropped();
+    const std::size_t skip = events.size() > options_.ring_tail
+                                 ? events.size() - options_.ring_tail
+                                 : 0;
+    for (std::size_t i = skip; i < events.size(); ++i) {
+      tail.Append(EventToJson(events[i]));
+    }
+    dropped += skip;  // Tail-capping drops count as lost context too.
+  }
+  ring.Set("total", JsonValue::Number(static_cast<double>(total)));
+  ring.Set("dropped", JsonValue::Number(static_cast<double>(dropped)));
+  ring.Set("tail", std::move(tail));
+  doc.Set("ring", std::move(ring));
+
+  SetParsedOrRaw(&doc, "metrics", MetricsRegistry::Global().ToJson());
+  SetParsedOrRaw(&doc, "profile", Profiler::Global().ToJson());
+
+  // Distinct filename per capture: _2, _3... for repeats of a reason.
+  std::string base = options_.dir + "/postmortem_" +
+                     Sanitize(options_.run_label) + "_" +
+                     std::string(PostmortemReasonName(reason));
+  int repeat = 1;
+  for (const std::string& p : paths_) {
+    if (p.compare(0, base.size(), base) == 0) ++repeat;
+  }
+  std::string path = base;
+  if (repeat > 1) {
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), "_%d", repeat);
+    path += suffix;
+  }
+  path += ".json";
+
+  const std::string text = doc.Dump();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open postmortem file: " + tmp);
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to postmortem file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename postmortem file to: " + path);
+  }
+  paths_.push_back(path);
+  return path;
+}
+
+void PostmortemSink::NoteDegradation(std::uint64_t hiccups,
+                                     std::uint64_t degraded_entries,
+                                     Seconds now) {
+  last_time_ = now;
+  if (degradation_captured_) return;
+  const bool hiccup_hit =
+      options_.hiccup_threshold > 0 && hiccups >= options_.hiccup_threshold;
+  const bool degraded_hit = options_.degraded_threshold > 0 &&
+                            degraded_entries >= options_.degraded_threshold;
+  if (!hiccup_hit && !degraded_hit) return;
+  degradation_captured_ = true;
+  char detail[96];
+  std::snprintf(detail, sizeof(detail),
+                "hiccups=%llu degraded_entries=%llu",
+                static_cast<unsigned long long>(hiccups),
+                static_cast<unsigned long long>(degraded_entries));
+  (void)Capture(PostmortemReason::kHiccupThreshold, detail, now);
+}
+
+void PostmortemSink::InstallSignalHandler(PostmortemSink* sink) {
+  g_signal_sink = sink;
+  for (int s : kFatalSignals) {
+    std::signal(s, sink != nullptr ? PostmortemSignalHandler : SIG_DFL);
+  }
+}
+
+}  // namespace vod::obs

@@ -1,0 +1,134 @@
+#include "obs/span_tracker.h"
+
+#include <algorithm>
+
+namespace vod::obs {
+
+std::string_view SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kAdmissionWait:
+      return "admission_wait";
+    case SpanKind::kService:
+      return "service";
+    case SpanKind::kDegradedEpisode:
+      return "degraded";
+    case SpanKind::kRetryBurst:
+      return "retry_burst";
+  }
+  return "unknown";
+}
+
+void SpanTracker::Observe(const TraceEvent& ev) {
+  if (ev.request == kInvalidRequestId) return;
+  OpenState& st = open_[ev.request];
+  st.disk = ev.disk;
+  switch (ev.kind) {
+    case TraceEventKind::kArrival:
+      st.has_arrival = true;
+      st.arrival = ev.time;
+      break;
+    case TraceEventKind::kAdmit:
+      if (st.has_arrival) {
+        spans_.push_back({SpanKind::kAdmissionWait, ev.request, ev.disk,
+                          st.arrival, ev.time});
+        st.has_arrival = false;
+      }
+      break;
+    case TraceEventKind::kRejectCapacity:
+    case TraceEventKind::kRejectMemory:
+    case TraceEventKind::kRejectInvalid:
+      // Never became a stream; drop the open admission wait.
+      st.has_arrival = false;
+      break;
+    case TraceEventKind::kServiceStart:
+      st.has_service = true;
+      st.service_begin = ev.time;
+      break;
+    case TraceEventKind::kServiceEnd:
+      if (st.has_service) {
+        spans_.push_back({SpanKind::kService, ev.request, ev.disk,
+                          st.service_begin, ev.time});
+        st.has_service = false;
+      }
+      // A completed read ends any retry burst: the stream got data again.
+      if (st.has_burst) {
+        spans_.push_back({SpanKind::kRetryBurst, ev.request, ev.disk,
+                          st.burst_begin, ev.time});
+        st.has_burst = false;
+      }
+      break;
+    case TraceEventKind::kReadFault:
+      if (!st.has_burst) {
+        st.has_burst = true;
+        st.burst_begin = ev.time;
+      }
+      break;
+    case TraceEventKind::kHiccup:
+      if (st.has_burst) {
+        spans_.push_back({SpanKind::kRetryBurst, ev.request, ev.disk,
+                          st.burst_begin, ev.time});
+        st.has_burst = false;
+      }
+      break;
+    case TraceEventKind::kDegraded:
+      if (!st.has_degraded) {
+        st.has_degraded = true;
+        st.degraded_begin = ev.time;
+      }
+      break;
+    case TraceEventKind::kRecovered:
+      if (st.has_degraded) {
+        spans_.push_back({SpanKind::kDegradedEpisode, ev.request, ev.disk,
+                          st.degraded_begin, ev.time});
+        st.has_degraded = false;
+      }
+      break;
+    case TraceEventKind::kDeparture:
+    case TraceEventKind::kCancel: {
+      if (st.has_degraded) {
+        spans_.push_back({SpanKind::kDegradedEpisode, ev.request, ev.disk,
+                          st.degraded_begin, ev.time});
+      }
+      if (st.has_burst) {
+        spans_.push_back({SpanKind::kRetryBurst, ev.request, ev.disk,
+                          st.burst_begin, ev.time});
+      }
+      open_.erase(ev.request);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::vector<Span> SpanTracker::Finish(Seconds end_time) {
+  for (const auto& [request, st] : open_) {
+    if (st.has_degraded) {
+      spans_.push_back({SpanKind::kDegradedEpisode, request, st.disk,
+                        st.degraded_begin, end_time});
+    }
+    if (st.has_burst) {
+      spans_.push_back({SpanKind::kRetryBurst, request, st.disk,
+                        st.burst_begin, end_time});
+    }
+  }
+  open_.clear();
+  std::vector<Span> out = std::move(spans_);
+  spans_.clear();
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.begin != b.begin) return a.begin < b.begin;
+    if (a.request != b.request) return a.request < b.request;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.end < b.end;
+  });
+  return out;
+}
+
+std::vector<Span> SpanTracker::FromEvents(const std::vector<TraceEvent>& events,
+                                          Seconds end_time) {
+  SpanTracker tracker;
+  for (const TraceEvent& ev : events) tracker.Observe(ev);
+  return tracker.Finish(end_time);
+}
+
+}  // namespace vod::obs

@@ -1,0 +1,93 @@
+#ifndef VODB_OBS_SPAN_TRACKER_H_
+#define VODB_OBS_SPAN_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "obs/trace_event.h"
+
+namespace vod::obs {
+
+/// Per-stream lifecycle span taxonomy. Spans are *derived* from the
+/// existing TraceEvent vocabulary — the tracker adds no new emission sites
+/// and no new event kinds, so enabling spans cannot perturb the simulation
+/// (pure-observer guarantee) and existing goldens/validators are untouched.
+enum class SpanKind : std::uint8_t {
+  kAdmissionWait = 0,  ///< kArrival → kAdmit (deferral keeps it open).
+  kService,            ///< kServiceStart → kServiceEnd, one per disk round.
+  kDegradedEpisode,    ///< kDegraded → kRecovered (or stream/run end).
+  kRetryBurst,         ///< First kReadFault → next kServiceEnd or kHiccup.
+};
+
+inline constexpr int kSpanKindCount = 4;
+
+/// Stable lowercase token ("admission_wait", "service", "degraded",
+/// "retry_burst") used by exporters and validators.
+std::string_view SpanKindName(SpanKind kind);
+
+struct Span {
+  SpanKind kind = SpanKind::kService;
+  RequestId request = kInvalidRequestId;
+  std::int32_t disk = 0;
+  Seconds begin;
+  Seconds end;
+};
+
+/// Reconstructs per-RequestId duration spans from a time-ordered trace
+/// event stream (an EventTracer snapshot or a live feed via Observe).
+///
+/// Closing rules, chosen so every emitted span has begin ≤ end:
+///   - admission_wait closes on kAdmit; a rejected or cancelled request's
+///     open wait is dropped (it never became a stream).
+///   - service closes on the next kServiceEnd of the same request; an end
+///     whose start fell off the ring buffer is dropped (mirrors the
+///     orphan-E rule in the Chrome exporter).
+///   - degraded closes on kRecovered, or on departure/cancel, or at
+///     Finish(end_time) when the stream is still degraded at run end.
+///   - retry_burst opens on the first kReadFault while none is open and
+///     closes on the next successful kServiceEnd or on kHiccup (budget
+///     exhausted); still-open bursts close at Finish(end_time).
+///
+/// Single-owner, unguarded, same concurrency contract as EventTracer.
+class SpanTracker {
+ public:
+  SpanTracker() = default;
+  SpanTracker(const SpanTracker&) = delete;
+  SpanTracker& operator=(const SpanTracker&) = delete;
+
+  /// Feed one event; events must arrive in non-decreasing time order.
+  void Observe(const TraceEvent& ev);
+
+  /// Closes still-open degraded episodes and retry bursts at `end_time`
+  /// and returns all spans sorted by (begin, request, kind, end) — a
+  /// deterministic function of the event stream.
+  std::vector<Span> Finish(Seconds end_time);
+
+  /// Convenience: derive spans from a complete snapshot in one call.
+  static std::vector<Span> FromEvents(const std::vector<TraceEvent>& events,
+                                      Seconds end_time);
+
+ private:
+  struct OpenState {
+    bool has_arrival = false;
+    bool has_service = false;
+    bool has_degraded = false;
+    bool has_burst = false;
+    Seconds arrival;
+    Seconds service_begin;
+    Seconds degraded_begin;
+    Seconds burst_begin;
+    std::int32_t disk = 0;
+  };
+
+  std::map<RequestId, OpenState> open_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace vod::obs
+
+#endif  // VODB_OBS_SPAN_TRACKER_H_

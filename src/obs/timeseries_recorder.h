@@ -1,0 +1,103 @@
+#ifndef VODB_OBS_TIMESERIES_RECORDER_H_
+#define VODB_OBS_TIMESERIES_RECORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace vod::obs {
+
+/// One instantaneous reading of the simulator's resource state, taken by the
+/// simulator itself (only it can see the event queue and the allocator) and
+/// handed to the recorder. All fields are reads of existing state — sampling
+/// never mutates anything, preserving the pure-observer guarantee.
+struct TimeseriesSample {
+  Bits reserved;         ///< Broker reservation (predicted memory in use).
+  Bits buffered;         ///< Actual buffered bits across in-service streams.
+  int queue_depth = 0;   ///< Pending entries in the simulator event queue.
+  int active = 0;        ///< Streams currently in service.
+  int degraded = 0;      ///< Streams currently in the Degraded state.
+  Seconds disk_busy;     ///< Cumulative disk busy time since run start.
+};
+
+/// Fixed-bucket sampler of simulator resource state over *simulated* time.
+///
+/// The simulator polls `Due(now)` after each dispatched event (one compare
+/// when attached, nothing when not) and calls `Record` with a fresh sample
+/// the first time the clock enters a new bucket. Bucket semantics: each
+/// retained point is the first observation at-or-after its bucket boundary,
+/// stamped with the actual observation time — trajectories stay faithful to
+/// the event-driven clock instead of inventing interpolated values. The
+/// per-bucket busy fraction is derived from the cumulative busy-time delta
+/// between consecutive points, so it is exact over the inter-point interval.
+///
+/// Like the EventTracer, a recorder belongs to one simulator and is
+/// deliberately unguarded: the simulator is single-threaded and parallel
+/// sweeps give every run its own recorder.
+class TimeseriesRecorder {
+ public:
+  struct Options {
+    Seconds bucket = Seconds(60.0);  ///< Sampling grain in simulated time.
+  };
+
+  TimeseriesRecorder() : TimeseriesRecorder(Options()) {}
+  explicit TimeseriesRecorder(const Options& options);
+
+  TimeseriesRecorder(const TimeseriesRecorder&) = delete;
+  TimeseriesRecorder& operator=(const TimeseriesRecorder&) = delete;
+
+  /// Cheap hot-path gate: true when `now` has entered a bucket with no
+  /// point yet. The simulator only assembles a sample when this fires.
+  bool Due(Seconds now) const { return now >= next_due_; }
+
+  /// Appends a point for the bucket containing `now`. Ignores calls that
+  /// are not due (callers should gate on Due) and out-of-order times.
+  void Record(Seconds now, const TimeseriesSample& sample);
+
+  struct Point {
+    Seconds time;          ///< Observation time (within its bucket).
+    Bits reserved;
+    Bits buffered;
+    int queue_depth = 0;
+    int active = 0;
+    int degraded = 0;
+    double busy_fraction = 0.0;  ///< Busy share of the preceding interval.
+  };
+
+  const std::vector<Point>& points() const { return points_; }
+  Seconds bucket() const { return bucket_; }
+  void Clear();
+
+ private:
+  Seconds bucket_;
+  Seconds next_due_;   ///< Smallest time at which Due fires.
+  Seconds last_time_;  ///< Time of the previous point (busy-fraction base).
+  Seconds last_busy_;  ///< Cumulative busy time at the previous point.
+  std::vector<Point> points_;
+};
+
+/// One recorded run for CSV export. `run` is the grid index (matches the
+/// trace export's pid and RunLogJson's "index"), `disk` the disk id within
+/// a multi-disk run (0 for single-disk).
+struct TimeseriesRun {
+  std::string label;
+  int run = 0;
+  int disk = 0;
+  const TimeseriesRecorder* recorder = nullptr;
+};
+
+/// CSV with a fixed header:
+///   run,label,disk,time_s,reserved_mbit,buffered_mbit,queue_depth,active,
+///   degraded,busy_fraction
+/// Labels are emitted verbatim (run labels never contain commas or quotes).
+std::string TimeseriesCsv(const std::vector<TimeseriesRun>& runs);
+
+/// Writes `TimeseriesCsv(runs)` to `path`.
+Status WriteTimeseriesCsv(const std::string& path,
+                          const std::vector<TimeseriesRun>& runs);
+
+}  // namespace vod::obs
+
+#endif  // VODB_OBS_TIMESERIES_RECORDER_H_

@@ -6,6 +6,8 @@
 #include <map>
 #include <set>
 
+#include "obs/span_tracker.h"
+
 namespace vod::obs {
 
 namespace {
@@ -79,6 +81,11 @@ std::string ToJsonl(const std::vector<TraceRun>& runs) {
 }
 
 std::string ToChromeTraceJson(const std::vector<TraceRun>& runs) {
+  return ToChromeTraceJson(runs, TraceExportOptions{});
+}
+
+std::string ToChromeTraceJson(const std::vector<TraceRun>& runs,
+                              const TraceExportOptions& options) {
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   bool first = true;
   auto emit = [&out, &first](const std::string& ev_json) {
@@ -126,12 +133,50 @@ std::string ToChromeTraceJson(const std::vector<TraceRun>& runs) {
       }
     }
 
+    // --- Optional span derivation (per-stream lifecycle tracks). ----------
+    // Spans are sorted by begin time and interleaved into the event walk
+    // below so the exported stream stays ts-monotonic per pid.
+    std::vector<Span> spans;
+    if (options.spans && !run.events.empty()) {
+      spans = SpanTracker::FromEvents(run.events, run.events.back().time);
+      std::set<RequestId> named;
+      for (const Span& span : spans) {
+        if (!named.insert(span.request).second) continue;
+        std::string m;
+        AppendF(m, "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                   "\"name\":\"thread_name\","
+                   "\"args\":{\"name\":\"stream %" PRIu64 "\"}}",
+                run.pid, kSpanTrackTidBase + static_cast<int>(span.request),
+                span.request);
+        emit(m);
+      }
+    }
+    std::size_t next_span = 0;
+    auto flush_spans_until = [&](double ts_us) {
+      while (next_span < spans.size() &&
+             ToSeconds(spans[next_span].begin) * 1e6 <= ts_us) {
+        const Span& span = spans[next_span++];
+        std::string x;
+        AppendF(x, "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                   "\"dur\":%.3f,\"name\":\"",
+                run.pid, kSpanTrackTidBase + static_cast<int>(span.request),
+                ToSeconds(span.begin) * 1e6,
+                ToSeconds(span.end - span.begin) * 1e6);
+        x += SpanKindName(span.kind);
+        AppendF(x, "\",\"cat\":\"span\",\"args\":{\"request\":%" PRIu64
+                   ",\"disk\":%d}}",
+                span.request, static_cast<int>(span.disk));
+        emit(x);
+      }
+    };
+
     // --- Pass 2: events. --------------------------------------------------
     std::map<int, bool> disk_slice_open;     // B emitted, E pending.
     std::set<RequestId> async_open;          // "b" emitted, "e" pending.
     std::map<RequestId, int> flow_emitted;   // service starts seen so far.
     for (const TraceEvent& ev : run.events) {
       const double ts = ToSeconds(ev.time) * 1e6;  // Chrome ts is in microseconds.
+      flush_spans_until(ts);
       const int disk = static_cast<int>(ev.disk);
       std::string e;
       switch (ev.kind) {
@@ -234,6 +279,10 @@ std::string ToChromeTraceJson(const std::vector<TraceRun>& runs) {
         }
       }
     }
+
+    // Spans beginning at the final event's timestamp flush here.
+    flush_spans_until(spans.empty() ? 0.0
+                                    : ToSeconds(run.events.back().time) * 1e6);
   }
   out += "\n]}\n";
   return out;
@@ -241,9 +290,16 @@ std::string ToChromeTraceJson(const std::vector<TraceRun>& runs) {
 
 Status WriteTraceFile(const std::string& path,
                       const std::vector<TraceRun>& runs) {
+  return WriteTraceFile(path, runs, TraceExportOptions{});
+}
+
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<TraceRun>& runs,
+                      const TraceExportOptions& options) {
   const bool jsonl =
       path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
-  const std::string text = jsonl ? ToJsonl(runs) : ToChromeTraceJson(runs);
+  const std::string text =
+      jsonl ? ToJsonl(runs) : ToChromeTraceJson(runs, options);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open trace file: " + path);

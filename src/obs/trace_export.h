@@ -25,6 +25,19 @@ struct TraceRun {
 /// run), so consumers can stream without sorting.
 std::string ToJsonl(const std::vector<TraceRun>& runs);
 
+/// Exporter knobs beyond the default layout.
+struct TraceExportOptions {
+  /// Adds per-stream span tracks: lifecycle spans derived by SpanTracker
+  /// (admission_wait / service / degraded / retry_burst) exported as "X"
+  /// complete events, one Chrome thread per stream at
+  /// tid = kSpanTrackTidBase + request id, named "stream <id>".
+  bool spans = false;
+};
+
+/// Chrome tid of the first per-stream span track; stream `r` renders at
+/// tid kSpanTrackTidBase + r (validate_trace.py checks the offset).
+inline constexpr int kSpanTrackTidBase = 2000;
+
 /// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
 /// Layout per run (= Chrome process):
 ///   - one named track per disk carrying B/E "service" slices whose args
@@ -32,16 +45,22 @@ std::string ToJsonl(const std::vector<TraceRun>& runs);
 ///   - a "requests" track with instants for arrival/admit/defer/reject/
 ///     allocation/starvation/cancel/departure,
 ///   - an async "request r<id>" span from admission to departure,
-///   - flow arrows (s/t/f) chaining each request's service slices.
+///   - flow arrows (s/t/f) chaining each request's service slices,
+///   - with options.spans, per-stream "X" span tracks (cat "span").
 /// Timestamps are simulated microseconds. Orphan events at the ring
 /// buffer's wrap point (an end whose begin was overwritten) are dropped so
 /// every emitted B has a matching E.
 std::string ToChromeTraceJson(const std::vector<TraceRun>& runs);
+std::string ToChromeTraceJson(const std::vector<TraceRun>& runs,
+                              const TraceExportOptions& options);
 
 /// Writes `runs` to `path`; picks JSONL when the path ends in ".jsonl",
-/// Chrome JSON otherwise.
+/// Chrome JSON otherwise (span tracks only apply to the Chrome format).
 Status WriteTraceFile(const std::string& path,
                       const std::vector<TraceRun>& runs);
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<TraceRun>& runs,
+                      const TraceExportOptions& options);
 
 }  // namespace vod::obs
 

@@ -52,6 +52,10 @@ void InvariantAuditor::set_handler(Handler handler) {
   handler_ = std::move(handler);
 }
 
+void InvariantAuditor::set_violation_observer(Handler observer) {
+  violation_observer_ = std::move(observer);
+}
+
 void InvariantAuditor::Report(const char* invariant, Seconds time,
                               std::string detail) {
   ++violations_;
@@ -59,6 +63,9 @@ void InvariantAuditor::Report(const char* invariant, Seconds time,
   v.invariant = invariant;
   v.time = time;
   v.detail = std::move(detail);
+  // Capture-then-fail: give the observer (postmortem sink) its dump before
+  // the handler — which may abort — runs.
+  if (violation_observer_) violation_observer_(v);
   if (handler_) {
     handler_(v);
   } else {

@@ -45,6 +45,13 @@ class InvariantAuditor {
   /// Replaces the violation handler (nullptr restores the aborting default).
   void set_handler(Handler handler);
 
+  /// Capture-then-fail hook: an observer invoked on every violation
+  /// *before* the handler runs (and before the aborting default kills the
+  /// process), so a postmortem sink can dump flight-recorder state that the
+  /// abort would otherwise destroy. Observers must not throw and must not
+  /// assume the process survives the subsequent handler. nullptr clears.
+  void set_violation_observer(Handler observer);
+
   // --- Checks. Each counts one check; failures invoke the handler. ---
 
   /// Event-time monotonicity: the discrete-event clock never runs backwards
@@ -111,6 +118,7 @@ class InvariantAuditor {
   void Report(const char* invariant, Seconds time, std::string detail);
 
   Handler handler_;
+  Handler violation_observer_;
   long checks_ = 0;
   long violations_ = 0;
   Seconds last_event_time_;

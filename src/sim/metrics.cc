@@ -71,6 +71,24 @@ void SimMetrics::PublishTo(obs::MetricsRegistry& registry,
       .Add(ToMebibytes(Bits(memory_usage.max_value())));
   registry.histogram(p + "run.peak_concurrency", {.lo = 1.0, .growth = 1.5})
       .Add(static_cast<double>(peak_concurrency));
+  // The buffer byte ledger (conservation property: allocated == released at
+  // the end of a drained run) — one sample per run, in gigabits so a sweep's
+  // distribution is readable at a glance.
+  registry.histogram(p + "run.buffer_gbit_allocated", {.lo = 0.1})
+      .Add(ToBits(buffer_bits_allocated) / kGiga);
+  registry.histogram(p + "run.buffer_gbit_released", {.lo = 0.1})
+      .Add(ToBits(buffer_bits_released) / kGiga);
 }
+
+// Lockstep guard: PublishTo must cover every SimMetrics field. Growing the
+// struct changes its size and trips this assert, forcing whoever adds a
+// field to extend PublishTo (and the registry-name test in
+// golden_metrics_test.cc) in the same change. Size is ABI-specific, so the
+// guard only arms on the configuration CI builds (libstdc++ on x86-64).
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+static_assert(sizeof(SimMetrics) == 416,
+              "SimMetrics changed size: update PublishTo and the "
+              "sim_metrics publish-names test, then refresh this size");
+#endif
 
 }  // namespace vod::sim

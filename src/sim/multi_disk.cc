@@ -121,4 +121,18 @@ long MultiDiskSimulator::TotalStarvations() const {
   return total;
 }
 
+void MultiDiskSimulator::set_tracer(obs::EventTracer* tracer) {
+  for (const auto& s : sims_) s->set_tracer(tracer);
+}
+
+void MultiDiskSimulator::set_postmortem(obs::PostmortemSink* sink) {
+  for (const auto& s : sims_) s->set_postmortem(sink);
+}
+
+void MultiDiskSimulator::set_timeseries(int disk,
+                                        obs::TimeseriesRecorder* recorder) {
+  VOD_CHECK(disk >= 0 && disk < disk_count());
+  sims_[static_cast<std::size_t>(disk)]->set_timeseries(recorder);
+}
+
 }  // namespace vod::sim

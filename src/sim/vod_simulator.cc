@@ -8,7 +8,9 @@
 #include "common/check.h"
 #include "fault/injector.h"
 #include "obs/event_tracer.h"
+#include "obs/postmortem.h"
 #include "obs/profile.h"
+#include "obs/timeseries_recorder.h"
 #include "sched/gss.h"
 #include "sched/round_robin.h"
 #include "sched/sweep.h"
@@ -205,6 +207,10 @@ bool VodSimulator::Step() {
       MaybeScheduleService();
       break;
   }
+  // Observers: both are pure reads of post-dispatch state. Gated on
+  // attachment so unobserved runs pay one pointer compare per event.
+  if (timeseries_ != nullptr && timeseries_->Due(now_)) SampleTimeseries();
+  if (postmortem_ != nullptr) postmortem_->NoteTime(now_);
   return true;
 }
 
@@ -220,6 +226,44 @@ void VodSimulator::RunToCompletion() {
 void VodSimulator::Finalize() {
   std::sort(arrival_times_.begin(), arrival_times_.end());
   metrics_.ResolveEstimation(arrival_times_);
+}
+
+void VodSimulator::set_postmortem(obs::PostmortemSink* sink) {
+  postmortem_ = sink;
+  if (sink != nullptr) {
+    // Give the sink this simulator's ring if the harness did not already
+    // wire one (attach the tracer before the sink for the tail to flow).
+    if (tracer_ != nullptr) sink->set_tracer(tracer_);
+    // Capture-then-fail: dump flight-recorder state before the auditor's
+    // handler (by default: abort) runs.
+    auditor_.set_violation_observer([this](const InvariantViolation& v) {
+      if (postmortem_ == nullptr) return;
+      (void)postmortem_->Capture(obs::PostmortemReason::kInvariantViolation,
+                                 v.invariant + ": " + v.detail, v.time);
+    });
+  } else {
+    auditor_.set_violation_observer(nullptr);
+  }
+}
+
+void VodSimulator::SampleTimeseries() {
+  obs::TimeseriesSample sample;
+  // ReservedMemory() is a const read of the broker's reservation as of its
+  // last repricing — sampling must not AdvanceTo (that would mutate shared
+  // state and break the pure-observer guarantee). Runs without a broker
+  // report zero reservation; `buffered` is the actual memory in use.
+  sample.reserved =
+      broker_ != nullptr ? broker_->ReservedMemory() : Bits(0);
+  sample.buffered = TotalBufferedBits(now_);
+  sample.queue_depth = static_cast<int>(events_.size());
+  sample.active = allocator_->active_count();
+  int degraded = 0;
+  for (const auto& [id, r] : requests_) {
+    if (r.degraded) ++degraded;
+  }
+  sample.degraded = degraded;
+  sample.disk_busy = metrics_.disk_busy_time;
+  timeseries_->Record(now_, sample);
 }
 
 // ---------------------------------------------------------------------------
@@ -801,6 +845,11 @@ void VodSimulator::MarkDegraded(Req& r) {
     tracer_->Emit(ev);
   }
 #endif
+  if (postmortem_ != nullptr) {
+    postmortem_->NoteDegradation(
+        static_cast<std::uint64_t>(metrics_.hiccup_events),
+        static_cast<std::uint64_t>(metrics_.degraded_entries), now_);
+  }
 }
 
 void VodSimulator::HandleServiceComplete(const Event& ev) {
@@ -847,6 +896,11 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
           tracer_->Emit(hiccup_ev);
         }
 #endif
+        if (postmortem_ != nullptr) {
+          postmortem_->NoteDegradation(
+              static_cast<std::uint64_t>(metrics_.hiccup_events),
+              static_cast<std::uint64_t>(metrics_.degraded_entries), now_);
+        }
       } else if (in_service_retry_backoff_ > Seconds(0)) {
         // Bounded exponential backoff before the disk re-issues any I/O.
         const double doubling =

@@ -24,6 +24,8 @@
 
 namespace vod::obs {
 class EventTracer;
+class PostmortemSink;
+class TimeseriesRecorder;
 }  // namespace vod::obs
 
 namespace vod::fault {
@@ -127,6 +129,23 @@ class VodSimulator : public sched::SchedulerContext {
   /// golden CSV changes by attaching one.
   void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
   obs::EventTracer* tracer() const { return tracer_; }
+
+  /// Attaches a postmortem sink (nullptr detaches). The simulator arms the
+  /// auditor's capture-then-fail observer (dump before the violation
+  /// handler runs), forwards fault-layer degradation counters for the
+  /// sink's threshold trigger, and keeps the sink's last-seen sim time
+  /// fresh for signal-path dumps. Pure observer: the sink only ever reads
+  /// state, and only on already-exceptional paths.
+  void set_postmortem(obs::PostmortemSink* sink);
+  obs::PostmortemSink* postmortem() const { return postmortem_; }
+
+  /// Attaches a sim-time telemetry recorder (nullptr detaches). Sampled
+  /// after each dispatched event when a bucket boundary has passed; all
+  /// sampled quantities are reads of existing state (pure observer).
+  void set_timeseries(obs::TimeseriesRecorder* recorder) {
+    timeseries_ = recorder;
+  }
+  obs::TimeseriesRecorder* timeseries() const { return timeseries_; }
 
   const SimMetrics& metrics() const { return metrics_; }
   const SimConfig& config() const { return config_; }
@@ -268,9 +287,14 @@ class VodSimulator : public sched::SchedulerContext {
   mutable std::uint64_t preview_cache_version_ = ~0ULL;
   std::uint64_t state_version_ = 0;
 
+  /// Assembles a TimeseriesSample from current state and records it.
+  void SampleTimeseries();
+
   InvariantAuditor auditor_;
   SimMetrics metrics_;
   obs::EventTracer* tracer_ = nullptr;  ///< Not owned; may be nullptr.
+  obs::PostmortemSink* postmortem_ = nullptr;    ///< Not owned; optional.
+  obs::TimeseriesRecorder* timeseries_ = nullptr;  ///< Not owned; optional.
 };
 
 /// Sums several step time series (per-disk concurrency, memory, ...).

@@ -46,13 +46,17 @@ TEST(BenchOptionsTest, DefaultsWhenNoFlags) {
   EXPECT_FALSE(opt->progress);
   EXPECT_TRUE(opt->faults.empty());
   EXPECT_EQ(opt->fault_seed, 0u);
+  EXPECT_FALSE(opt->spans);
+  EXPECT_TRUE(opt->timeseries.empty());
+  EXPECT_TRUE(opt->postmortem_dir.empty());
 }
 
 TEST(BenchOptionsTest, FullRoundTripOfEveryFlag) {
   auto opt = ParseOf({"--full", "--seeds=5", "--threads=8", "--json",
                       "--trace=t.jsonl", "--metrics=m.json", "--progress",
                       "--faults=eio:start=3600,end=7200,p=0.2",
-                      "--fault-seed=12345678901234567890"});
+                      "--fault-seed=12345678901234567890", "--spans",
+                      "--timeseries=ts.csv", "--postmortem-dir=dumps"});
   ASSERT_TRUE(opt.ok()) << opt.status().ToString();
   EXPECT_TRUE(opt->full);
   EXPECT_EQ(opt->seeds, 5);
@@ -63,6 +67,9 @@ TEST(BenchOptionsTest, FullRoundTripOfEveryFlag) {
   EXPECT_TRUE(opt->progress);
   EXPECT_EQ(opt->faults, "eio:start=3600,end=7200,p=0.2");
   EXPECT_EQ(opt->fault_seed, 12345678901234567890ULL);
+  EXPECT_TRUE(opt->spans);
+  EXPECT_EQ(opt->timeseries, "ts.csv");
+  EXPECT_EQ(opt->postmortem_dir, "dumps");
 }
 
 TEST(BenchOptionsTest, BareTraceDefaultsFilename) {
@@ -114,6 +121,31 @@ TEST(BenchOptionsTest, RejectsEmptyArtifactPaths) {
   EXPECT_FALSE(ParseOf({"--trace="}).ok());
   EXPECT_FALSE(ParseOf({"--metrics="}).ok());
   EXPECT_FALSE(ParseOf({"--faults="}).ok());
+  EXPECT_FALSE(ParseOf({"--timeseries="}).ok());
+  EXPECT_FALSE(ParseOf({"--postmortem-dir="}).ok());
+}
+
+TEST(BenchOptionsTest, SpansRequiresTrace) {
+  auto bare = ParseOf({"--spans"});
+  EXPECT_FALSE(bare.ok());
+  EXPECT_EQ(bare.status().code(), StatusCode::kInvalidArgument);
+  // Either --trace form satisfies it, in either argument order.
+  EXPECT_TRUE(ParseOf({"--spans", "--trace"}).ok());
+  EXPECT_TRUE(ParseOf({"--trace=t.json", "--spans"}).ok());
+}
+
+TEST(BenchOptionsTest, ObservabilityFlagsAreIndependentOfEachOther) {
+  // Timeseries and postmortem-dir stand alone (no --trace needed), and
+  // value-carrying forms don't leak into each other.
+  auto opt = ParseOf({"--timeseries=a.csv", "--postmortem-dir=d"});
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->timeseries, "a.csv");
+  EXPECT_EQ(opt->postmortem_dir, "d");
+  EXPECT_TRUE(opt->trace.empty());
+  EXPECT_FALSE(opt->spans);
+  // Bare --timeseries / --postmortem-dir (no =) are unknown options.
+  EXPECT_FALSE(ParseOf({"--timeseries"}).ok());
+  EXPECT_FALSE(ParseOf({"--postmortem-dir"}).ok());
 }
 
 TEST(BenchOptionsTest, RejectsUnknownOptions) {

@@ -24,6 +24,9 @@
 #include "common/units.h"
 #include "exp/day_run.h"
 #include "obs/event_tracer.h"
+#include "obs/metrics_registry.h"
+#include "obs/postmortem.h"
+#include "obs/timeseries_recorder.h"
 #include "sim/metrics.h"
 
 namespace vod::exp {
@@ -153,6 +156,113 @@ TEST(GoldenMetricsTest, RejectionBreakdownSumsToTotal) {
     EXPECT_EQ(m.rejected,
               m.rejected_capacity + m.rejected_memory + m.rejected_invalid);
   }
+}
+
+/// The full observer stack at once — tracer, postmortem black box (with a
+/// live hiccup threshold), and sim-time telemetry recorder — must also
+/// leave every metric untouched. Exact equality again: this is the
+/// "all-observers" guarantee the bench flags (--trace --spans --timeseries
+/// --postmortem-dir) rely on for byte-identical stdout.
+TEST(GoldenMetricsTest, AllObserversTogetherArePureObservers) {
+  const DayRunConfig base =
+      GoldenConfig(core::ScheduleMethod::kGss, sim::AllocScheme::kDynamic);
+  const sim::SimMetrics plain = RunDay(base);
+
+  obs::EventTracer tracer;
+  obs::TimeseriesRecorder recorder;
+  obs::PostmortemSink::Options popt;
+  popt.dir = ::testing::TempDir();
+  popt.hiccup_threshold = 1;  // Armed, but a fault-free run never fires it.
+  obs::PostmortemSink sink(popt);
+  sink.set_tracer(&tracer);
+
+  DayRunConfig observed_cfg = base;
+  observed_cfg.tracer = &tracer;
+  observed_cfg.timeseries = &recorder;
+  observed_cfg.postmortem = &sink;
+  const sim::SimMetrics observed = RunDay(observed_cfg);
+
+  EXPECT_EQ(plain.arrivals, observed.arrivals);
+  EXPECT_EQ(plain.admitted, observed.admitted);
+  EXPECT_EQ(plain.rejected, observed.rejected);
+  EXPECT_EQ(plain.deferred_admissions, observed.deferred_admissions);
+  EXPECT_EQ(plain.completed, observed.completed);
+  EXPECT_EQ(plain.cancelled, observed.cancelled);
+  EXPECT_EQ(plain.services, observed.services);
+  EXPECT_EQ(plain.starvation_events, observed.starvation_events);
+  EXPECT_EQ(plain.initial_latency.mean(), observed.initial_latency.mean());
+  EXPECT_EQ(plain.initial_latency.max(), observed.initial_latency.max());
+  EXPECT_EQ(plain.memory_usage.max_value(), observed.memory_usage.max_value());
+  EXPECT_EQ(plain.disk_busy_time, observed.disk_busy_time);
+  EXPECT_EQ(plain.estimated_k.mean(), observed.estimated_k.mean());
+  EXPECT_EQ(plain.buffer_bits_allocated, observed.buffer_bits_allocated);
+  EXPECT_EQ(plain.buffer_bits_released, observed.buffer_bits_released);
+  EXPECT_EQ(plain.allocations.size(), observed.allocations.size());
+
+  // The observers actually observed: telemetry sampled the day at its 60 s
+  // grain (one point per bucket, strictly increasing times; the run drains
+  // past the nominal duration, so only a lower bound is pinned), and the
+  // black box stayed silent (nothing anomalous).
+  EXPECT_GT(recorder.points().size(), 100u);
+  for (std::size_t i = 1; i < recorder.points().size(); ++i) {
+    EXPECT_LT(recorder.points()[i - 1].time, recorder.points()[i].time);
+  }
+  EXPECT_FALSE(sink.triggered());
+}
+
+/// Lockstep guard, registry side: publishing a SimMetrics must register
+/// exactly this name set. The static_assert on sizeof(SimMetrics) in
+/// sim/metrics.cc forces whoever grows the struct to extend PublishTo; this
+/// test forces the same for the published-name contract that dashboards and
+/// the --metrics artifact consumers key on.
+TEST(GoldenMetricsTest, PublishToRegistersTheExactDocumentedNameSet) {
+  const DayRunConfig cfg =
+      GoldenConfig(core::ScheduleMethod::kSweep, sim::AllocScheme::kDynamic);
+  const sim::SimMetrics m = RunDay(cfg);
+  obs::MetricsRegistry registry;
+  m.PublishTo(registry, "test");
+
+  const char* counters[] = {
+      "arrivals", "admitted", "rejected", "rejected_capacity",
+      "rejected_memory", "rejected_invalid", "deferred_admissions",
+      "completed", "cancelled", "starvation_events", "services",
+      "fault.read_faults", "fault.read_retries", "fault.hiccups",
+      "fault.degraded_entries", "fault.degraded_streams", "fault.recoveries",
+      "fault.delayed_reads", "estimation_checks", "estimation_successes",
+  };
+  const char* histograms[] = {
+      "alloc.buffer_mbit", "alloc.usage_period_s", "alloc.k",
+      "run.initial_latency_mean_s", "run.peak_memory_mb",
+      "run.peak_concurrency", "run.buffer_gbit_allocated",
+      "run.buffer_gbit_released",
+  };
+  const std::string json = registry.ToJson();
+  std::size_t published = 0;
+  for (const char* name : counters) {
+    EXPECT_NE(json.find("\"test." + std::string(name) + "\""),
+              std::string::npos)
+        << name;
+    ++published;
+  }
+  for (const char* name : histograms) {
+    EXPECT_NE(json.find("\"test." + std::string(name) + "\""),
+              std::string::npos)
+        << name;
+    ++published;
+  }
+  // And nothing else: every published key is in the documented set.
+  std::size_t found = 0;
+  for (std::size_t pos = json.find("\"test."); pos != std::string::npos;
+       pos = json.find("\"test.", pos + 1)) {
+    ++found;
+  }
+  EXPECT_EQ(found, published);
+
+  // The new ledger histograms carry the run's real values (not just
+  // registered-but-empty).
+  const sim::SimMetrics zero;
+  EXPECT_GT(ToBits(m.buffer_bits_allocated), 0.0);
+  EXPECT_EQ(ToBits(zero.buffer_bits_allocated), 0.0);
 }
 
 /// The golden scenario itself must be deterministic, or the bands above

@@ -1,13 +1,16 @@
 // Unit tests for the observability layer (src/obs): event-tracer ring
 // semantics, histogram bucketing and quantile estimates against a
 // sorted-vector reference, registry thread-safety under contention, the
-// profiler's accumulation, and the two trace exporters' structural
-// guarantees (line-per-event JSONL, balanced B/E in Chrome JSON).
+// profiler's accumulation, the span tracker's lifecycle-derivation rules,
+// the sim-time telemetry recorder's bucketing and CSV shape, and the trace
+// exporters' structural guarantees (line-per-event JSONL, balanced B/E and
+// ts-monotonic span interleaving in Chrome JSON).
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <random>
@@ -23,6 +26,8 @@
 #include "obs/metrics_registry.h"
 #include "obs/profile.h"
 #include "obs/progress.h"
+#include "obs/span_tracker.h"
+#include "obs/timeseries_recorder.h"
 #include "obs/trace_export.h"
 
 namespace vod::obs {
@@ -433,6 +438,228 @@ TEST(TraceExportTest, ChromeJsonHasBalancedSlicesAndNamedTracks) {
   EXPECT_NE(json.find("\"name\":\"requests\""), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// SpanTracker
+// ---------------------------------------------------------------------------
+
+std::vector<Span> SpansOfKind(const std::vector<Span>& spans, SpanKind kind) {
+  std::vector<Span> out;
+  for (const Span& s : spans) {
+    if (s.kind == kind) out.push_back(s);
+  }
+  return out;
+}
+
+TEST(SpanTrackerTest, KindNamesAreStableAndDistinct) {
+  EXPECT_EQ(SpanKindName(SpanKind::kAdmissionWait), "admission_wait");
+  EXPECT_EQ(SpanKindName(SpanKind::kService), "service");
+  EXPECT_EQ(SpanKindName(SpanKind::kDegradedEpisode), "degraded");
+  EXPECT_EQ(SpanKindName(SpanKind::kRetryBurst), "retry_burst");
+}
+
+TEST(SpanTrackerTest, AdmissionWaitSpansArrivalToAdmit) {
+  const std::vector<TraceEvent> events = {
+      Ev(TraceEventKind::kArrival, Seconds(1.0), 7),
+      Ev(TraceEventKind::kDefer, Seconds(1.0), 7),  // Deferral keeps it open.
+      Ev(TraceEventKind::kAdmit, Seconds(4.0), 7),
+  };
+  const auto spans = SpanTracker::FromEvents(events, Seconds(10.0));
+  const auto waits = SpansOfKind(spans, SpanKind::kAdmissionWait);
+  ASSERT_EQ(waits.size(), 1u);
+  EXPECT_EQ(waits[0].request, 7u);
+  EXPECT_EQ(waits[0].begin, Seconds(1.0));
+  EXPECT_EQ(waits[0].end, Seconds(4.0));
+}
+
+TEST(SpanTrackerTest, RejectedArrivalProducesNoSpan) {
+  const std::vector<TraceEvent> events = {
+      Ev(TraceEventKind::kArrival, Seconds(1.0), 7),
+      Ev(TraceEventKind::kRejectCapacity, Seconds(1.0), 7),
+      Ev(TraceEventKind::kArrival, Seconds(2.0), 8),
+      Ev(TraceEventKind::kRejectMemory, Seconds(2.0), 8),
+  };
+  EXPECT_TRUE(SpanTracker::FromEvents(events, Seconds(10.0)).empty());
+}
+
+TEST(SpanTrackerTest, ServiceSpansPairStartToEndAndDropOrphanEnds) {
+  const std::vector<TraceEvent> events = {
+      Ev(TraceEventKind::kServiceEnd, Seconds(0.5), 9),  // Ring-wrap orphan.
+      Ev(TraceEventKind::kServiceStart, Seconds(1.0), 9, /*disk=*/2),
+      Ev(TraceEventKind::kServiceEnd, Seconds(1.25), 9, /*disk=*/2),
+      Ev(TraceEventKind::kServiceStart, Seconds(2.0), 9, /*disk=*/2),
+      Ev(TraceEventKind::kServiceEnd, Seconds(2.25), 9, /*disk=*/2),
+  };
+  const auto spans = SpanTracker::FromEvents(events, Seconds(10.0));
+  const auto services = SpansOfKind(spans, SpanKind::kService);
+  ASSERT_EQ(services.size(), 2u);
+  EXPECT_EQ(services[0].begin, Seconds(1.0));
+  EXPECT_EQ(services[0].end, Seconds(1.25));
+  EXPECT_EQ(services[0].disk, 2);
+  EXPECT_EQ(services[1].begin, Seconds(2.0));
+}
+
+TEST(SpanTrackerTest, DegradedEpisodeClosesOnRecoveryOrFinish) {
+  const std::vector<TraceEvent> events = {
+      Ev(TraceEventKind::kDegraded, Seconds(1.0), 5),
+      Ev(TraceEventKind::kRecovered, Seconds(3.0), 5),
+      Ev(TraceEventKind::kDegraded, Seconds(7.0), 6),  // Never recovers.
+  };
+  const auto spans = SpanTracker::FromEvents(events, Seconds(10.0));
+  const auto episodes = SpansOfKind(spans, SpanKind::kDegradedEpisode);
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].request, 5u);
+  EXPECT_EQ(episodes[0].end, Seconds(3.0));
+  EXPECT_EQ(episodes[1].request, 6u);
+  EXPECT_EQ(episodes[1].end, Seconds(10.0));  // Clipped at Finish.
+}
+
+TEST(SpanTrackerTest, RetryBurstSpansFirstFaultToOutcome) {
+  const std::vector<TraceEvent> events = {
+      // Burst 1: two faults, recovered by a successful service end.
+      Ev(TraceEventKind::kReadFault, Seconds(1.0), 4),
+      Ev(TraceEventKind::kReadFault, Seconds(1.2), 4),
+      Ev(TraceEventKind::kServiceEnd, Seconds(1.5), 4),
+      // Burst 2: budget exhausted -> hiccup closes it.
+      Ev(TraceEventKind::kReadFault, Seconds(5.0), 4),
+      Ev(TraceEventKind::kHiccup, Seconds(5.4), 4),
+  };
+  const auto spans = SpanTracker::FromEvents(events, Seconds(10.0));
+  const auto bursts = SpansOfKind(spans, SpanKind::kRetryBurst);
+  ASSERT_EQ(bursts.size(), 2u);
+  EXPECT_EQ(bursts[0].begin, Seconds(1.0));  // First fault, not the second.
+  EXPECT_EQ(bursts[0].end, Seconds(1.5));
+  EXPECT_EQ(bursts[1].begin, Seconds(5.0));
+  EXPECT_EQ(bursts[1].end, Seconds(5.4));
+}
+
+TEST(SpanTrackerTest, DepartureClosesOpenDegradedAndBurst) {
+  const std::vector<TraceEvent> events = {
+      Ev(TraceEventKind::kDegraded, Seconds(1.0), 3),
+      Ev(TraceEventKind::kReadFault, Seconds(2.0), 3),
+      Ev(TraceEventKind::kDeparture, Seconds(4.0), 3),
+  };
+  const auto spans = SpanTracker::FromEvents(events, Seconds(10.0));
+  ASSERT_EQ(spans.size(), 2u);
+  for (const Span& s : spans) {
+    EXPECT_EQ(s.end, Seconds(4.0));  // Both clipped at departure, not 10.
+  }
+}
+
+TEST(SpanTrackerTest, OutputIsSortedAndEverySpanHasNonNegativeDuration) {
+  // A busy interleaved stream across three requests.
+  std::vector<TraceEvent> events;
+  for (int r = 1; r <= 3; ++r) {
+    const double base = static_cast<double>(r);
+    events.push_back(Ev(TraceEventKind::kArrival, Seconds(base), r));
+    events.push_back(Ev(TraceEventKind::kAdmit, Seconds(base + 0.1), r));
+    events.push_back(
+        Ev(TraceEventKind::kServiceStart, Seconds(base + 0.2), r));
+    events.push_back(Ev(TraceEventKind::kServiceEnd, Seconds(base + 0.3), r));
+    events.push_back(Ev(TraceEventKind::kDeparture, Seconds(base + 9.0), r));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.time < b.time;
+            });
+  const auto spans = SpanTracker::FromEvents(events, Seconds(20.0));
+  ASSERT_EQ(spans.size(), 6u);  // 3 waits + 3 services.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].end, spans[i].begin);
+    if (i > 0) {
+      EXPECT_GE(spans[i].begin, spans[i - 1].begin);  // Sorted.
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TimeseriesRecorder
+// ---------------------------------------------------------------------------
+
+TimeseriesSample Sample(double reserved_bits, double busy_s, int active = 1) {
+  TimeseriesSample s;
+  s.reserved = Bits(reserved_bits);
+  s.buffered = Bits(reserved_bits / 2);
+  s.queue_depth = 10;
+  s.active = active;
+  s.degraded = 0;
+  s.disk_busy = Seconds(busy_s);
+  return s;
+}
+
+TEST(TimeseriesRecorderTest, RecordsOnePointPerBucket) {
+  TimeseriesRecorder rec({.bucket = Seconds(60.0)});
+  EXPECT_TRUE(rec.Due(Seconds(0.0)));  // Bucket 0 has no point yet.
+  rec.Record(Seconds(5.0), Sample(100.0, 1.0));
+  EXPECT_FALSE(rec.Due(Seconds(30.0)));  // Same bucket: not due.
+  rec.Record(Seconds(30.0), Sample(999.0, 2.0));  // Ignored (not due).
+  EXPECT_TRUE(rec.Due(Seconds(61.0)));
+  rec.Record(Seconds(61.0), Sample(200.0, 2.0));
+  ASSERT_EQ(rec.points().size(), 2u);
+  EXPECT_EQ(rec.points()[0].time, Seconds(5.0));  // Observation time kept.
+  EXPECT_EQ(ToBits(rec.points()[0].reserved), 100.0);
+  EXPECT_EQ(rec.points()[1].time, Seconds(61.0));
+}
+
+TEST(TimeseriesRecorderTest, SparseEventsSkipEmptyBuckets) {
+  TimeseriesRecorder rec({.bucket = Seconds(60.0)});
+  rec.Record(Seconds(10.0), Sample(1.0, 0.0));
+  // Nothing happened for 10 buckets; the next event lands in bucket 11.
+  EXPECT_TRUE(rec.Due(Seconds(700.0)));
+  rec.Record(Seconds(700.0), Sample(2.0, 0.0));
+  ASSERT_EQ(rec.points().size(), 2u);
+  // Then the very next bucket fires normally at 720.
+  EXPECT_FALSE(rec.Due(Seconds(719.0)));
+  EXPECT_TRUE(rec.Due(Seconds(721.0)));
+}
+
+TEST(TimeseriesRecorderTest, BusyFractionIsDeltaOverIntervalClamped) {
+  TimeseriesRecorder rec({.bucket = Seconds(60.0)});
+  rec.Record(Seconds(0.0), Sample(0.0, 0.0));
+  EXPECT_EQ(rec.points()[0].busy_fraction, 0.0);  // No preceding interval.
+  // 30 s of busy over a 60 s interval.
+  rec.Record(Seconds(60.0), Sample(0.0, 30.0));
+  EXPECT_DOUBLE_EQ(rec.points()[1].busy_fraction, 0.5);
+  // 90 s of additional busy over 60 s would exceed 1: clamped.
+  rec.Record(Seconds(120.0), Sample(0.0, 120.0));
+  EXPECT_EQ(rec.points()[2].busy_fraction, 1.0);
+  // Cumulative counter stalls: fraction drops to 0.
+  rec.Record(Seconds(180.0), Sample(0.0, 120.0));
+  EXPECT_EQ(rec.points()[3].busy_fraction, 0.0);
+}
+
+TEST(TimeseriesRecorderTest, ClearResets) {
+  TimeseriesRecorder rec;
+  rec.Record(Seconds(5.0), Sample(1.0, 1.0));
+  ASSERT_EQ(rec.points().size(), 1u);
+  rec.Clear();
+  EXPECT_TRUE(rec.points().empty());
+  EXPECT_TRUE(rec.Due(Seconds(0.0)));
+}
+
+TEST(TimeseriesCsvTest, HeaderAndRowsAreStable) {
+  TimeseriesRecorder rec({.bucket = Seconds(60.0)});
+  rec.Record(Seconds(5.0), Sample(8e6, 30.0, /*active=*/3));
+  rec.Record(Seconds(65.0), Sample(16e6, 45.0, /*active=*/4));
+  TimeseriesRun run;
+  run.label = "rr/dynamic/t40/a1/r0";
+  run.run = 2;
+  run.disk = 0;
+  run.recorder = &rec;
+  const std::string csv = TimeseriesCsv({run});
+  EXPECT_EQ(CountOccurrences(csv, "\n"), 3u);  // Header + 2 rows.
+  EXPECT_EQ(csv.find("run,label,disk,time_s,reserved_mbit,buffered_mbit,"
+                     "queue_depth,active,degraded,busy_fraction\n"),
+            0u);
+  EXPECT_NE(csv.find("2,rr/dynamic/t40/a1/r0,0,5.000,8.000,4.000,10,3,0,"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",16.000,8.000,10,4,0,0.250000"), std::string::npos);
+  EXPECT_EQ(csv, TimeseriesCsv({run}));  // Deterministic.
+}
+
+// ---------------------------------------------------------------------------
+// Trace export
+// ---------------------------------------------------------------------------
+
 TEST(TraceExportTest, OrphanServiceEndIsDroppedAfterRingWrap) {
   // Simulates a ring that wrapped mid-service: the end's begin is gone.
   TraceRun run;
@@ -446,6 +673,69 @@ TEST(TraceExportTest, OrphanServiceEndIsDroppedAfterRingWrap) {
   const std::string json = ToChromeTraceJson({run});
   EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""), 1u);
   EXPECT_EQ(CountOccurrences(json, "\"ph\":\"E\""), 1u);
+}
+
+TEST(TraceExportTest, SpansOffByDefaultAndOneArgOverloadMatches) {
+  const std::vector<TraceRun> runs = SampleRuns();
+  const std::string plain = ToChromeTraceJson(runs);
+  EXPECT_EQ(CountOccurrences(plain, "\"ph\":\"X\""), 0u);
+  EXPECT_EQ(plain, ToChromeTraceJson(runs, TraceExportOptions{}));
+}
+
+TEST(TraceExportTest, SpanExportEmitsStreamTracksWithCompleteEvents) {
+  TraceExportOptions options;
+  options.spans = true;
+  const std::string json = ToChromeTraceJson(SampleRuns(), options);
+  // SampleRuns: request 7 arrives+admits at t=0 (zero-length wait), two
+  // service rounds -> 1 admission_wait + 2 service X events.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 3u);
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"admission_wait\""), 1u);
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"service\",\"cat\":\"span\""),
+            2u);
+  // The stream's span track is named and sits at kSpanTrackTidBase + id.
+  EXPECT_NE(json.find("\"name\":\"stream 7\""), std::string::npos);
+  const std::string tid = "\"tid\":" + std::to_string(kSpanTrackTidBase + 7);
+  EXPECT_NE(json.find(tid), std::string::npos);
+  // Span emission must not disturb the regular event stream.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"b\""), 1u);
+}
+
+TEST(TraceExportTest, SpanExportKeepsPerPidTimestampsMonotonic) {
+  // Late-beginning spans must be interleaved into the event walk, not
+  // appended: a validator-grade scan of ts order per pid.
+  TraceRun run;
+  run.label = "interleave";
+  run.pid = 0;
+  run.events = {
+      Ev(TraceEventKind::kArrival, Seconds(0.0), 1),
+      Ev(TraceEventKind::kAdmit, Seconds(0.5), 1),
+      Ev(TraceEventKind::kServiceStart, Seconds(1.0), 1),
+      Ev(TraceEventKind::kServiceEnd, Seconds(1.2), 1),
+      Ev(TraceEventKind::kArrival, Seconds(2.0), 2),
+      Ev(TraceEventKind::kAdmit, Seconds(2.5), 2),
+      Ev(TraceEventKind::kServiceStart, Seconds(3.0), 2),
+      Ev(TraceEventKind::kServiceEnd, Seconds(3.3), 2),
+      Ev(TraceEventKind::kDeparture, Seconds(4.0), 1),
+      Ev(TraceEventKind::kDeparture, Seconds(5.0), 2),
+  };
+  TraceExportOptions options;
+  options.spans = true;
+  const std::string json = ToChromeTraceJson({run}, options);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 4u);
+  // Walk the emitted lines in order; every non-metadata ts must be
+  // non-decreasing (the exact invariant scripts/validate_trace.py enforces).
+  double last_ts = -1.0;
+  std::size_t pos = 0;
+  std::size_t checked = 0;
+  while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+    const double ts = std::strtod(json.c_str() + pos + 5, nullptr);
+    EXPECT_GE(ts, last_ts) << "at offset " << pos;
+    last_ts = ts;
+    ++checked;
+    pos += 5;
+  }
+  EXPECT_GT(checked, 10u);
 }
 
 }  // namespace
