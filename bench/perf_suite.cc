@@ -31,10 +31,15 @@
 #include "core/params.h"
 #include "disk/disk_profile.h"
 #include "exp/day_run.h"
+#include "exp/sharded.h"
+#include "exp/thread_pool.h"
 #include "sched/round_robin.h"
+#include "sim/event_queue.h"
 #include "sim/memory_broker.h"
+#include "sim/multi_disk.h"
 #include "sim/rng.h"
 #include "sim/vod_simulator.h"
+#include "sim/workload.h"
 
 namespace vod::bench {
 namespace {
@@ -189,6 +194,37 @@ void BM_EventQueueChurn(bk::State& state) {
   }
 }
 
+// --- event_queue_churn_calendar: the identical churn pattern through the
+// production sim::EventQueue calendar implementation (the heap bench
+// above is the legacy reference it is differentially tested against, in
+// tests/event_queue_test.cc). Same 4096-deep steady state, same SplitMix64
+// jitter stream, so the two numbers are directly comparable. ---
+void BM_EventQueueChurnCalendar(bk::State& state) {
+  std::unique_ptr<sim::EventQueue> queue =
+      sim::MakeEventQueue(sim::EventQueueKind::kCalendar);
+  std::uint64_t x = 0;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 4096; ++i) {
+    const double jitter =
+        static_cast<double>(sim::SplitMix64(++x) >> 11) * 0x1.0p-53;
+    sim::SimEvent ev;
+    ev.time = Seconds(jitter * 86400.0);
+    ev.seq = ++seq;
+    queue->Push(ev);
+  }
+  for (auto _ : state) {
+    static_cast<void>(_);
+    const sim::SimEvent top = queue->PopTop();
+    bk::DoNotOptimize(top);
+    const double jitter =
+        static_cast<double>(sim::SplitMix64(++x) >> 11) * 0x1.0p-53;
+    sim::SimEvent ev;
+    ev.time = top.time + Seconds(jitter);
+    ev.seq = ++seq;
+    queue->Push(ev);
+  }
+}
+
 // --- run_day_static / run_day_dynamic: end-to-end sims/sec for one small
 // grid point (3 h day, 150 arrivals — big enough to exercise admission,
 // scheduling, and departure churn; small enough for tight repetitions).
@@ -214,6 +250,41 @@ void BM_RunDay(sim::AllocScheme scheme, bk::State& state) {
   }
 }
 
+// --- run_day_sharded: end-to-end sims/sec for a 4-disk day driven through
+// the epoch-barrier sharded loop on a real thread pool — the same machinery
+// the soak test and the paper-scale experiments use. One iteration is one
+// whole multi-disk day (arrivals regenerated and the server rebuilt each
+// time, so every iteration does identical work). ---
+void BM_RunDaySharded(bk::State& state) {
+  constexpr int kDisks = 4;
+  sim::SimConfig base;
+  base.method = core::ScheduleMethod::kRoundRobin;
+  base.scheme = sim::AllocScheme::kDynamic;
+  base.t_log = Minutes(40);
+  base.seed = 7;
+
+  sim::WorkloadConfig w;
+  w.duration = Hours(3);
+  w.total_expected_arrivals = 200;
+  w.disk_count = kDisks;
+  w.disk_theta = 0.5;
+  w.seed = 7;
+  auto arrivals = sim::GenerateWorkload(w);
+  if (!arrivals.ok()) return;
+
+  exp::ThreadPool pool;  // One worker per hardware thread.
+  for (auto _ : state) {
+    static_cast<void>(_);
+    auto md = sim::MultiDiskSimulator::Create(base, kDisks, Mebibytes(200));
+    if (!md.ok()) return;
+    auto server = std::move(md.value());
+    if (!server->AddArrivals(*arrivals).ok()) return;
+    exp::RunShardedToCompletion(*server, pool);
+    server->Finalize();
+    bk::DoNotOptimize(server->TotalAdmitted());
+  }
+}
+
 void RegisterAll(bk::Harness* harness) {
   // Harness-overhead pin: an empty body must report < 100 ns median (the
   // bench_kit_test asserts this), proving loop/timer cost is subtracted or
@@ -227,6 +298,7 @@ void RegisterAll(bk::Harness* harness) {
   harness->Register("bubbleup_insert", BM_BubbleUpInsert);
   harness->Register("broker_admit_release", BM_BrokerAdmitRelease);
   harness->Register("event_queue_churn", BM_EventQueueChurn);
+  harness->Register("event_queue_churn_calendar", BM_EventQueueChurnCalendar);
 
   // End-to-end points: one iteration is one whole simulated day, so pin
   // one iteration per repetition and let repetitions supply the sample.
@@ -239,6 +311,7 @@ void RegisterAll(bk::Harness* harness) {
   harness->Register(
       "run_day_dynamic",
       [](bk::State& s) { BM_RunDay(sim::AllocScheme::kDynamic, s); }, day);
+  harness->Register("run_day_sharded", BM_RunDaySharded, day);
 }
 
 struct SuiteOptions {

@@ -10,4 +10,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "${BUILD}" -S "${ROOT}" -DVODB_SANITIZE=ON
 cmake --build "${BUILD}" -j"${JOBS}"
+# Default to the tier-1 suite (soak excluded); explicit ctest args
+# replace the default, so `verify_*.sh -L soak` runs the soak alone.
+if [[ $# -eq 0 ]]; then set -- -LE soak; fi
 ctest --test-dir "${BUILD}" --output-on-failure -j"${JOBS}" "$@"

@@ -12,5 +12,8 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "${BUILD}" -S "${ROOT}" -DVODB_TSAN=ON
 cmake --build "${BUILD}" -j"${JOBS}"
+# Default to the tier-1 suite (soak excluded); explicit ctest args
+# replace the default, so `verify_tsan.sh -L soak` runs the soak alone.
+if [[ $# -eq 0 ]]; then set -- -LE soak; fi
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "${BUILD}" --output-on-failure -j"${JOBS}" "$@"

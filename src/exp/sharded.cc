@@ -1,0 +1,17 @@
+#include "exp/sharded.h"
+
+#include <cstddef>
+#include <functional>
+
+namespace vod::exp {
+
+void RunShardedToCompletion(sim::MultiDiskSimulator& server, ThreadPool& pool,
+                            Seconds epoch) {
+  server.RunToCompletionSharded(
+      [&pool](std::size_t n, const std::function<void(std::size_t)>& fn) {
+        pool.ParallelFor(n, fn);
+      },
+      epoch);
+}
+
+}  // namespace vod::exp

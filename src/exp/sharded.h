@@ -1,0 +1,23 @@
+#ifndef VODB_EXP_SHARDED_H_
+#define VODB_EXP_SHARDED_H_
+
+// Glue between sim::MultiDiskSimulator's executor-agnostic sharded runner
+// and exp::ThreadPool: sim/ cannot depend on exp/, so the pool is adapted
+// here into the ParallelForFn the simulator expects. The run is bit-
+// identical for any pool size (tests/sharded_sim_test.cc pins 1 == 2 == 8).
+
+#include "common/units.h"
+#include "exp/thread_pool.h"
+#include "sim/multi_disk.h"
+
+namespace vod::exp {
+
+/// Runs `server` to completion in sharded epochs on `pool`'s workers.
+/// See sim::MultiDiskSimulator::RunToCompletionSharded for semantics and
+/// the determinism requirements it checks (no injector/tracer/postmortem).
+void RunShardedToCompletion(sim::MultiDiskSimulator& server, ThreadPool& pool,
+                            Seconds epoch = Seconds(1.0));
+
+}  // namespace vod::exp
+
+#endif  // VODB_EXP_SHARDED_H_

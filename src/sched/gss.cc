@@ -69,7 +69,7 @@ void GssScheduler::Remove(RequestId id) {
   }
 }
 
-std::vector<RequestId> GssScheduler::ServiceSequence(
+const std::vector<RequestId>& GssScheduler::ServiceSequence(
     const SchedulerContext& ctx, Seconds /*now*/) {
   VODB_PROF_SCOPE("sched.gss.sequence");
   if (!roster_active_) {
@@ -93,26 +93,24 @@ std::vector<RequestId> GssScheduler::ServiceSequence(
       groups_.pop_front();
     }
   }
-  std::vector<RequestId> seq;
-  seq.reserve(current_roster_.size());
+  seq_.clear();
+  seq_.reserve(current_roster_.size());
   for (RequestId id : current_roster_) {
-    if (ctx.NeedsService(id)) seq.push_back(id);
+    if (ctx.NeedsService(id)) seq_.push_back(id);
   }
   // Flatten the remaining groups in cyclic order for deadline lookahead.
-  // `grp` is hoisted so its capacity survives across groups: after the
-  // first lap the loop allocates only when a group outgrows every earlier
-  // one.
-  std::vector<RequestId> grp;
+  // `grp_` keeps its capacity across rounds: after warm-up the loop
+  // allocates only when a group outgrows every earlier one.
   for (std::size_t i = 1; i < groups_.size(); ++i) {
-    grp.clear();
-    grp.reserve(groups_[i].size());
+    grp_.clear();
+    grp_.reserve(groups_[i].size());
     for (RequestId id : groups_[i]) {
-      if (ctx.NeedsService(id)) grp.push_back(id);
+      if (ctx.NeedsService(id)) grp_.push_back(id);
     }
-    SortByCylinder(ctx, &grp);
-    seq.insert(seq.end(), grp.begin(), grp.end());
+    SortByCylinder(ctx, &grp_);
+    seq_.insert(seq_.end(), grp_.begin(), grp_.end());
   }
-  return seq;
+  return seq_;
 }
 
 void GssScheduler::OnServiceComplete(RequestId id, Seconds /*now*/) {

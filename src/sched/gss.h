@@ -24,8 +24,8 @@ class GssScheduler final : public BufferScheduler {
   void Add(RequestId id, Seconds now) override;
   void Remove(RequestId id) override;
   bool AdmitsMidPeriod() const override { return true; }
-  std::vector<RequestId> ServiceSequence(const SchedulerContext& ctx,
-                                         Seconds now) override;
+  const std::vector<RequestId>& ServiceSequence(const SchedulerContext& ctx,
+                                                Seconds now) override;
   void OnServiceComplete(RequestId id, Seconds now) override;
 
   int group_size() const { return group_size_; }
@@ -42,6 +42,8 @@ class GssScheduler final : public BufferScheduler {
   /// Members of the front group not yet serviced this turn, sweep-ordered.
   std::vector<RequestId> current_roster_;
   bool roster_active_ = false;
+  /// ServiceSequence scratch for per-group sweep sorting.
+  std::vector<RequestId> grp_;
 };
 
 }  // namespace vod::sched

@@ -20,18 +20,18 @@ void RoundRobinScheduler::Remove(RequestId id) {
   ring_.remove(id);
 }
 
-std::vector<RequestId> RoundRobinScheduler::ServiceSequence(
+const std::vector<RequestId>& RoundRobinScheduler::ServiceSequence(
     const SchedulerContext& ctx, Seconds /*now*/) {
   VODB_PROF_SCOPE("sched.round_robin.sequence");
-  std::vector<RequestId> seq;
-  seq.reserve(fresh_.size() + ring_.size());
+  seq_.clear();
+  seq_.reserve(fresh_.size() + ring_.size());
   for (RequestId id : fresh_) {
-    if (ctx.NeedsService(id)) seq.push_back(id);
+    if (ctx.NeedsService(id)) seq_.push_back(id);
   }
   for (RequestId id : ring_) {
-    if (ctx.NeedsService(id)) seq.push_back(id);
+    if (ctx.NeedsService(id)) seq_.push_back(id);
   }
-  return seq;
+  return seq_;
 }
 
 void RoundRobinScheduler::OnServiceComplete(RequestId id, Seconds /*now*/) {

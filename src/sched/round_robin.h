@@ -17,8 +17,8 @@ class RoundRobinScheduler final : public BufferScheduler {
   void Add(RequestId id, Seconds now) override;
   void Remove(RequestId id) override;
   bool AdmitsMidPeriod() const override { return true; }
-  std::vector<RequestId> ServiceSequence(const SchedulerContext& ctx,
-                                         Seconds now) override;
+  const std::vector<RequestId>& ServiceSequence(const SchedulerContext& ctx,
+                                                Seconds now) override;
   void OnServiceComplete(RequestId id, Seconds now) override;
 
  private:

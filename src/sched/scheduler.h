@@ -73,8 +73,13 @@ class BufferScheduler {
   /// The upcoming service order over all registered requests that still
   /// need service, starting with the request to service next. Pure —
   /// repeated calls without intervening mutations return the same sequence.
-  virtual std::vector<RequestId> ServiceSequence(const SchedulerContext& ctx,
-                                                 Seconds now) = 0;
+  /// The returned reference aliases scheduler-owned scratch (`seq_`) and is
+  /// valid until the next ServiceSequence/Next call: the sequence is
+  /// rebuilt every round, so handing out the buffer instead of a fresh
+  /// vector keeps the per-round scheduling loop allocation-free once the
+  /// scratch reaches steady-state capacity.
+  virtual const std::vector<RequestId>& ServiceSequence(
+      const SchedulerContext& ctx, Seconds now) = 0;
 
   /// Notifies that `id`'s buffer fill finished at `now` (advances rings,
   /// periods, and group cursors).
@@ -92,6 +97,12 @@ class BufferScheduler {
   ///    scheme's k·slot reservation normally keeps this branch cold.
   std::optional<ServiceDecision> Next(const SchedulerContext& ctx,
                                       Seconds now);
+
+ protected:
+  /// Backing storage for ServiceSequence (flat round scratch, reused across
+  /// rounds). Implementations rebuild it on every call; reuse is what keeps
+  /// the per-round scheduling loop allocation-free at steady state.
+  std::vector<RequestId> seq_;
 };
 
 /// The latest time the server may start working through `sequence` (in

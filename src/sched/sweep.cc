@@ -17,7 +17,7 @@ void SweepScheduler::Remove(RequestId id) {
   if (it != roster_.end()) roster_.erase(it);
 }
 
-std::vector<RequestId> SweepScheduler::ServiceSequence(
+const std::vector<RequestId>& SweepScheduler::ServiceSequence(
     const SchedulerContext& ctx, Seconds /*now*/) {
   VODB_PROF_SCOPE("sched.sweep.sequence");
   if (roster_.empty()) {
@@ -37,12 +37,12 @@ std::vector<RequestId> SweepScheduler::ServiceSequence(
               });
     if (!roster_.empty()) ++periods_started_;
   }
-  std::vector<RequestId> seq;
-  seq.reserve(roster_.size());
+  seq_.clear();
+  seq_.reserve(roster_.size());
   for (RequestId id : roster_) {
-    if (ctx.NeedsService(id)) seq.push_back(id);
+    if (ctx.NeedsService(id)) seq_.push_back(id);
   }
-  return seq;
+  return seq_;
 }
 
 void SweepScheduler::OnServiceComplete(RequestId id, Seconds /*now*/) {

@@ -19,8 +19,8 @@ class SweepScheduler final : public BufferScheduler {
   void Add(RequestId id, Seconds now) override;
   void Remove(RequestId id) override;
   bool AdmitsMidPeriod() const override { return false; }
-  std::vector<RequestId> ServiceSequence(const SchedulerContext& ctx,
-                                         Seconds now) override;
+  const std::vector<RequestId>& ServiceSequence(const SchedulerContext& ctx,
+                                                Seconds now) override;
   void OnServiceComplete(RequestId id, Seconds now) override;
 
   /// True when the current period has finished (the simulator admits

@@ -1,0 +1,247 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vod::sim {
+
+namespace {
+/// Below this the bucket array never shrinks (resize churn guard).
+constexpr std::size_t kMinBuckets = 32;
+}  // namespace
+
+std::string_view EventQueueKindName(EventQueueKind kind) {
+  return kind == EventQueueKind::kCalendar ? "calendar" : "binary-heap";
+}
+
+std::unique_ptr<EventQueue> MakeEventQueue(EventQueueKind kind) {
+  if (kind == EventQueueKind::kCalendar) {
+    return std::make_unique<CalendarEventQueue>();
+  }
+  return std::make_unique<HeapEventQueue>();
+}
+
+// ---------------------------------------------------------------------------
+// HeapEventQueue
+// ---------------------------------------------------------------------------
+
+void HeapEventQueue::Push(const SimEvent& ev) { heap_.push(ev); }
+
+const SimEvent* HeapEventQueue::Peek() const {
+  return heap_.empty() ? nullptr : &heap_.top();
+}
+
+SimEvent HeapEventQueue::PopTop() {
+  VOD_CHECK(!heap_.empty());
+  SimEvent out = heap_.top();
+  heap_.pop();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CalendarEventQueue
+// ---------------------------------------------------------------------------
+
+CalendarEventQueue::CalendarEventQueue(std::size_t initial_buckets)
+    : buckets_(initial_buckets), mask_(initial_buckets - 1) {
+  VOD_CHECK(initial_buckets >= 2 &&
+            (initial_buckets & (initial_buckets - 1)) == 0);
+}
+
+double CalendarEventQueue::CycleFor(double t) const {
+  // Monotone in t (division by a positive double and floor both preserve
+  // order under IEEE rounding), which is all correctness needs: the event
+  // with the minimum time is always in the minimum occupied cycle.
+  return std::floor(t / width_);
+}
+
+std::size_t CalendarEventQueue::BucketOf(double cycle) const {
+  // Cycle modulo the bucket count, via doubles so far-future times cannot
+  // overflow an integer intermediate. fmod is exact; for integer-valued
+  // cycles below 2^53 this is exact ring arithmetic.
+  const double nb = static_cast<double>(buckets_.size());
+  double m = std::fmod(cycle, nb);
+  if (m < 0.0) m += nb;
+  return static_cast<std::size_t>(m) & mask_;
+}
+
+void CalendarEventQueue::SeekCursorTo(double cycle) const {
+  cur_cycle_ = cycle;
+  cur_ = BucketOf(cycle);
+}
+
+void CalendarEventQueue::Push(const SimEvent& ev) {
+  const double cycle = CycleFor(ev.time.value());
+  if (size_ == 0 || cycle < cur_cycle_) SeekCursorTo(cycle);
+  const std::size_t idx = BucketOf(cycle);
+  buckets_[idx].push_back(Entry{ev, cycle});
+  ++size_;
+  if (top_.valid && EventBefore(ev, top_.ev)) {
+    top_.bucket = idx;
+    top_.slot = buckets_[idx].size() - 1;
+    top_.ev = ev;
+  }
+  ++ops_since_resize_;
+  if (size_ > 2 * buckets_.size()) Resize(buckets_.size() * 2);
+}
+
+const SimEvent* CalendarEventQueue::Peek() const {
+  return LocateTop() ? &top_.ev : nullptr;
+}
+
+SimEvent CalendarEventQueue::PopTop() {
+  const bool nonempty = LocateTop();
+  VOD_CHECK(nonempty);
+  const SimEvent out = top_.ev;
+  std::vector<Entry>& b = buckets_[top_.bucket];
+  b[top_.slot] = b.back();
+  b.pop_back();
+  --size_;
+  top_.valid = false;
+  ++ops_since_resize_;
+  const std::size_t nb = buckets_.size();
+  if (size_ > 2 * nb) {
+    Resize(nb * 2);
+  } else if (nb > kMinBuckets && size_ < nb / 4) {
+    Resize(nb / 2);
+  } else if (rewidth_pending_ && size_ >= 8 && ops_since_resize_ >= nb) {
+    // A pop saw a crowded bucket or needed a direct sweep: the width no
+    // longer matches the event spacing (a day-wide arrival preload followed
+    // by second-spaced service churn is the canonical case). Redistribution
+    // is O(n + buckets); one bucket-count's worth of operations amortizes
+    // it, and waiting longer lets crowded-bucket scans go quadratic.
+    Resize(nb);
+  }
+  return out;
+}
+
+bool CalendarEventQueue::LocateTop() const {
+  if (top_.valid) return true;
+  if (size_ == 0) return false;
+  const std::size_t nb = buckets_.size();
+  std::size_t i = cur_;
+  double cycle = cur_cycle_;
+  for (std::size_t scanned = 0; scanned < nb; ++scanned) {
+    const std::vector<Entry>& b = buckets_[i];
+    std::size_t best = b.size();
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (b[j].cycle == cycle &&
+          (best == b.size() || EventBefore(b[j].ev, b[best].ev))) {
+        best = j;
+      }
+    }
+    if (best != b.size()) {
+      // Calendar invariant: every earlier cycle was scanned empty and no
+      // occupied cycle precedes the cursor, so this cycle\'s (time, seq)
+      // minimum is the global minimum.
+      cur_ = i;
+      cur_cycle_ = cycle;
+      top_.valid = true;
+      top_.bucket = i;
+      top_.slot = best;
+      top_.ev = b[best].ev;
+      if (b.size() > 4 + 4 * (size_ / nb)) rewidth_pending_ = true;
+      return true;
+    }
+    i = (i + 1) & mask_;
+    cycle += 1.0;
+  }
+  // Nothing within one full year of the cursor (a far-future gap, or cycles
+  // too large for +1.0 to advance exactly): sweep every entry for the
+  // global minimum and reposition the calendar there.
+  ++direct_searches_;
+  rewidth_pending_ = true;
+  std::size_t bbucket = 0;
+  std::size_t bslot = 0;
+  bool found = false;
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    const std::vector<Entry>& b = buckets_[bi];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (!found || EventBefore(b[j].ev, buckets_[bbucket][bslot].ev)) {
+        found = true;
+        bbucket = bi;
+        bslot = j;
+      }
+    }
+  }
+  VOD_CHECK(found);
+  const Entry& e = buckets_[bbucket][bslot];
+  SeekCursorTo(e.cycle);
+  top_.valid = true;
+  top_.bucket = bbucket;
+  top_.slot = bslot;
+  top_.ev = e.ev;
+  return true;
+}
+
+void CalendarEventQueue::Resize(std::size_t nbuckets) {
+  ++resizes_;
+  rewidth_pending_ = false;
+  ops_since_resize_ = 0;
+  scratch_.clear();
+  scratch_.reserve(size_);
+  for (std::vector<Entry>& b : buckets_) {
+    for (const Entry& e : b) scratch_.push_back(e.ev);
+    b.clear();
+  }
+  buckets_.resize(nbuckets);
+  mask_ = nbuckets - 1;
+  width_ = EstimateWidth();
+  const SimEvent* min_ev = nullptr;
+  for (const SimEvent& ev : scratch_) {
+    const double cycle = CycleFor(ev.time.value());
+    // Growth by design: redistribution reuses bucket capacity retained from
+    // previous years, so steady state allocates nothing.
+    buckets_[BucketOf(cycle)].push_back(Entry{ev, cycle});  // vodb-lint: allow(alloc-in-hot-path)
+    if (min_ev == nullptr || EventBefore(ev, *min_ev)) min_ev = &ev;
+  }
+  top_.valid = false;
+  if (min_ev != nullptr) {
+    SeekCursorTo(CycleFor(min_ev->time.value()));
+  } else {
+    cur_cycle_ = 0.0;
+    cur_ = 0;
+  }
+}
+
+double CalendarEventQueue::EstimateWidth() {
+  // Brown-style estimate, localized to the calendar's head: bucket width =
+  // 3x the mean gap between the ~64 soonest events. A global sample would
+  // measure span/samples instead, and a long sparse tail behind dense
+  // near-term churn (day-wide departures queued behind second-spaced
+  // service events — the simulator's steady state) then inflates the width
+  // until thousands of events share one cycle, which all hash to one
+  // bucket. Pops only ever scan the head, so only the head's spacing
+  // matters.
+  if (scratch_.size() < 2) return width_;
+  constexpr std::size_t kMaxSample = 64;
+  const std::size_t want = std::min(kMaxSample, scratch_.size());
+  width_scratch_.clear();
+  width_scratch_.reserve(scratch_.size());
+  for (const SimEvent& ev : scratch_) {
+    width_scratch_.push_back(ev.time.value());
+  }
+  const auto head_end =
+      width_scratch_.begin() + static_cast<std::ptrdiff_t>(want);
+  std::nth_element(width_scratch_.begin(), head_end - 1,
+                   width_scratch_.end());
+  std::sort(width_scratch_.begin(), head_end);
+  double sum = 0.0;
+  int gaps = 0;
+  for (std::size_t i = 1; i < want; ++i) {
+    const double d = width_scratch_[i] - width_scratch_[i - 1];
+    if (d > 0.0) {
+      sum += d;
+      ++gaps;
+    }
+  }
+  if (gaps == 0) return width_;  // All ties: any width pops them in seq order.
+  double w = 3.0 * sum / static_cast<double>(gaps);
+  if (!(w > 1e-12)) return 1e-12;
+  if (w > 1e12) return 1e12;
+  return w;
+}
+
+}  // namespace vod::sim

@@ -71,4 +71,67 @@ Bits AnalyticMemoryBroker::ReservedMemory() const {
   return total;
 }
 
+Bits AnalyticMemoryBroker::ReservedExcluding(int disk) const {
+  const std::size_t d = static_cast<std::size_t>(disk);
+  VOD_CHECK(d < n_.size());
+  Bits total;
+  for (std::size_t i = 0; i < n_.size(); ++i) {
+    if (i != d) total += PriceDisk(n_[i], k_[i]);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// ShardBrokerView
+// ---------------------------------------------------------------------------
+
+ShardBrokerView::ShardBrokerView(AnalyticMemoryBroker* shared, int disk)
+    : shared_(shared), disk_(disk) {
+  VOD_CHECK(shared != nullptr);
+  VOD_CHECK(disk >= 0);
+}
+
+bool ShardBrokerView::CanAdmit(int disk, int new_n, int k) const {
+  VOD_CHECK(disk == disk_);
+  if (!frozen_) return shared_->CanAdmit(disk, new_n, k);
+  if (new_n > shared_->max_n()) return false;
+  return others_reserved_ + shared_->PriceDisk(new_n, k) <= frozen_capacity_;
+}
+
+void ShardBrokerView::OnState(int disk, int n, int k) {
+  VOD_CHECK(disk == disk_);
+  n_ = n;
+  k_ = k;
+  if (!frozen_) shared_->OnState(disk, n, k);
+}
+
+Bits ShardBrokerView::ReservedMemory() const {
+  if (!frozen_) return shared_->ReservedMemory();
+  return others_reserved_ + shared_->PriceDisk(n_, k_);
+}
+
+Bits ShardBrokerView::Capacity() const {
+  return frozen_ ? frozen_capacity_ : shared_->Capacity();
+}
+
+void ShardBrokerView::AdvanceTo(Seconds now) {
+  // Frozen mode admits no time-varying capacity (the sharded runner rejects
+  // injectors), so dropping the call loses nothing; forwarding it would race
+  // the other workers on the shared clock.
+  if (!frozen_) shared_->AdvanceTo(now);
+}
+
+void ShardBrokerView::BeginEpoch(Bits others_reserved, Bits capacity) {
+  VOD_CHECK(!frozen_);
+  frozen_ = true;
+  others_reserved_ = others_reserved;
+  frozen_capacity_ = capacity;
+}
+
+void ShardBrokerView::EndEpochPublish() {
+  VOD_CHECK(frozen_);
+  frozen_ = false;
+  shared_->OnState(disk_, n_, k_);
+}
+
 }  // namespace vod::sim

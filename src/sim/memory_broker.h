@@ -82,7 +82,17 @@ class AnalyticMemoryBroker final : public MemoryBroker {
   [[nodiscard]] Bits nominal_capacity() const { return capacity_; }
 
   /// Memory the model assigns to one disk at (n, k); 0 when n == 0.
+  /// Pure in (n, k) and the construction-time parameters — safe to call
+  /// concurrently (the sharded runner's worker threads do).
   [[nodiscard]] Bits PriceDisk(int n, int k) const;
+
+  /// Total priced memory over every disk except `disk`, in ascending disk
+  /// order (the deterministic accumulation order the sharded epoch
+  /// snapshots rely on).
+  [[nodiscard]] Bits ReservedExcluding(int disk) const;
+
+  /// The model's hard per-disk stream ceiling (AllocParams::n_max).
+  [[nodiscard]] int max_n() const { return params_.n_max; }
 
  private:
   core::AllocParams params_;
@@ -94,6 +104,54 @@ class AnalyticMemoryBroker final : public MemoryBroker {
   std::vector<int> k_;
   const fault::Injector* injector_ = nullptr;  ///< Not owned; may be null.
   Seconds clock_;  ///< Monotone; max over AdvanceTo calls.
+};
+
+/// Per-disk facade over a shared AnalyticMemoryBroker, the hinge of the
+/// sharded MultiDiskSimulator runner. Two modes:
+///
+///  - Pass-through (default): every call forwards to the shared broker —
+///    byte-identical to the disk holding the broker pointer directly, which
+///    is what keeps the serial RunToCompletion path and its goldens
+///    untouched by the indirection.
+///
+///  - Frozen (between BeginEpoch and EndEpochPublish): admission prices
+///    against an epoch-start snapshot of the *other* disks' reservation and
+///    of the capacity, while this disk's own (n, k) stays live. Worker
+///    threads running different disks therefore never read each other's
+///    mutable state mid-epoch — each epoch's outcome is a pure function of
+///    the serial snapshot, making the run bit-identical at any thread
+///    count. EndEpochPublish writes the disk's final (n, k) back to the
+///    shared broker; the runner publishes in ascending disk order so the
+///    merge is deterministic too.
+class ShardBrokerView final : public MemoryBroker {
+ public:
+  /// `shared` must outlive the view. `disk` is the owning disk's id; every
+  /// MemoryBroker call must carry it.
+  ShardBrokerView(AnalyticMemoryBroker* shared, int disk);
+
+  [[nodiscard]] bool CanAdmit(int disk, int new_n, int k) const override;
+  void OnState(int disk, int n, int k) override;
+  [[nodiscard]] Bits ReservedMemory() const override;
+  [[nodiscard]] Bits Capacity() const override;
+  void AdvanceTo(Seconds now) override;
+
+  /// Enters frozen mode with the epoch-start snapshot. Serial-phase only.
+  void BeginEpoch(Bits others_reserved, Bits capacity);
+  /// Publishes the disk's final (n, k) to the shared broker and returns to
+  /// pass-through mode. Serial-phase only; call in ascending disk order.
+  void EndEpochPublish();
+
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  [[nodiscard]] int disk() const { return disk_; }
+
+ private:
+  AnalyticMemoryBroker* shared_;  ///< Not owned.
+  int disk_;
+  bool frozen_ = false;
+  Bits others_reserved_;   ///< Snapshot: sum over other disks.
+  Bits frozen_capacity_;   ///< Snapshot: budget for this epoch.
+  int n_ = 0;              ///< Own state, live in both modes.
+  int k_ = 0;
 };
 
 }  // namespace vod::sim

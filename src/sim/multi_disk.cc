@@ -10,8 +10,11 @@ namespace vod::sim {
 
 MultiDiskSimulator::MultiDiskSimulator(
     std::unique_ptr<AnalyticMemoryBroker> broker,
+    std::vector<std::unique_ptr<ShardBrokerView>> views,
     std::vector<std::unique_ptr<VodSimulator>> sims)
-    : broker_(std::move(broker)), sims_(std::move(sims)) {}
+    : broker_(std::move(broker)),
+      views_(std::move(views)),
+      sims_(std::move(sims)) {}
 
 Result<std::unique_ptr<MultiDiskSimulator>> MultiDiskSimulator::Create(
     const SimConfig& base, int disk_count, Bits memory_capacity) {
@@ -38,19 +41,24 @@ Result<std::unique_ptr<MultiDiskSimulator>> MultiDiskSimulator::Create(
   // memory-squeeze clause shrinks the one shared pool, not per-disk copies.
   if (base.injector != nullptr) broker->AttachInjector(base.injector);
 
+  std::vector<std::unique_ptr<ShardBrokerView>> views;
   std::vector<std::unique_ptr<VodSimulator>> sims;
+  views.reserve(static_cast<std::size_t>(disk_count));
   sims.reserve(static_cast<std::size_t>(disk_count));
   for (int d = 0; d < disk_count; ++d) {
     SimConfig cfg = base;
     cfg.disk_id = d;
     cfg.seed = base.seed * 1000003ULL + static_cast<std::uint64_t>(d);
+    // Each disk talks to the broker through its own view; outside sharded
+    // epochs the view is a pure pass-through.
+    views.push_back(std::make_unique<ShardBrokerView>(broker.get(), d));
     Result<std::unique_ptr<VodSimulator>> sim =
-        VodSimulator::Create(cfg, broker.get());
+        VodSimulator::Create(cfg, views.back().get());
     if (!sim.ok()) return sim.status();
     sims.push_back(std::move(sim.value()));
   }
-  return std::unique_ptr<MultiDiskSimulator>(
-      new MultiDiskSimulator(std::move(broker), std::move(sims)));
+  return std::unique_ptr<MultiDiskSimulator>(new MultiDiskSimulator(
+      std::move(broker), std::move(views), std::move(sims)));
 }
 
 Status MultiDiskSimulator::AddArrivals(
@@ -79,6 +87,46 @@ void MultiDiskSimulator::RunToCompletion() {
     }
     if (who == nullptr) break;
     who->Step();
+  }
+}
+
+void MultiDiskSimulator::RunToCompletionSharded(
+    const ParallelForFn& parallel_for, Seconds epoch) {
+  VOD_CHECK(epoch > Seconds(0.0));
+  // Anything that couples disks mid-epoch breaks thread-count determinism:
+  // an injector makes capacity a function of the broker's (shared, racy)
+  // clock; the tracer and the postmortem sink are single-producer objects
+  // shared across disks. Reject them up front rather than produce runs
+  // that depend on worker interleaving.
+  // Once per run, not per event: these gate entry, so they stay fatal in
+  // release builds too.
+  for (const auto& s : sims_) {
+    VOD_CHECK(s->config().injector == nullptr);  // vodb-lint: allow(check-in-hot-loop)
+    VOD_CHECK(s->tracer() == nullptr);           // vodb-lint: allow(check-in-hot-loop)
+    VOD_CHECK(s->postmortem() == nullptr);       // vodb-lint: allow(check-in-hot-loop)
+  }
+  const std::size_t disks = sims_.size();
+  for (;;) {
+    // Serial barrier phase: find the globally earliest pending event and
+    // freeze the epoch snapshot per disk, all in ascending disk order.
+    Seconds t_min = Seconds::Infinity();
+    for (const auto& s : sims_) t_min = std::min(t_min, s->NextEventTime());
+    if (t_min == Seconds::Infinity()) break;
+    const Seconds epoch_end = t_min + epoch;
+    const Bits capacity = broker_->Capacity();
+    for (std::size_t d = 0; d < disks; ++d) {
+      views_[d]->BeginEpoch(broker_->ReservedExcluding(static_cast<int>(d)),
+                            capacity);
+    }
+    // Parallel phase: each disk advances through every event strictly
+    // before the epoch boundary, touching only its own state, its frozen
+    // view, and const shared pricing — independent of every sibling, hence
+    // of how the executor schedules them.
+    parallel_for(disks, [this, epoch_end](std::size_t d) {
+      sims_[d]->RunUntilBefore(epoch_end);
+    });
+    // Serial merge: publish final per-disk (n, k) in ascending disk order.
+    for (std::size_t d = 0; d < disks; ++d) views_[d]->EndEpochPublish();
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef VODB_SIM_MULTI_DISK_H_
 #define VODB_SIM_MULTI_DISK_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -30,6 +31,28 @@ class MultiDiskSimulator {
   /// Runs all disks to completion on the shared clock.
   void RunToCompletion();
 
+  /// Runs fn(i) for every i in [0, n); any implementation may run the
+  /// calls concurrently (exp::ThreadPool::ParallelFor matches this shape;
+  /// sim/ cannot depend on exp/, so the executor is injected).
+  using ParallelForFn =
+      std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
+
+  /// Sharded execution: runs the disks to completion in lock-step epochs of
+  /// `epoch` simulated seconds, each disk advancing on its own executor
+  /// slot against a frozen epoch-start snapshot of the shared memory state
+  /// (ShardBrokerView), with a serial ascending-disk-order merge at every
+  /// barrier. The result is a pure function of the configuration — bit-
+  /// identical for any executor, at any thread count. It is *not* the
+  /// serial interleave: within an epoch a disk prices admission against the
+  /// snapshot, not against sibling admissions from the same epoch, so
+  /// sharded metrics form their own (equally deterministic) reference.
+  ///
+  /// Requires (checked): no fault injector, no shared tracer, no postmortem
+  /// sink — those couple the disks mid-epoch. Per-disk timeseries
+  /// recorders are fine.
+  void RunToCompletionSharded(const ParallelForFn& parallel_for,
+                              Seconds epoch = Seconds(1.0));
+
   void Finalize();
 
   int disk_count() const { return static_cast<int>(sims_.size()); }
@@ -55,9 +78,15 @@ class MultiDiskSimulator {
 
  private:
   MultiDiskSimulator(std::unique_ptr<AnalyticMemoryBroker> broker,
+                     std::vector<std::unique_ptr<ShardBrokerView>> views,
                      std::vector<std::unique_ptr<VodSimulator>> sims);
 
   std::unique_ptr<AnalyticMemoryBroker> broker_;
+  /// One pass-through/frozen facade per disk, between the disk's simulator
+  /// and the shared broker (see ShardBrokerView). Pass-through outside
+  /// sharded epochs, so the serial path is byte-identical to wiring the
+  /// simulators to `broker_` directly.
+  std::vector<std::unique_ptr<ShardBrokerView>> views_;
   std::vector<std::unique_ptr<VodSimulator>> sims_;
 };
 

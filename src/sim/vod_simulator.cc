@@ -145,7 +145,8 @@ VodSimulator::VodSimulator(const SimConfig& config,
       disk_(config.profile), allocator_(std::move(allocator)),
       scheduler_(std::move(scheduler)), broker_(broker),
       rng_(config.seed, /*stream=*/0x9e3779b97f4a7c15ULL ^
-                            static_cast<std::uint64_t>(config.disk_id)) {
+                            static_cast<std::uint64_t>(config.disk_id)),
+      events_(MakeEventQueue(config.event_queue)) {
   metrics_.initial_latency_by_n.resize(
       static_cast<std::size_t>(alloc_params_.n_max) + 1);
 }
@@ -159,48 +160,48 @@ Status VodSimulator::AddArrivals(const std::vector<ArrivalEvent>& arrivals) {
       return Status::InvalidArgument("arrival references unknown video");
     }
     arrivals_.push_back(ev);
-    Push(ev.time, EventKind::kArrival, kInvalidRequestId,
+    Push(ev.time, SimEventKind::kArrival, kInvalidRequestId,
          arrivals_.size() - 1);
   }
   return Status::OK();
 }
 
-void VodSimulator::Push(Seconds time, EventKind kind, RequestId id,
+void VodSimulator::Push(Seconds time, SimEventKind kind, RequestId id,
                         std::size_t arrival_index) {
-  Event ev;
+  SimEvent ev;
   ev.time = time;
   ev.seq = next_seq_++;
   ev.kind = kind;
   ev.request = id;
   ev.arrival_index = arrival_index;
-  events_.push(ev);
+  events_->Push(ev);
 }
 
 Seconds VodSimulator::NextEventTime() const {
-  return events_.empty() ? kInf : events_.top().time;
+  const SimEvent* top = events_->Peek();
+  return top == nullptr ? kInf : top->time;
 }
 
 bool VodSimulator::Step() {
   VODB_PROF_SCOPE("sim.step");
-  if (events_.empty()) return false;
-  const Event ev = events_.top();
-  events_.pop();
+  if (events_->empty()) return false;
+  const SimEvent ev = events_->PopTop();
   VOD_DCHECK(ev.time >= now_ - kEps);
 #if VODB_AUDIT_ENABLED
   auditor_.CheckEventTime(ev.time);
 #endif
   now_ = std::max(now_, ev.time);
   switch (ev.kind) {
-    case EventKind::kArrival:
+    case SimEventKind::kArrival:
       HandleArrival(ev);
       break;
-    case EventKind::kServiceComplete:
+    case SimEventKind::kServiceComplete:
       HandleServiceComplete(ev);
       break;
-    case EventKind::kDeparture:
+    case SimEventKind::kDeparture:
       HandleDeparture(ev);
       break;
-    case EventKind::kWakeup:
+    case SimEventKind::kWakeup:
       if (wakeup_pending_ && Abs(ev.time - scheduled_wakeup_) < kEps) {
         wakeup_pending_ = false;
       }
@@ -215,7 +216,17 @@ bool VodSimulator::Step() {
 }
 
 void VodSimulator::RunUntil(Seconds t) {
-  while (!events_.empty() && events_.top().time <= t) Step();
+  while (const SimEvent* top = events_->Peek()) {
+    if (top->time > t) break;
+    Step();
+  }
+}
+
+void VodSimulator::RunUntilBefore(Seconds t) {
+  while (const SimEvent* top = events_->Peek()) {
+    if (!(top->time < t)) break;
+    Step();
+  }
 }
 
 void VodSimulator::RunToCompletion() {
@@ -255,11 +266,11 @@ void VodSimulator::SampleTimeseries() {
   sample.reserved =
       broker_ != nullptr ? broker_->ReservedMemory() : Bits(0);
   sample.buffered = TotalBufferedBits(now_);
-  sample.queue_depth = static_cast<int>(events_.size());
+  sample.queue_depth = static_cast<int>(events_->size());
   sample.active = allocator_->active_count();
   int degraded = 0;
-  for (const auto& [id, r] : requests_) {
-    if (r.degraded) ++degraded;
+  for (const auto& node : requests_) {
+    if (node.value.degraded) ++degraded;
   }
   sample.degraded = degraded;
   sample.disk_busy = metrics_.disk_busy_time;
@@ -290,8 +301,8 @@ Bits VodSimulator::BufferLevelAt(const Req& r, Seconds t) const {
 
 Bits VodSimulator::TotalBufferedBits(Seconds t) const {
   Bits total;
-  for (const auto& [id, r] : requests_) {
-    if (r.admitted) total += BufferLevelAt(r, t);
+  for (const auto& node : requests_) {
+    if (node.value.admitted) total += BufferLevelAt(node.value, t);
   }
   return total;
 }
@@ -301,15 +312,15 @@ Bits VodSimulator::TotalBufferedBits(Seconds t) const {
 // ---------------------------------------------------------------------------
 
 const VodSimulator::Req& VodSimulator::GetReq(RequestId id) const {
-  auto it = requests_.find(id);
-  VOD_CHECK(it != requests_.end());
-  return it->second;
+  const Req* r = requests_.Find(id);
+  VOD_CHECK(r != nullptr);
+  return *r;
 }
 
 VodSimulator::Req& VodSimulator::GetReq(RequestId id) {
-  auto it = requests_.find(id);
-  VOD_CHECK(it != requests_.end());
-  return it->second;
+  Req* r = requests_.Find(id);
+  VOD_CHECK(r != nullptr);
+  return *r;
 }
 
 Seconds VodSimulator::BufferDeadline(RequestId id) const {
@@ -350,6 +361,18 @@ core::AllocationDecision VodSimulator::CachedPreview() const {
   return preview_cache_;
 }
 
+Seconds VodSimulator::CachedWorstLatency(int n_or_g) const {
+  const auto i = static_cast<std::size_t>(n_or_g);
+  if (i >= worst_latency_cache_.size()) {
+    worst_latency_cache_.resize(i + 1, Seconds(-1));
+  }
+  if (worst_latency_cache_[i] < Seconds(0)) {
+    worst_latency_cache_[i] =
+        core::WorstDiskLatency(config_.profile, config_.method, n_or_g);
+  }
+  return worst_latency_cache_[i];
+}
+
 Seconds VodSimulator::WorstServiceTime(RequestId id) const {
   const Req& r = GetReq(id);
   const core::AllocationDecision d = CachedPreview();
@@ -359,8 +382,7 @@ Seconds VodSimulator::WorstServiceTime(RequestId id) const {
   const int n_or_g = config_.method == core::ScheduleMethod::kGss
                          ? config_.gss_group_size
                          : std::max(1, allocator_->active_count());
-  const Seconds dl =
-      core::WorstDiskLatency(config_.profile, config_.method, n_or_g);
+  const Seconds dl = CachedWorstLatency(n_or_g);
   return dl + bits / alloc_params_.tr;
 }
 
@@ -369,8 +391,7 @@ Seconds VodSimulator::NewcomerReserve() const {
   const int n_or_g = config_.method == core::ScheduleMethod::kGss
                          ? config_.gss_group_size
                          : std::max(1, allocator_->active_count());
-  const Seconds dl =
-      core::WorstDiskLatency(config_.profile, config_.method, n_or_g);
+  const Seconds dl = CachedWorstLatency(n_or_g);
   const Seconds slot = dl + d.buffer_size / alloc_params_.tr;
   // The scheme's standing insertion budget, in whole service slots. The
   // dynamic scheme sized every buffer for k_c additional services per usage
@@ -421,7 +442,7 @@ void VodSimulator::ReportBrokerState(int k_estimate, bool at_admission) {
   }
 }
 
-void VodSimulator::HandleArrival(const Event& ev) {
+void VodSimulator::HandleArrival(const SimEvent& ev) {
   // A scheduled arrival has no caller to hand the request id (or the
   // rejection) back to; both outcomes are fully recorded in the metrics.
   const Result<RequestId> outcome = ProcessArrival(arrivals_[ev.arrival_index]);
@@ -508,7 +529,7 @@ Result<RequestId> VodSimulator::ProcessArrival(const ArrivalEvent& a) {
   }
 
   const RequestId id = r.id;
-  requests_[id] = r;
+  requests_.Insert(id, r);
   pending_.push_back(id);
   TryAdmitPending();
   MaybeScheduleService();
@@ -516,23 +537,23 @@ Result<RequestId> VodSimulator::ProcessArrival(const ArrivalEvent& a) {
 }
 
 Status VodSimulator::CancelRequest(RequestId id) {
-  auto it = requests_.find(id);
-  if (it == requests_.end()) return Status::NotFound("no such request");
+  Req* r = requests_.Find(id);
+  if (r == nullptr) return Status::NotFound("no such request");
   ++state_version_;
   // Still queued for admission?
   auto pit = std::find(pending_.begin(), pending_.end(), id);
   if (pit != pending_.end()) pending_.erase(pit);
-  if (it->second.admitted) {
+  if (r->admitted) {
     allocator_->Remove(id);
     scheduler_->Remove(id);
   }
   // The stream's delivered bits leave the buffer pool with it. Bits of a
   // read still in flight were never delivered, so they enter neither ledger
   // side.
-  metrics_.buffer_bits_released += it->second.delivered;
+  metrics_.buffer_bits_released += r->delivered;
   // A cancellation mid-service lets the read finish; HandleServiceComplete
   // tolerates the missing request.
-  requests_.erase(it);
+  requests_.Erase(id);
 #if VODB_AUDIT_ENABLED
   auditor_.ForgetRequest(id);
 #endif
@@ -565,7 +586,7 @@ void VodSimulator::TryAdmitPending() {
     if (allocator_->active_count() >= alloc_params_.n_max) {
       // The disk filled up while the request waited: reject it now.
       pending_.pop_front();
-      requests_.erase(id);
+      requests_.Erase(id);
       ++metrics_.rejected;
       ++metrics_.rejected_capacity;
 #if VODB_TRACE_ENABLED
@@ -581,7 +602,7 @@ void VodSimulator::TryAdmitPending() {
         !broker_->CanAdmit(config_.disk_id, allocator_->active_count() + 1,
                            last_k_estimate_)) {
       pending_.pop_front();
-      requests_.erase(id);
+      requests_.Erase(id);
       ++metrics_.rejected;
       ++metrics_.rejected_memory;
 #if VODB_TRACE_ENABLED
@@ -612,7 +633,7 @@ void VodSimulator::TryAdmitPending() {
     if (!st.ok()) {
       // The allocator itself refused (non-deferred): a capacity condition.
       pending_.pop_front();
-      requests_.erase(id);
+      requests_.Erase(id);
       ++metrics_.rejected;
       ++metrics_.rejected_capacity;
 #if VODB_TRACE_ENABLED
@@ -659,7 +680,7 @@ void VodSimulator::MaybeScheduleService() {
           (!wakeup_pending_ || resume < scheduled_wakeup_ - kEps)) {
         scheduled_wakeup_ = resume;
         wakeup_pending_ = true;
-        Push(resume, EventKind::kWakeup, kInvalidRequestId);
+        Push(resume, SimEventKind::kWakeup, kInvalidRequestId);
       }
       return;
     }
@@ -669,7 +690,7 @@ void VodSimulator::MaybeScheduleService() {
           retry_cooldown_until_ < scheduled_wakeup_ - kEps) {
         scheduled_wakeup_ = retry_cooldown_until_;
         wakeup_pending_ = true;
-        Push(retry_cooldown_until_, EventKind::kWakeup, kInvalidRequestId);
+        Push(retry_cooldown_until_, SimEventKind::kWakeup, kInvalidRequestId);
       }
       return;
     }
@@ -681,7 +702,8 @@ void VodSimulator::MaybeScheduleService() {
   // Skipped under failure injection: with the Assumption-1 gate disabled,
   // deadlines are *expected* to become infeasible.
   if (!config_.disable_admission_control) {
-    const std::vector<RequestId> seq = scheduler_->ServiceSequence(*this, now_);
+    const std::vector<RequestId>& seq =
+        scheduler_->ServiceSequence(*this, now_);
     auditor_.CheckServiceSequence(*this, seq, now_);
     auditor_.CheckServiceDecision(*this, seq, *dec, now_);
   }
@@ -693,7 +715,7 @@ void VodSimulator::MaybeScheduleService() {
   if (!wakeup_pending_ || dec->not_before < scheduled_wakeup_ - kEps) {
     scheduled_wakeup_ = dec->not_before;
     wakeup_pending_ = true;
-    Push(dec->not_before, EventKind::kWakeup, kInvalidRequestId);
+    Push(dec->not_before, SimEventKind::kWakeup, kInvalidRequestId);
   }
 }
 
@@ -728,7 +750,7 @@ void VodSimulator::BeginService(RequestId id) {
     in_service_max_retries_ = f.max_retries;
     in_service_retry_backoff_ = f.retry_backoff;
     const Seconds dur = timing->total() + f.extra_latency;
-    Push(now_ + dur, EventKind::kServiceComplete, id);
+    Push(now_ + dur, SimEventKind::kServiceComplete, id);
     ++metrics_.read_faults;
     metrics_.disk_busy_time += dur;
 #if VODB_TRACE_ENABLED
@@ -761,7 +783,7 @@ void VodSimulator::BeginService(RequestId id) {
   in_service_ = id;
   in_service_bits_ = bits;
   in_service_timing_ = *timing;
-  Push(now_ + dur, EventKind::kServiceComplete, id);
+  Push(now_ + dur, SimEventKind::kServiceComplete, id);
 
   AllocationRecord rec;
   rec.time = now_;
@@ -803,7 +825,8 @@ void VodSimulator::DetectStarvation() {
   // intended just-in-time behaviour; only count underflows that persisted
   // beyond a 1 ms grace (a genuine playback glitch).
   constexpr Seconds kGrace = Seconds(1e-3);
-  for (auto& [id, r] : requests_) {
+  for (auto& node : requests_) {
+    Req& r = node.value;
     if (!r.admitted || !r.playing) continue;
     if (r.delivered >= r.total_bits) continue;
     const Seconds empty_since =
@@ -814,7 +837,7 @@ void VodSimulator::DetectStarvation() {
       ++metrics_.starvation_events;
 #if VODB_TRACE_ENABLED
       if (tracer_ != nullptr) {
-        VODB_TRACE_INIT(ev, kStarvation, id);
+        VODB_TRACE_INIT(ev, kStarvation, r.id);
         tracer_->Emit(ev);
       }
 #endif
@@ -852,7 +875,7 @@ void VodSimulator::MarkDegraded(Req& r) {
   }
 }
 
-void VodSimulator::HandleServiceComplete(const Event& ev) {
+void VodSimulator::HandleServiceComplete(const SimEvent& ev) {
   const RequestId id = ev.request;
   VOD_CHECK(disk_busy_ && in_service_ == id);
   ++state_version_;
@@ -875,10 +898,10 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
 
   // A request can depart mid-service only if viewing ended exactly at the
   // boundary; it may also have been removed — guard.
-  auto it = requests_.find(id);
+  Req* rp = requests_.Find(id);
   if (failed) {
-    if (it != requests_.end()) {
-      Req& r = it->second;
+    if (rp != nullptr) {
+      Req& r = *rp;
       DetectStarvation();
       SyncConsumption(r, now_);
       ++r.round_failures;
@@ -914,8 +937,8 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
     MaybeScheduleService();
     return;
   }
-  if (it != requests_.end()) {
-    Req& r = it->second;
+  if (rp != nullptr) {
+    Req& r = *rp;
     DetectStarvation();
     SyncConsumption(r, now_);
     r.delivered += in_service_bits_;
@@ -966,7 +989,7 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
       allocator_->MarkDrained(id);
       scheduler_->Remove(id);
       const Bits left = r.total_bits - ConsumedAt(r, now_);
-      Push(now_ + left / alloc_params_.cr, EventKind::kDeparture, id);
+      Push(now_ + left / alloc_params_.cr, SimEventKind::kDeparture, id);
     }
     metrics_.memory_usage.Record(ToSeconds(now_), ToBits(TotalBufferedBits(now_)));
   }
@@ -974,17 +997,17 @@ void VodSimulator::HandleServiceComplete(const Event& ev) {
   MaybeScheduleService();
 }
 
-void VodSimulator::HandleDeparture(const Event& ev) {
+void VodSimulator::HandleDeparture(const SimEvent& ev) {
   const RequestId id = ev.request;
-  auto it = requests_.find(id);
-  if (it == requests_.end()) return;
+  const Req* r = requests_.Find(id);
+  if (r == nullptr) return;
   ++state_version_;
   // Use-it-and-toss-it: everything delivered to this stream is released at
   // departure (the conservation ledger's release side).
-  metrics_.buffer_bits_released += it->second.delivered;
+  metrics_.buffer_bits_released += r->delivered;
   allocator_->Remove(id);
   scheduler_->Remove(id);
-  requests_.erase(it);
+  requests_.Erase(id);
 #if VODB_AUDIT_ENABLED
   auditor_.ForgetRequest(id);
 #endif

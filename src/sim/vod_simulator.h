@@ -3,11 +3,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "common/units.h"
@@ -16,6 +15,7 @@
 #include "disk/simulated_disk.h"
 #include "disk/video_layout.h"
 #include "sched/scheduler.h"
+#include "sim/event_queue.h"
 #include "sim/invariant_auditor.h"
 #include "sim/memory_broker.h"
 #include "sim/metrics.h"
@@ -63,6 +63,10 @@ struct SimConfig {
   /// every metric bit-identical to an uninjected run (observer effect:
   /// none). Multi-disk servers share one injector across their disks.
   fault::Injector* injector = nullptr;
+  /// Event-queue implementation. Both pop in the identical (time, seq)
+  /// order, so every metric is bit-identical across the two; kBinaryHeap is
+  /// the legacy reference the differential tests pin the calendar against.
+  EventQueueKind event_queue = EventQueueKind::kCalendar;
 
   Status Validate() const;
 };
@@ -109,6 +113,10 @@ class VodSimulator : public sched::SchedulerContext {
   /// Runs until the event queue drains or the clock passes `t`.
   void RunUntil(Seconds t);
 
+  /// Runs every event strictly before `t` (the sharded runner's epoch
+  /// boundary: events at exactly `t` belong to the next epoch).
+  void RunUntilBefore(Seconds t);
+
   /// Runs until every request completed and the queue drained.
   void RunToCompletion();
 
@@ -151,6 +159,8 @@ class VodSimulator : public sched::SchedulerContext {
   const SimConfig& config() const { return config_; }
   const core::AllocParams& alloc_params() const { return alloc_params_; }
   int active_count() const { return allocator_->active_count(); }
+  /// Events currently queued (arrivals not yet dispatched included).
+  std::size_t event_count() const { return events_->size(); }
   const disk::SimulatedDisk& disk() const { return disk_; }
 
   // --- sched::SchedulerContext ---
@@ -162,20 +172,6 @@ class VodSimulator : public sched::SchedulerContext {
   Seconds NewcomerReserve() const override;
 
  private:
-  enum class EventKind { kArrival, kServiceComplete, kDeparture, kWakeup };
-
-  struct Event {
-    Seconds time;
-    std::uint64_t seq = 0;  ///< FIFO tiebreak for equal times.
-    EventKind kind = EventKind::kArrival;
-    RequestId request = kInvalidRequestId;
-    std::size_t arrival_index = 0;
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
-  };
-
   struct Req {
     RequestId id = kInvalidRequestId;
     disk::VideoId video = 0;
@@ -208,13 +204,13 @@ class VodSimulator : public sched::SchedulerContext {
                std::unique_ptr<sched::BufferScheduler> scheduler,
                MemoryBroker* broker);
 
-  void Push(Seconds time, EventKind kind, RequestId id,
+  void Push(Seconds time, SimEventKind kind, RequestId id,
             std::size_t arrival_index = 0);
 
-  void HandleArrival(const Event& ev);
+  void HandleArrival(const SimEvent& ev);
   Result<RequestId> ProcessArrival(const ArrivalEvent& a);
-  void HandleServiceComplete(const Event& ev);
-  void HandleDeparture(const Event& ev);
+  void HandleServiceComplete(const SimEvent& ev);
+  void HandleDeparture(const SimEvent& ev);
 
   /// Admission pump: admits queued requests in FIFO order while the
   /// scheduler's timing, the allocator's Assumption 1, and the memory
@@ -255,11 +251,14 @@ class VodSimulator : public sched::SchedulerContext {
 
   Seconds now_;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::unique_ptr<EventQueue> events_;
   std::vector<ArrivalEvent> arrivals_;
   std::vector<Seconds> arrival_times_;  ///< For estimation resolution.
 
-  std::map<RequestId, Req> requests_;
+  /// Per-stream state lives in pool chunks (common/arena.h); iteration is
+  /// ascending-id — the same order the std::map this replaced used, which
+  /// keeps order-sensitive floating-point reductions bit-identical.
+  PooledOrderedMap<Req> requests_;
   std::deque<RequestId> pending_;  ///< Arrived, awaiting admission (Q).
   RequestId next_request_id_ = 1;
 
@@ -286,6 +285,12 @@ class VodSimulator : public sched::SchedulerContext {
   mutable Seconds preview_cache_time_ = Seconds(-1);
   mutable std::uint64_t preview_cache_version_ = ~0ULL;
   std::uint64_t state_version_ = 0;
+
+  /// core::WorstDiskLatency is a pure function of (profile, method, n) and
+  /// the scheduling loop asks for it per sequence member per round; memoize
+  /// by n (exact same double comes back — bit-identical results).
+  Seconds CachedWorstLatency(int n_or_g) const;
+  mutable std::vector<Seconds> worst_latency_cache_;
 
   /// Assembles a TimeseriesSample from current state and records it.
   void SampleTimeseries();
